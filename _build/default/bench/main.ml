@@ -1,0 +1,179 @@
+(* Benchmark harness.
+
+   Two parts, both in this executable (DESIGN.md Section 3):
+
+   1. Bechamel micro-benchmarks — one Test.make per experiment table,
+      timing the elementary operation that dominates the corresponding
+      experiment's inner loop (ant merge for E1/E2, a full compute step for
+      E3, predicate checking for E4, a mobility round for E5/E6, a lossy
+      round for E7, an ablated compute for E8).
+   2. The experiment tables E1..E10 themselves (the evaluation the paper
+      refers to; EXPERIMENTS.md records the measured outcomes).
+
+   Usage: dune exec bench/main.exe [-- --quick | --micro-only | --tables-only]. *)
+
+open Bechamel
+open Toolkit
+module Gen = Dgs_graph.Gen
+module Graph = Dgs_graph.Graph
+module Paths = Dgs_graph.Paths
+module Rounds = Dgs_sim.Rounds
+module P = Dgs_spec.Predicates
+module Harness = Dgs_workload.Harness
+module Experiments = Dgs_workload.Experiments
+module Rng = Dgs_util.Rng
+open Dgs_core
+
+(* --- the subjects --- *)
+
+let bench_ant_merge =
+  (* E1/E2 inner loop: one ant application on Dmax+1-level lists. *)
+  let l1 =
+    Antlist.of_levels
+      (List.init 4 (fun i -> List.init 3 (fun j -> ((i * 3) + j, Mark.Clear))))
+  in
+  let l2 =
+    Antlist.of_levels
+      (List.init 4 (fun i -> List.init 3 (fun j -> ((i * 3) + j + 6, Mark.Clear))))
+  in
+  Test.make ~name:"e1/e2: ant merge (4 levels x 3)"
+    (Staged.stage (fun () -> Antlist.ant l1 l2))
+
+let bench_compute =
+  (* E3 inner loop: one full compute() with 5 buffered neighbor messages. *)
+  let config = Config.make ~dmax:3 () in
+  let nodes = List.init 6 (fun i -> Grp_node.create ~config i) in
+  let run_round () =
+    let msgs = List.map Grp_node.make_message nodes in
+    List.iter (fun n -> List.iter (Grp_node.receive n) msgs) nodes;
+    List.iter (fun n -> ignore (Grp_node.compute n)) nodes
+  in
+  for _ = 1 to 5 do
+    run_round ()
+  done;
+  let target = List.hd nodes in
+  let msgs = List.map Grp_node.make_message (List.tl nodes) in
+  Test.make ~name:"e3: compute() with 5 neighbors"
+    (Staged.stage (fun () ->
+         List.iter (Grp_node.receive target) msgs;
+         Grp_node.compute target))
+
+let bench_predicates =
+  (* E4 inner loop: Ω extraction plus the full legitimacy check. *)
+  let g = Gen.grid 4 4 in
+  let t = Rounds.create ~config:(Config.make ~dmax:3 ()) g in
+  let rng = Rng.create 1 in
+  ignore (Rounds.run_until_stable ~jitter:0.1 ~rng ~confirm:8 ~max_rounds:2000 t);
+  let c = Harness.snapshot t g in
+  Test.make ~name:"e4: legitimate(grid4x4)"
+    (Staged.stage (fun () -> P.legitimate ~dmax:3 c))
+
+let bench_diameter =
+  (* Predicate substrate: diameter of a 25-node induced subgraph. *)
+  let g = Gen.grid 5 5 in
+  let set = Graph.Int_set.of_list (List.init 25 (fun i -> i)) in
+  Test.make ~name:"substrate: diameter(grid5x5)"
+    (Staged.stage (fun () -> Paths.diameter_of_set g set))
+
+let bench_round =
+  (* E5/E6 inner loop: one full protocol round on a 30-node network. *)
+  let g = Harness.rgg ~seed:3 ~n:30 () in
+  let t = Rounds.create ~config:(Config.make ~dmax:3 ()) g in
+  let rng = Rng.create 2 in
+  Test.make ~name:"e5/e6: protocol round (30 nodes)"
+    (Staged.stage (fun () -> Rounds.round ~jitter:0.1 ~rng t))
+
+let bench_lossy_round =
+  (* E7 inner loop: a round with loss and two sends per period. *)
+  let g = Harness.rgg ~seed:4 ~n:30 () in
+  let t = Rounds.create ~config:(Config.make ~dmax:3 ()) g in
+  let rng = Rng.create 3 in
+  Test.make ~name:"e7: lossy round (30 nodes, 2 sends)"
+    (Staged.stage (fun () -> Rounds.round ~jitter:0.1 ~loss:0.2 ~sends:2 ~rng t))
+
+let bench_ablated_compute =
+  (* E8 inner loop: compute() without joint admission, for the overhead
+     comparison with the full variant above. *)
+  let config = Config.make ~joint_admission_enabled:false ~dmax:3 () in
+  let nodes = List.init 6 (fun i -> Grp_node.create ~config i) in
+  for _ = 1 to 5 do
+    let msgs = List.map Grp_node.make_message nodes in
+    List.iter (fun n -> List.iter (Grp_node.receive n) msgs) nodes;
+    List.iter (fun n -> ignore (Grp_node.compute n)) nodes
+  done;
+  let target = List.hd nodes in
+  let other_msgs = List.map Grp_node.make_message (List.tl nodes) in
+  Test.make ~name:"e8: compute() without joint admission"
+    (Staged.stage (fun () ->
+         List.iter (Grp_node.receive target) other_msgs;
+         Grp_node.compute target))
+
+let bench_wire =
+  (* E7 corruption path: one encode + decode of a realistic frame. *)
+  let config = Config.make ~dmax:3 () in
+  let nodes = List.init 6 (fun i -> Grp_node.create ~config i) in
+  for _ = 1 to 5 do
+    let msgs = List.map Grp_node.make_message nodes in
+    List.iter (fun n -> List.iter (Grp_node.receive n) msgs) nodes;
+    List.iter (fun n -> ignore (Grp_node.compute n)) nodes
+  done;
+  let frame = Wire.to_string (Grp_node.make_message (List.hd nodes)) in
+  Test.make ~name:"e7: wire encode+decode"
+    (Staged.stage (fun () -> Wire.of_string frame))
+
+let bench_churn_step =
+  (* E10 inner loop: one round plus a graph snapshot check. *)
+  let g = Harness.rgg ~seed:6 ~n:30 () in
+  let t = Rounds.create ~config:(Config.make ~dmax:3 ()) g in
+  let rng = Rng.create 4 in
+  Rounds.run ~jitter:0.1 ~rng t 30;
+  Test.make ~name:"e10: round + agreement check (30 nodes)"
+    (Staged.stage (fun () ->
+         ignore (Rounds.round ~jitter:0.1 ~rng t);
+         Dgs_spec.Predicates.agreement (Harness.snapshot t g)))
+
+let bench_maxmin =
+  (* E6 baseline inner loop: one Max-Min reclustering of a 30-node graph. *)
+  let g = Harness.rgg ~seed:5 ~n:30 () in
+  Test.make ~name:"e6 baseline: maxmin(d=2, 30 nodes)"
+    (Staged.stage (fun () -> Dgs_baselines.Maxmin.run ~d:2 g))
+
+let micro_benchmarks () =
+  let tests =
+    [
+      bench_ant_merge;
+      bench_compute;
+      bench_predicates;
+      bench_diameter;
+      bench_round;
+      bench_lossy_round;
+      bench_ablated_compute;
+      bench_wire;
+      bench_churn_step;
+      bench_maxmin;
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  Printf.printf "== micro-benchmarks (ns per run) ==\n%!";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let m = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
+          let est = Analyze.one ols Instance.monotonic_clock m in
+          let ns =
+            match Analyze.OLS.estimates est with Some [ x ] -> x | _ -> nan
+          in
+          Printf.printf "%-45s %12.0f ns/run\n%!" (Test.Elt.name elt) ns)
+        (Test.elements test))
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let tables_only = List.mem "--tables-only" args in
+  let micro_only = List.mem "--micro-only" args in
+  if not tables_only then micro_benchmarks ();
+  if not micro_only then
+    List.iter (Experiments.run_and_print ~quick) Experiments.all

@@ -1,0 +1,237 @@
+(* grp_sim — command-line front-end to the GRP reproduction.
+
+   Subcommands:
+     converge    run the protocol on a static topology until quiescent and
+                 report the groups and the specification predicates
+     mobility    run a mobility scenario and report the continuity metrics
+     experiment  run one of the E1..E10 experiment suites
+     list        list available experiments and topologies *)
+
+module Gen = Dgs_graph.Gen
+module Rounds = Dgs_sim.Rounds
+module Cfg = Dgs_spec.Configuration
+module P = Dgs_spec.Predicates
+module Mobility = Dgs_mobility.Mobility
+module Harness = Dgs_workload.Harness
+module Experiments = Dgs_workload.Experiments
+open Dgs_core
+open Cmdliner
+
+let topologies =
+  [
+    ("line", fun n _ -> Gen.line n);
+    ("ring", fun n _ -> Gen.ring n);
+    ("grid", fun n _ -> let side = max 2 (int_of_float (sqrt (float_of_int n))) in Gen.grid side side);
+    ("star", fun n _ -> Gen.star n);
+    ("complete", fun n _ -> Gen.complete n);
+    ("btree", fun n _ -> Gen.binary_tree n);
+    ("rgg", fun n seed -> Harness.rgg ~seed ~n ());
+    ("cliquechain", fun n _ -> Gen.group_chain ~groups:(max 2 (n / 3)) ~group_size:3);
+    ("cliqueloop", fun n _ -> Gen.group_loop ~groups:(max 3 (n / 3)) ~group_size:3);
+  ]
+
+let topology_conv =
+  let parse s =
+    match List.assoc_opt s topologies with
+    | Some f -> Ok (s, f)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown topology %S (try: %s)" s
+               (String.concat ", " (List.map fst topologies))))
+  in
+  Arg.conv (parse, fun ppf (s, _) -> Format.pp_print_string ppf s)
+
+let dmax_arg =
+  Arg.(value & opt int 3 & info [ "d"; "dmax" ] ~docv:"DMAX" ~doc:"Group diameter bound.")
+
+let nodes_arg =
+  Arg.(value & opt int 30 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-node protocol state.")
+
+let report_config c dmax =
+  let groups = Cfg.groups c in
+  Printf.printf "groups (%d):\n" (List.length groups);
+  List.iter
+    (fun g -> Format.printf "  %a@." Node_id.pp_set g)
+    groups;
+  List.iter
+    (fun (name, check) ->
+      match check c with
+      | None -> Printf.printf "%-12s ok\n" name
+      | Some v -> Format.printf "%-12s %a@." name P.pp_violation v)
+    [
+      ("agreement", P.agreement);
+      ("safety", P.safety ~dmax);
+      ("maximality", P.maximality ~dmax);
+    ]
+
+let converge_cmd =
+  let run (tname, tf) n dmax seed verbose =
+    let g = tf n seed in
+    let config = Config.make ~dmax () in
+    let t = Rounds.create ~config g in
+    let rng = Dgs_util.Rng.create seed in
+    let rounds =
+      Rounds.run_until_stable ~jitter:0.1 ~rng ~confirm:(dmax + 5) ~max_rounds:10_000 t
+    in
+    Printf.printf "topology %s, %d nodes, Dmax=%d\n" tname (Dgs_graph.Graph.node_count g)
+      dmax;
+    (match rounds with
+    | Some r -> Printf.printf "stabilized after %d rounds (%d messages)\n" r (Rounds.messages_sent t)
+    | None -> Printf.printf "did not stabilize within the round budget\n");
+    if verbose then
+      List.iter
+        (fun v ->
+          let nd = Rounds.node t v in
+          Format.printf "  %a@." Grp_node.pp nd)
+        (Rounds.node_ids t);
+    report_config (Harness.snapshot t g) dmax
+  in
+  let topology =
+    Arg.(
+      value
+      & opt topology_conv (List.nth topologies 6 |> fun (s, f) -> (s, f))
+      & info [ "t"; "topology" ] ~docv:"TOPOLOGY" ~doc:"Topology generator.")
+  in
+  Cmd.v
+    (Cmd.info "converge" ~doc:"Run GRP on a static topology until quiescent.")
+    Term.(const run $ topology $ nodes_arg $ dmax_arg $ seed_arg $ verbose_arg)
+
+let mobility_specs speed =
+  [
+    ( "highway",
+      Mobility.Highway
+        {
+          lanes = 3;
+          lane_gap = 0.3;
+          length = 25.0;
+          vmin = speed /. 2.0;
+          vmax = (speed *. 1.5) +. 1e-9;
+          bidirectional = true;
+        } );
+    ( "waypoint",
+      Mobility.Waypoint
+        {
+          xmax = 8.0;
+          ymax = 8.0;
+          vmin = (speed /. 2.0) +. 1e-9;
+          vmax = (speed *. 1.5) +. 2e-9;
+          pause = 2.0;
+        } );
+    ( "walk",
+      Mobility.Walk { xmax = 8.0; ymax = 8.0; speed; turn_sigma = 0.4 } );
+    ( "manhattan",
+      Mobility.Manhattan { blocks_x = 4; blocks_y = 4; block = 2.0; speed } );
+  ]
+
+let mobility_cmd =
+  let run model n dmax seed speed rounds =
+    match List.assoc_opt model (mobility_specs speed) with
+    | None ->
+        Printf.eprintf "unknown mobility model %S (try: highway, waypoint, walk, manhattan)\n"
+          model;
+        exit 1
+    | Some spec ->
+        let config = Config.make ~dmax () in
+        let r =
+          Harness.run_mobility ~config ~seed ~spec ~n ~range:2.0 ~dt:1.0 ~rounds ()
+        in
+        Printf.printf "mobility %s, %d nodes, Dmax=%d, speed %.3f, %d rounds\n" model n
+          dmax speed rounds;
+        Printf.printf "  \xCE\xA0T-preserving steps: %d, violating: %d\n"
+          r.Harness.pt_preserving r.Harness.pt_violating;
+        Printf.printf "  evictions under \xCE\xA0T: %d (theorem: must be 0)\n"
+          r.Harness.evictions_under_pt;
+        Printf.printf "  unjustified evictions: %d, total: %d\n"
+          r.Harness.unjustified_evictions r.Harness.evictions_total;
+        Printf.printf "  mean groups: %.1f, mean size: %.1f\n" r.Harness.mean_groups
+          r.Harness.mean_group_size;
+        Format.printf "  view lifetime: %a rounds@." Dgs_util.Stats.pp_summary
+          r.Harness.group_lifetime
+  in
+  let model =
+    Arg.(
+      value & opt string "highway"
+      & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Mobility model.")
+  in
+  let speed =
+    Arg.(value & opt float 0.05 & info [ "speed" ] ~docv:"SPEED" ~doc:"Node speed.")
+  in
+  let rounds =
+    Arg.(value & opt int 300 & info [ "rounds" ] ~docv:"ROUNDS" ~doc:"Measured rounds.")
+  in
+  Cmd.v
+    (Cmd.info "mobility" ~doc:"Run GRP under a mobility model and report continuity.")
+    Term.(const run $ model $ nodes_arg $ dmax_arg $ seed_arg $ speed $ rounds)
+
+let experiment_cmd =
+  let export dir e tables =
+    match dir with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iteri
+          (fun i table ->
+            let path =
+              Filename.concat dir (Printf.sprintf "%s_%d.csv" e.Experiments.id i)
+            in
+            let oc = open_out path in
+            output_string oc (Dgs_metrics.Table.to_csv table);
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          tables
+  in
+  let run_one quick csv e =
+    Printf.printf "\n### %s — %s ###\n" (String.uppercase_ascii e.Experiments.id)
+      e.Experiments.title;
+    let tables = e.Experiments.run ~quick () in
+    List.iter Dgs_metrics.Table.print tables;
+    export csv e tables
+  in
+  let run id quick csv =
+    match id with
+    | "all" -> List.iter (run_one quick csv) Experiments.all
+    | _ -> (
+        match Experiments.find id with
+        | Some e -> run_one quick csv e
+        | None ->
+            Printf.eprintf "unknown experiment %S (e1..e10 or all)\n" id;
+            exit 1)
+  in
+  let id =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (e1..e10, all).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sizes and fewer repetitions.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one of the evaluation experiments.")
+    Term.(const run $ id $ quick $ csv)
+
+let list_cmd =
+  let run () =
+    Printf.printf "topologies:\n";
+    List.iter (fun (s, _) -> Printf.printf "  %s\n" s) topologies;
+    Printf.printf "experiments:\n";
+    List.iter
+      (fun e -> Printf.printf "  %-4s %s\n" e.Experiments.id e.Experiments.title)
+      Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List topologies and experiments.") Term.(const run $ const ())
+
+let () =
+  let doc = "Best-effort group service in dynamic networks (GRP) — simulator" in
+  let info = Cmd.info "grp_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ converge_cmd; mobility_cmd; experiment_cmd; list_cmd ]))

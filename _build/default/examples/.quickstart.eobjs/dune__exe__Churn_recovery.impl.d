@@ -1,0 +1,1 @@
+examples/churn_recovery.ml: Antlist Config Dgs_core Dgs_graph Dgs_sim Dgs_spec Dgs_util Format Grp_node List Mark Node_id Printf Priority

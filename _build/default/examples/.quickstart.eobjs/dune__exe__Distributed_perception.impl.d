@@ -1,0 +1,1 @@
+examples/distributed_perception.ml: Array Config Dgs_core Dgs_mobility Dgs_sim Dgs_util Format Grp_node List Node_id Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Dgs_core Dgs_graph Dgs_sim Dgs_spec Format Grp_node List Node_id Printf

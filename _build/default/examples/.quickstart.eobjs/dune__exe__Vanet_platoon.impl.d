@@ -1,0 +1,1 @@
+examples/vanet_platoon.ml: Config Dgs_core Dgs_mobility Dgs_sim Dgs_spec Dgs_util Format Grp_node Hashtbl List Node_id Option Printf

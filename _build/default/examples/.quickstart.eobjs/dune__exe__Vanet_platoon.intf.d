@@ -1,0 +1,1 @@
+examples/vanet_platoon.mli:

@@ -1,0 +1,82 @@
+(* Distributed perception on top of GRP groups — the paper's first
+   motivating application ("the distributed perception should not involve
+   too far vehicles").
+
+   Each vehicle carries a noisy local sensor estimating a common quantity
+   (say, the position of an obstacle ahead).  Within its GRP group, a
+   vehicle fuses the members' readings; the Dmax bound keeps the fused
+   estimate built only from nearby — hence relevant and fresh — sensors.
+   The demo drives vehicles along a highway past a fixed obstacle and
+   reports, for one probe vehicle, its raw reading, its group-fused
+   reading and the error of each against the truth: the fused estimate is
+   consistently better while the group holds, and the group's composition
+   follows the traffic.
+
+   Run with: dune exec examples/distributed_perception.exe *)
+
+module Mobility = Dgs_mobility.Mobility
+module Rounds = Dgs_sim.Rounds
+module Geom = Dgs_util.Geom
+module Rng = Dgs_util.Rng
+open Dgs_core
+
+let n = 18
+let dmax = 2
+let range = 2.5
+let obstacle = Geom.make 20.0 0.6
+
+(* A sensor reading: the obstacle position plus distance-dependent noise
+   (far sensors are worse — the reason perception wants close partners). *)
+let read_sensor rng positions v =
+  let d = Geom.dist positions.(v) obstacle in
+  let sigma = 0.05 +. (0.02 *. d) in
+  Geom.make
+    (obstacle.Geom.x +. Rng.gaussian rng ~mu:0.0 ~sigma)
+    (obstacle.Geom.y +. Rng.gaussian rng ~mu:0.0 ~sigma)
+
+(* Group fusion: average the readings of the view members (every member
+   computes the same set thanks to agreement). *)
+let fuse readings view =
+  let members = Node_id.Set.elements view in
+  let sum =
+    List.fold_left (fun acc v -> Geom.add acc readings.(v)) Geom.origin members
+  in
+  Geom.scale (1.0 /. float_of_int (List.length members)) sum
+
+let () =
+  let rng = Rng.create 99 in
+  let mob =
+    Mobility.create (Rng.split rng) ~n
+      (Mobility.Highway
+         {
+           lanes = 2;
+           lane_gap = 0.6;
+           length = 40.0;
+           vmin = 0.08;
+           vmax = 0.12;
+           bidirectional = false;
+         })
+  in
+  let config = Config.make ~dmax () in
+  let net = Rounds.create ~config (Mobility.graph mob ~range) in
+  let probe = 0 in
+  Printf.printf
+    "round | group size | raw error | fused error | group members\n%!";
+  for round = 1 to 240 do
+    Mobility.step mob ~dt:1.0;
+    Rounds.set_graph net (Mobility.graph mob ~range);
+    ignore (Rounds.round ~jitter:0.1 ~rng net);
+    if round mod 30 = 0 then begin
+      let positions = Mobility.positions mob in
+      let readings = Array.init n (fun v -> read_sensor rng positions v) in
+      let view = Grp_node.view (Rounds.node net probe) in
+      let raw_err = Geom.dist readings.(probe) obstacle in
+      let fused_err = Geom.dist (fuse readings view) obstacle in
+      Format.printf "%5d | %10d | %9.3f | %11.3f | %a@." round
+        (Node_id.Set.cardinal view) raw_err fused_err Node_id.pp_set view
+    end
+  done;
+  Printf.printf
+    "\nfusion averages away sensor noise inside the group; the Dmax=%d bound\n\
+     keeps the partners close enough for their readings to be relevant.\n"
+    dmax

@@ -1,0 +1,72 @@
+(* VANET platooning — the paper's motivating scenario.
+
+   Vehicles on a three-lane bidirectional highway form GRP groups bounded
+   by Dmax (think: collaborative perception needs fresh data, so partners
+   must be few hops away).  Vehicles in opposite lanes pass each other at
+   high relative speed; same-direction vehicles stay together.  The demo
+   reports, every 50 rounds, the platoons (groups) and how long their
+   compositions have lasted — the continuity the protocol is built for.
+
+   Run with: dune exec examples/vanet_platoon.exe *)
+
+module Mobility = Dgs_mobility.Mobility
+module Rounds = Dgs_sim.Rounds
+module Cfg = Dgs_spec.Configuration
+module Rng = Dgs_util.Rng
+open Dgs_core
+
+let n = 24
+let dmax = 3
+let radio_range = 2.5
+let rounds = 300
+
+let () =
+  let rng = Rng.create 2026 in
+  let mob =
+    Mobility.create (Rng.split rng) ~n
+      (Mobility.Highway
+         {
+           lanes = 3;
+           lane_gap = 0.4;
+           length = 40.0;
+           vmin = 0.05;
+           vmax = 0.15;
+           bidirectional = true;
+         })
+  in
+  let config = Config.make ~dmax () in
+  let net = Rounds.create ~config (Mobility.graph mob ~range:radio_range) in
+  let view_birth = Hashtbl.create 32 in
+  let evictions = ref 0 in
+  for round = 1 to rounds do
+    Mobility.step mob ~dt:1.0;
+    Rounds.set_graph net (Mobility.graph mob ~range:radio_range);
+    let infos = Rounds.round ~jitter:0.1 ~rng net in
+    Node_id.Map.iter
+      (fun v i ->
+        if
+          not
+            (Node_id.Set.is_empty i.Grp_node.view_removed
+            && Node_id.Set.is_empty i.Grp_node.view_added)
+        then Hashtbl.replace view_birth v round;
+        evictions := !evictions + Node_id.Set.cardinal i.Grp_node.view_removed)
+      infos;
+    if round mod 50 = 0 then begin
+      Printf.printf "--- t=%d ---\n" round;
+      let c = Cfg.make ~graph:(Rounds.graph net) ~views:(Rounds.views net) in
+      List.iter
+        (fun g ->
+          let leader = Node_id.Set.min_elt g in
+          let age =
+            round - Option.value ~default:0 (Hashtbl.find_opt view_birth leader)
+          in
+          Format.printf "platoon %a (%d vehicles, composition stable for %d rounds)@."
+            Node_id.pp_set g (Node_id.Set.cardinal g) age)
+        (Cfg.groups c)
+    end
+  done;
+  Printf.printf "total member evictions over %d rounds: %d\n" rounds !evictions;
+  Printf.printf
+    "evictions happen when vehicles drift apart beyond Dmax=%d hops; groups of\n\
+     vehicles cruising together persist across the whole run.\n"
+    dmax

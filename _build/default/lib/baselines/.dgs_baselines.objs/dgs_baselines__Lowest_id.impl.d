@@ -1,0 +1,1 @@
+lib/baselines/lowest_id.ml: Dgs_core Dgs_graph Hashtbl List Node_id

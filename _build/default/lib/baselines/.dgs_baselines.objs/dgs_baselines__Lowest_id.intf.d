@@ -1,0 +1,1 @@
+lib/baselines/lowest_id.mli: Dgs_core Dgs_graph

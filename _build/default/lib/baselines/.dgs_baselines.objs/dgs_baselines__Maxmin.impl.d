@@ -1,0 +1,1 @@
+lib/baselines/maxmin.ml: Dgs_core Dgs_graph List Node_id

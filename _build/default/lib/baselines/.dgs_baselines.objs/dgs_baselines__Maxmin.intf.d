@@ -1,0 +1,1 @@
+lib/baselines/maxmin.mli: Dgs_core Dgs_graph

@@ -1,0 +1,1 @@
+lib/baselines/recluster.ml: Dgs_core Dgs_graph List Lowest_id Maxmin Node_id Option Printf

@@ -1,0 +1,1 @@
+lib/baselines/recluster.mli: Dgs_core Dgs_graph

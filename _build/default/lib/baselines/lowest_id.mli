@@ -1,0 +1,12 @@
+(** Greedy lowest-ID k-hop clustering: the smallest unassigned id becomes a
+    clusterhead and claims every unassigned node within [k] hops; repeat.
+    The generalization of Gerla's lowest-ID heuristic used as the second
+    k-clustering baseline ([16,18,20] in the paper's related work). *)
+
+type result = {
+  head : Dgs_core.Node_id.t Dgs_core.Node_id.Map.t;
+  clusters : Dgs_core.Node_id.Set.t Dgs_core.Node_id.Map.t;
+}
+
+val run : k:int -> Dgs_graph.Graph.t -> result
+val views : result -> Dgs_core.Node_id.Set.t Dgs_core.Node_id.Map.t

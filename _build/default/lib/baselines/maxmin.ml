@@ -1,0 +1,85 @@
+module Graph = Dgs_graph.Graph
+open Dgs_core
+
+type result = {
+  head : Node_id.t Node_id.Map.t;
+  clusters : Node_id.Set.t Node_id.Map.t;
+}
+
+(* One synchronous propagation round: each node adopts the best value among
+   itself and its neighbors. *)
+let flood g better values =
+  Node_id.Map.mapi
+    (fun v x ->
+      Graph.Int_set.fold
+        (fun u acc ->
+          match Node_id.Map.find_opt u values with
+          | Some y when better y acc -> y
+          | _ -> acc)
+        (Graph.neighbors g v) x)
+    values
+
+let run ~d g =
+  if d < 1 then invalid_arg "Maxmin.run: d must be >= 1";
+  let nodes = Graph.nodes g in
+  let init = List.fold_left (fun m v -> Node_id.Map.add v v m) Node_id.Map.empty nodes in
+  (* Flood-max phase, logging each round's winner per node. *)
+  let maxlogs = ref [] in
+  let values = ref init in
+  for _ = 1 to d do
+    values := flood g (fun y acc -> y > acc) !values;
+    maxlogs := !values :: !maxlogs
+  done;
+  (* Flood-min phase over the flood-max result. *)
+  let minlogs = ref [] in
+  for _ = 1 to d do
+    values := flood g (fun y acc -> y < acc) !values;
+    minlogs := !values :: !minlogs
+  done;
+  let logged logs v =
+    List.fold_left
+      (fun acc m -> Node_id.Set.add (Node_id.Map.find v m) acc)
+      Node_id.Set.empty logs
+  in
+  let head =
+    List.fold_left
+      (fun acc v ->
+        let maxset = logged !maxlogs v and minset = logged !minlogs v in
+        let h =
+          (* Rule 1: v saw its own id during flood-min: it is a head. *)
+          if Node_id.Set.mem v minset then v
+          else
+            (* Rule 2: smallest id seen in both phases (a node pair). *)
+            let both = Node_id.Set.inter maxset minset in
+            if not (Node_id.Set.is_empty both) then Node_id.Set.min_elt both
+            else
+              (* Rule 3: the flood-max winner. *)
+              Node_id.Set.max_elt maxset
+        in
+        Node_id.Map.add v h acc)
+      Node_id.Map.empty nodes
+  in
+  (* A selected head may itself point elsewhere; nodes whose head is not a
+     head re-attach to it anyway (the head learns of them during
+     convergecast and declares itself) — model this by forcing the head
+     relation idempotent: every elected head heads itself. *)
+  let head =
+    Node_id.Map.fold
+      (fun _ h acc -> Node_id.Map.add h h acc)
+      head head
+  in
+  let clusters =
+    Node_id.Map.fold
+      (fun v h acc ->
+        let members =
+          match Node_id.Map.find_opt h acc with
+          | None -> Node_id.Set.singleton v
+          | Some s -> Node_id.Set.add v s
+        in
+        Node_id.Map.add h members acc)
+      head Node_id.Map.empty
+  in
+  { head; clusters }
+
+let views r =
+  Node_id.Map.map (fun h -> Node_id.Map.find h r.clusters) r.head

@@ -1,0 +1,22 @@
+(** Max-Min d-cluster formation (Amis, Prakash, Vuong & Huynh, INFOCOM
+    2000) — the canonical k-hop clustering baseline the paper positions
+    GRP against (reference [1]).
+
+    2d synchronous rounds: d rounds of flood-max propagate the largest id
+    within d hops, d rounds of flood-min let smaller ids reclaim territory;
+    each node then elects its clusterhead with the three Max-Min rules and
+    joins it over a shortest path.  Clusters are head-centric with radius
+    at most d (diameter at most 2d). *)
+
+type result = {
+  head : Dgs_core.Node_id.t Dgs_core.Node_id.Map.t;
+      (** clusterhead elected by each node *)
+  clusters : Dgs_core.Node_id.Set.t Dgs_core.Node_id.Map.t;
+      (** head -> members (including the head) *)
+}
+
+val run : d:int -> Dgs_graph.Graph.t -> result
+(** Raises [Invalid_argument] when [d < 1]. *)
+
+val views : result -> Dgs_core.Node_id.Set.t Dgs_core.Node_id.Map.t
+(** Each node's cluster as a view map, comparable with GRP's output. *)

@@ -1,0 +1,1 @@
+lib/core/antlist.ml: Format Hashtbl List Mark Node_id Stdlib

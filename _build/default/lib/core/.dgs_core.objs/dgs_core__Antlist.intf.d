@@ -1,0 +1,1 @@
+lib/core/antlist.mli: Format Mark Node_id

@@ -1,0 +1,1 @@
+lib/core/grp_node.ml: Antlist Config Format List Mark Message Node_id Priority

@@ -1,0 +1,1 @@
+lib/core/grp_node.mli: Antlist Config Format Message Node_id Priority

@@ -1,0 +1,1 @@
+lib/core/message.mli: Antlist Format Node_id Priority

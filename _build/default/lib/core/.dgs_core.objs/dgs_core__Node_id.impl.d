@@ -1,0 +1,1 @@
+lib/core/node_id.ml: Dgs_util Format Int Map

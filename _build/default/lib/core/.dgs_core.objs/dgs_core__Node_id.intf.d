@@ -1,0 +1,1 @@
+lib/core/node_id.mli: Dgs_util Format Map

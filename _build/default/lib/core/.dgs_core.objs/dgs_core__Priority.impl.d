@@ -1,0 +1,1 @@
+lib/core/priority.ml: Format Int Node_id

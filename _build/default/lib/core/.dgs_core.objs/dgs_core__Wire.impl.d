@@ -1,0 +1,1 @@
+lib/core/wire.ml: Antlist Bytes Char Dgs_util List Mark Message Node_id Option Printf Priority String

@@ -1,0 +1,154 @@
+type entry = { id : Node_id.t; mark : Mark.t }
+
+(* Levels in distance order; invariant of this representation: each level is
+   sorted by id with unique ids (across-level uniqueness is only guaranteed
+   for values built by [merge]/[ant], see [well_formed]). *)
+type t = entry list list
+
+let empty = []
+let singleton id = [ [ { id; mark = Mark.Clear } ] ]
+let singleton_marked id mark = [ [ { id; mark } ] ]
+
+let normalize_level es =
+  let sorted = List.sort (fun a b -> Node_id.compare a.id b.id) es in
+  let rec dedup = function
+    | a :: b :: rest when Node_id.equal a.id b.id ->
+        dedup ({ id = a.id; mark = Mark.max a.mark b.mark } :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+let of_levels lvls =
+  List.map (fun l -> normalize_level (List.map (fun (id, mark) -> { id; mark }) l)) lvls
+
+let levels t = t
+let size = List.length
+
+let clear_size t =
+  let rec last_clear i best = function
+    | [] -> best
+    | l :: rest ->
+        let best = if List.exists (fun e -> e.mark = Mark.Clear) l then i + 1 else best in
+        last_clear (i + 1) best rest
+  in
+  last_clear 0 0 t
+
+let is_empty t = t = []
+let level t i = match List.nth_opt t i with None -> [] | Some l -> l
+
+let level_ids t i =
+  List.fold_left (fun acc e -> Node_id.Set.add e.id acc) Node_id.Set.empty (level t i)
+
+let find t id =
+  let rec go i = function
+    | [] -> None
+    | l :: rest -> (
+        match List.find_opt (fun e -> Node_id.equal e.id id) l with
+        | Some e -> Some (i, e.mark)
+        | None -> go (i + 1) rest)
+  in
+  go 0 t
+
+let mem t id = find t id <> None
+
+let fold_entries t ~init ~f =
+  let _, acc =
+    List.fold_left
+      (fun (i, acc) l -> (i + 1, List.fold_left (fun acc e -> f acc e.id i e.mark) acc l))
+      (0, init) t
+  in
+  acc
+
+let ids t = fold_entries t ~init:Node_id.Set.empty ~f:(fun acc id _ _ -> Node_id.Set.add id acc)
+
+let clear_ids t =
+  fold_entries t ~init:Node_id.Set.empty ~f:(fun acc id _ mark ->
+      if mark = Mark.Clear then Node_id.Set.add id acc else acc)
+
+let entries t =
+  List.rev (fold_entries t ~init:[] ~f:(fun acc id pos mark -> (id, pos, mark) :: acc))
+
+let trim_trailing_empty t =
+  let rec go = function
+    | [] -> []
+    | l :: rest -> (
+        match go rest with [] when l = [] -> [] | rest' -> l :: rest')
+  in
+  go t
+
+let strip_marked ~keep t =
+  t
+  |> List.map (List.filter (fun e -> e.mark = Mark.Clear || Node_id.equal e.id keep))
+  |> trim_trailing_empty
+
+let has_empty_level t = List.exists (fun l -> l = []) t
+
+let compact t = List.filter (fun l -> l <> []) t
+
+(* Positionwise union of levels. *)
+let rec union_levels a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | la :: ra, lb :: rb -> normalize_level (la @ lb) :: union_levels ra rb
+
+(* Keep only the first occurrence of every id, walking levels in distance
+   order.  A level emptied by the deduplication means every node that
+   supported it is in fact closer, so the distance claims of the deeper
+   levels are unreliable: the list is truncated at the gap (they re-derive
+   from better-placed information on later computes).  Compacting the gap
+   instead would understate distances and leak nodes across rejected
+   boundaries (DESIGN.md Section 5). *)
+let dedup_first t =
+  let seen = Hashtbl.create 16 in
+  let keep_level l =
+    List.filter
+      (fun e ->
+        if Hashtbl.mem seen e.id then false
+        else (
+          Hashtbl.replace seen e.id ();
+          true))
+      l
+  in
+  let rec walk = function
+    | [] -> []
+    | l :: rest -> (
+        match keep_level l with [] -> [] | l' -> l' :: walk rest)
+  in
+  walk t
+
+let merge a b = dedup_first (union_levels a b)
+let shift t = if t = [] then [] else [] :: t
+let ant l1 l2 = merge l1 (shift l2)
+
+let truncate t k =
+  let rec take k = function [] -> [] | l :: rest -> if k = 0 then [] else l :: take (k - 1) rest in
+  take k t
+
+let restrict_clear t = compact (List.map (List.filter (fun e -> e.mark = Mark.Clear)) t)
+
+let well_formed t =
+  (not (has_empty_level t))
+  && (let all = entries t in
+      let distinct = List.sort_uniq Node_id.compare (List.map (fun (id, _, _) -> id) all) in
+      List.length distinct = List.length all)
+  && List.for_all (fun (_, pos, mark) -> mark = Mark.Clear || pos <= 1) (entries t)
+
+let compare a b =
+  let key t = List.map (List.map (fun e -> (e.id, e.mark))) t in
+  Stdlib.compare (key a) (key b)
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  let pp_entry ppf e = Format.fprintf ppf "%a%a" Node_id.pp e.id Mark.pp e.mark in
+  let pp_level ppf l =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp_entry)
+      l
+  in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp_level)
+    t
+
+let to_string t = Format.asprintf "%a" pp t

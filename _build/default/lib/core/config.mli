@@ -1,0 +1,42 @@
+(** Protocol parameters.
+
+    [dmax] is the applicative diameter bound, fixed for the whole execution
+    (paper Section 3).  The remaining knobs exist for the E8 ablation
+    experiments and default to the paper's behavior. *)
+
+type priority_mode =
+  | Oldness  (** logical-clock oldness, frozen inside groups (paper Section 4.1) *)
+  | Lowest_id  (** static id-based priority (ablation) *)
+
+type t = {
+  dmax : int;
+  quarantine_enabled : bool;
+  compat_shortcut_enabled : bool;
+      (** the second disjunct of [compatibleList] (shortcut-aware merging) *)
+  joint_admission_enabled : bool;
+      (** cross-compatibility of concurrently admitted foreign groups: a
+          node refuses to bridge two groups whose union would exceed [dmax]
+          through it (DESIGN.md Section 5; ablated in E8) *)
+  admission_gate_enabled : bool;
+      (** optional extension, default off: cascaded view admission — a new
+          direct neighbor enters the view only once it lists me unmarked
+          and a transitive node only once a view-mate advertises it in its
+          own view, making one-sided memberships impossible at the cost of
+          one extra admission round per hop.  E8 measures the tradeoff
+          (fewer unjustified evictions, slightly slower/staggered
+          admissions); DESIGN.md Section 5. *)
+  priority_mode : priority_mode;
+}
+
+val make :
+  ?quarantine_enabled:bool ->
+  ?compat_shortcut_enabled:bool ->
+  ?joint_admission_enabled:bool ->
+  ?admission_gate_enabled:bool ->
+  ?priority_mode:priority_mode ->
+  dmax:int ->
+  unit ->
+  t
+(** Raises [Invalid_argument] when [dmax < 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,545 @@
+type t = {
+  id : Node_id.t;
+  config : Config.t;
+  mutable antlist : Antlist.t;
+  mutable msg_set : Message.t Node_id.Map.t;
+  mutable quarantine : int Node_id.Map.t;
+  mutable view : Node_id.Set.t;
+  mutable prio_table : Priority.t Node_id.Map.t;
+  mutable own_priority : Priority.t;
+}
+
+type step_info = {
+  view_added : Node_id.Set.t;
+  view_removed : Node_id.Set.t;
+  too_far_conflict : bool;
+  rejected_senders : Node_id.Set.t;
+}
+
+let create ~config id =
+  let own_priority = Priority.initial id in
+  {
+    id;
+    config;
+    antlist = Antlist.singleton id;
+    msg_set = Node_id.Map.empty;
+    quarantine = Node_id.Map.singleton id 0;
+    view = Node_id.Set.singleton id;
+    prio_table = Node_id.Map.singleton id own_priority;
+    own_priority;
+  }
+
+let id t = t.id
+let config t = t.config
+let view t = t.view
+let antlist t = t.antlist
+let own_priority t = t.own_priority
+let quarantine_of t v = Node_id.Map.find_opt v t.quarantine
+let quarantines t = t.quarantine
+let known_priority t v = Node_id.Map.find_opt v t.prio_table
+
+let pending_senders t =
+  Node_id.Map.fold (fun s _ acc -> Node_id.Set.add s acc) t.msg_set Node_id.Set.empty
+
+let group_priority t =
+  Node_id.Set.fold
+    (fun member acc ->
+      match Node_id.Map.find_opt member t.prio_table with
+      | None -> acc
+      | Some p -> Priority.min p acc)
+    t.view t.own_priority
+
+let receive t msg =
+  if not (Node_id.equal msg.Message.sender t.id) then
+    t.msg_set <- Node_id.Map.add msg.Message.sender msg t.msg_set
+
+(* A priority report is fresher when its oldness is larger: oldness only
+   grows over a node's lifetime (it freezes, never decreases, in groups).
+   Returns the largest oldness heard, which is the Lamport clock the node
+   syncs its own counter to while solo. *)
+let merge_priority_tables t =
+  let clock = ref 0 in
+  Node_id.Map.iter
+    (fun _ msg ->
+      Node_id.Map.iter
+        (fun v p ->
+          if p.Priority.oldness > !clock then clock := p.Priority.oldness;
+          match Node_id.Map.find_opt v t.prio_table with
+          | Some q when q.Priority.oldness >= p.Priority.oldness -> ()
+          | _ -> t.prio_table <- Node_id.Map.add v p t.prio_table)
+        msg.Message.priorities)
+    t.msg_set;
+  !clock
+
+let clear_level_ids lst i =
+  List.fold_left
+    (fun acc e ->
+      if e.Antlist.mark = Mark.Clear then Node_id.Set.add e.Antlist.id acc else acc)
+    Node_id.Set.empty (Antlist.level lst i)
+
+let good_list t ~sender lst =
+  (* The sender's list is usable when it acknowledges me: unmarked or
+     single-marked among its neighbors (list.1, the triple handshake), or —
+     beyond the paper's letter — Clear at any depth: then the sender
+     already computes me as a group member over symmetric paths, and
+     replacing its list by a single-marked stub would evict an established
+     member whenever mobility creates a fresh direct link between two
+     group-mates (DESIGN.md Section 5). *)
+  let self_ok =
+    List.exists
+      (fun e -> Node_id.equal e.Antlist.id t.id && e.Antlist.mark <> Mark.Double)
+      (Antlist.level lst 1)
+    || List.exists
+         (fun (v, _, mark) -> Node_id.equal v t.id && mark = Mark.Clear)
+         (Antlist.entries lst)
+  in
+  self_ok
+  && Node_id.Set.equal (Antlist.level_ids lst 0) (Node_id.Set.singleton sender)
+  && Antlist.clear_size lst <= t.config.Config.dmax + 1
+  && not (Antlist.has_empty_level lst)
+
+(* compatibleList relates established group extents (Proposition 13's
+   setting has stabilized groups, where lists and groups coincide).  During
+   convergence, antlists are speculative supersets of the groups, so the
+   extents are measured over established nodes only: the receiver's side
+   over members of its own view and of the views its current senders
+   advertise; the sender's side over the members of the sender's advertised
+   view that are foreign to the receiver.  Speculative tails are policed by
+   the too-far contest and by joint admission instead (DESIGN.md
+   Section 5). *)
+
+(* Established nodes: my view plus every view advertised in msgSet. *)
+let established_set t =
+  Node_id.Map.fold
+    (fun _ msg acc -> Node_id.Set.union msg.Message.view acc)
+    t.msg_set t.view
+
+(* Extent of my established group: farthest established clear node in my
+   current list. *)
+let established_extent t ~established =
+  List.fold_left
+    (fun acc (v, pos, mark) ->
+      if mark = Mark.Clear && Node_id.Set.mem v established then max acc pos else acc)
+    0
+    (Antlist.entries t.antlist)
+
+(* Extent of the sender's established group beyond mine: farthest of the
+   sender's view members, at its position in the sender's list, that I do
+   not already hold (goodList forces the sender to echo me and my members
+   back; counting that echo would inflate the estimate). *)
+let foreign_view_extent t ~sender_view lst =
+  (* Marked entries count as known too: they only occur at levels 0-1 of my
+     list, i.e. they are physically adjacent, so a sender echoing them back
+     is not stretching the merge. *)
+  let known = Node_id.Set.add t.id (Antlist.ids t.antlist) in
+  let foreign_positions =
+    List.filter_map
+      (fun (v, pos, mark) ->
+        if
+          mark = Mark.Clear
+          && Node_id.Set.mem v sender_view
+          && not (Node_id.Set.mem v known)
+        then Some pos
+        else None)
+      (Antlist.entries lst)
+  in
+  match foreign_positions with
+  | [] -> None
+  | ps -> Some (List.fold_left max 0 ps)
+
+let compatible_list t ~sender_view lst =
+  let dmax = t.config.Config.dmax in
+  match foreign_view_extent t ~sender_view lst with
+  | None -> true (* nothing new: accepting cannot stretch the group *)
+  | Some q ->
+      let established = established_set t in
+      let p = established_extent t ~established in
+      if p + q + 1 <= dmax then true
+      else if not t.config.Config.compat_shortcut_enabled then false
+      else
+        (* Shortcut disjunct of Function compatibleList / Proposition 13:
+           the sender is adjacent to the whole level i of our list, so the
+           far side of our group reaches it in p-i+1+q hops and the near
+           side in i/2+q+1 hops; both must fit (see the .mli note). *)
+        let list1 = Antlist.level_ids lst 1 in
+        let rec scan i =
+          if i > p then false
+          else
+            let li =
+              Node_id.Set.filter
+                (fun v -> Node_id.Set.mem v established)
+                (clear_level_ids t.antlist i)
+            in
+            ((not (Node_id.Set.is_empty li))
+            && Node_id.Set.subset li list1
+            && p - i + 1 + q <= dmax
+            && (i / 2) + q + 1 <= dmax)
+            || scan (i + 1)
+        in
+        scan 1
+
+(* Lines 1-9 of compute(): strip link-local marks, then replace unusable
+   lists by a single-marked sender (goodList) and incompatible ones by a
+   double-marked sender (compatibleList). *)
+(* A sender is a group-mate when it is in our view (paper line 6) or when
+   its advertised view and ours share an established member beyond the two
+   of us — evidence that we already belong to the same group even while a
+   direct-link rejection is in force.  Group-mates bypass compatibleList
+   and joint admission; without the bypass a conservative direct rejection
+   can permanently desynchronize the views of two members of one group
+   (DESIGN.md Section 5). *)
+let same_group t sender (msg : Message.t) =
+  Node_id.Set.mem sender t.view
+  || not
+       (Node_id.Set.is_empty
+          (Node_id.Set.remove t.id
+             (Node_id.Set.remove sender (Node_id.Set.inter msg.view t.view))))
+
+let check_each_incoming t =
+  Node_id.Map.mapi
+    (fun sender msg ->
+      (* Admission tests run on the raw list: the sender's marked level-1
+         entries are its physical neighbors (in handshake or rejected), and
+         that adjacency evidence is what the shortcut subset test needs.
+         Marks are stripped only before the ant fold (line 2 of the
+         paper's compute), so they still never propagate. *)
+      let raw = msg.Message.antlist in
+      (* How does the sender acknowledge me?  Marked entries live in its
+         level 1; a Clear occurrence at any depth means it already computes
+         me as a group member over symmetric paths, which is as good an
+         acknowledgment as the level-1 handshake (DESIGN.md Section 5). *)
+      let my_mark =
+        match
+          List.find_map
+            (fun e ->
+              if Node_id.equal e.Antlist.id t.id then Some e.Antlist.mark else None)
+            (Antlist.level raw 1)
+        with
+        | Some m -> Some m
+        | None ->
+            if
+              List.exists
+                (fun (v, _, mark) -> Node_id.equal v t.id && mark = Mark.Clear)
+                (Antlist.entries raw)
+            then Some Mark.Clear
+            else None
+      in
+      let incompatible () =
+        (not (same_group t sender msg))
+        && not (compatible_list t ~sender_view:msg.Message.view raw)
+      in
+      match my_mark with
+      | None ->
+          (* The sender does not list me: asymmetric link, handshake step. *)
+          Antlist.singleton_marked sender Mark.Single
+      | Some Mark.Double ->
+          (* The sender rejected me.  If I reject it too, exactly one side
+             may keep the double mark, otherwise both alternate between
+             double and single forever (the (D,D) <-> (S,S) 2-cycle); the
+             lower id is the dominant rejector, the other defers to the
+             single mark of Proposition 3.  DESIGN.md Section 5. *)
+          if Node_id.compare t.id sender < 0 && incompatible () then
+            Antlist.singleton_marked sender Mark.Double
+          else Antlist.singleton_marked sender Mark.Single
+      | Some Mark.Clear | Some Mark.Single ->
+          if not (good_list t ~sender raw) then Antlist.singleton_marked sender Mark.Single
+          else if incompatible () then Antlist.singleton_marked sender Mark.Double
+          else Antlist.strip_marked ~keep:t.id raw)
+    t.msg_set
+
+(* Joint admission: compatibleList only relates each sender to the local
+   node, so a node between two groups can pass both tests and bridge them
+   into a union whose diameter violation is invisible to it (both sides are
+   within Dmax of the bridge).  Lists whose foreign parts are disjoint are
+   only jointly acceptable when their extents meet across the local node:
+   ext1 + ext2 + 2 <= Dmax.  Established senders (already in the view) are
+   never rejected here — they are the group compatibleList protects — and
+   among new senders the oldest group is kept (DESIGN.md Section 5). *)
+let cross_check t checked =
+  let my_ids = Node_id.Set.add t.id (Antlist.clear_ids t.antlist) in
+  (* The foreign group a sender brings: the clear members of its own view,
+     minus what we already hold — the established nodes the merge would pull
+     in.  Speculative list entries outside the sender's view are ignored
+     here; individual checks and the too-far contest police those. *)
+  let foreign_part sender =
+    match Node_id.Map.find_opt sender t.msg_set with
+    | None -> None
+    | Some msg ->
+        (* Reach: everything the sender's raw list vouches a usable
+           connection to — the overlap test joins two sides that meet
+           anywhere off-board, not only through me.  Single-marked entries
+           count (a handshake in progress is a live adjacency); double-
+           marked ones do not (a rejected edge carries no group path).
+           Extent: established (view, clear) members only, so speculative
+           tails do not block growth. *)
+        let foreign =
+          List.filter
+            (fun (v, _, mark) ->
+              mark <> Mark.Double && not (Node_id.Set.mem v my_ids))
+            (Antlist.entries msg.Message.antlist)
+        in
+        let reach = Node_id.Set.of_list (List.map (fun (v, _, _) -> v) foreign) in
+        let view_positions =
+          List.filter_map
+            (fun (v, pos, mark) ->
+              if mark = Mark.Clear && Node_id.Set.mem v msg.Message.view then Some pos
+              else None)
+            foreign
+        in
+        match view_positions with
+        | [] -> None
+        | ps -> Some (reach, List.fold_left max 0 ps)
+  in
+  (* Senders already rejected by the individual checks (their list was
+     replaced by a marked singleton) are not being admitted, so they
+     neither need joint clearance nor may veto anybody else. *)
+  let rejected lst sender =
+    match Antlist.entries lst with
+    | [ (v, 0, mark) ] -> Node_id.equal v sender && Mark.is_marked mark
+    | _ -> false
+  in
+  let mates sender =
+    match Node_id.Map.find_opt sender t.msg_set with
+    | Some msg -> same_group t sender msg
+    | None -> Node_id.Set.mem sender t.view
+  in
+  let in_view, fresh =
+    Node_id.Map.fold
+      (fun sender lst (in_view, fresh) ->
+        if rejected lst sender then (in_view, fresh)
+        else if mates sender then ((sender, lst) :: in_view, fresh)
+        else (in_view, (sender, lst) :: fresh))
+      checked ([], [])
+  in
+  let order_key sender =
+    match Node_id.Map.find_opt sender t.msg_set with
+    | Some msg -> (msg.Message.group_priority, sender)
+    | None -> (Priority.lowest, sender)
+  in
+  let fresh =
+    List.sort (fun (a, _) (b, _) -> compare (order_key a) (order_key b)) fresh
+  in
+  let dmax = t.config.Config.dmax in
+  let accepted = ref [] in
+  List.iter
+    (fun (sender, _) ->
+      match foreign_part sender with
+      | None -> ()
+      | Some fp -> accepted := fp :: !accepted)
+    in_view;
+  List.fold_left
+    (fun checked (sender, _) ->
+      match foreign_part sender with
+      | None -> checked
+      | Some (ids, ext) ->
+          let compatible_with (ids', ext') =
+            (not (Node_id.Set.disjoint ids ids')) || ext + ext' + 2 <= dmax
+          in
+          if List.for_all compatible_with !accepted then (
+            accepted := (ids, ext) :: !accepted;
+            checked)
+          else
+            Node_id.Map.add sender (Antlist.singleton_marked sender Mark.Double) checked)
+    checked fresh
+
+let check_incoming t =
+  let checked = check_each_incoming t in
+  if t.config.Config.joint_admission_enabled then cross_check t checked else checked
+
+let fold_ant t lists =
+  Node_id.Map.fold (fun _ lst acc -> Antlist.ant acc lst) lists (Antlist.singleton t.id)
+
+(* Priority contest against the too-far node w: the node priorities of the
+   two endpoints are compared.  The paper refines the cross-group case with
+   group priorities, but a group's priority is only well defined once the
+   groups have stabilized; during convergence the only estimate available
+   (the provider's group priority) degenerates to the local group's own
+   priority and the contest livelocks on symmetric topologies.  Endpoint
+   node priorities give the same totally ordered, eventually stable
+   resolution (the contested far endpoint is the group's oldest member in
+   the stable-merge scenarios of Proposition 11), so the loser is still the
+   latest-entered side, as Section 4.1 intends.  See DESIGN.md Section 5. *)
+let too_far_priority t ~w =
+  let pw =
+    match Node_id.Map.find_opt w t.prio_table with
+    | Some p -> p
+    | None -> Priority.lowest
+  in
+  (pw, t.own_priority)
+
+(* Lines 14-29: resolve the Dmax+2 overflow.  Providers of a winning too-far
+   node are double-marked and the list is recomputed without them; remaining
+   too-far nodes (which lost the contest) are truncated away. *)
+let resolve_too_far t checked candidate =
+  let dmax = t.config.Config.dmax in
+  if Antlist.clear_size candidate < dmax + 2 then (candidate, false, Node_id.Set.empty)
+  else begin
+    let too_far = clear_level_ids candidate (dmax + 1) in
+    let checked = ref checked in
+    let rejected = ref Node_id.Set.empty in
+    Node_id.Set.iter
+      (fun w ->
+        (* Only providers that advertise w as an established member of
+           their view may be cut: while w is still quarantined on the
+           provider's side, cutting would split the existing group because
+           of a newcomer — precisely what the quarantine exists to prevent
+           (Proposition 14, case iii).  Unestablished too-far nodes are
+           silently truncated; their conflict resolves at their own entry
+           point.  DESIGN.md Section 5. *)
+        let providers =
+          Node_id.Map.fold
+            (fun sender lst acc ->
+              let established =
+                match Node_id.Map.find_opt sender t.msg_set with
+                | Some msg -> Node_id.Set.mem w msg.Message.view
+                | None -> false
+              in
+              if established && Node_id.Set.mem w (clear_level_ids lst dmax) then
+                sender :: acc
+              else acc)
+            !checked []
+        in
+        if providers <> [] then begin
+          let pw, pv = too_far_priority t ~w in
+          if Priority.beats ~window:(dmax + 2) pw pv then
+            List.iter
+              (fun sender ->
+                checked :=
+                  Node_id.Map.add sender (Antlist.singleton_marked sender Mark.Double)
+                    !checked;
+                rejected := Node_id.Set.add sender !rejected)
+              providers
+        end)
+      too_far;
+    let lst = Antlist.truncate (fold_ant t !checked) (dmax + 1) in
+    (lst, true, !rejected)
+  end
+
+(* Line 30: a quarantine counts the computes since the entry became (and
+   stayed) an unmarked list member; marked entries stay armed at Dmax. *)
+let update_quarantine t lst =
+  let dmax = t.config.Config.dmax in
+  let q =
+    List.fold_left
+      (fun acc (v, _, mark) ->
+        let remaining =
+          if Node_id.equal v t.id then 0
+          else if not t.config.Config.quarantine_enabled then 0
+          else if Mark.is_marked mark then dmax
+          else
+            match Node_id.Map.find_opt v t.quarantine with
+            | None -> dmax
+            | Some k -> max 0 (k - 1)
+        in
+        Node_id.Map.add v remaining acc)
+      Node_id.Map.empty (Antlist.entries lst)
+  in
+  t.quarantine <- q
+
+(* Cascaded admission evidence (DESIGN.md Section 5).  A candidate clears
+   the gate when:
+   - it is a direct sender whose raw list holds me unmarked (the link is
+     confirmed symmetric and it computes me as a member), or
+   - a current view-mate advertises it in its own view (approval has
+     propagated from its entry edge).
+   Retention is presence-based as before: the gate applies to new
+   admissions only, so it cannot evict anybody. *)
+let admission_evidence t =
+  Node_id.Map.fold
+    (fun sender msg acc ->
+      let acc =
+        if
+          List.exists
+            (fun (v, _, mark) -> Node_id.equal v t.id && mark = Mark.Clear)
+            (Antlist.entries msg.Message.antlist)
+        then Node_id.Set.add sender acc
+        else acc
+      in
+      if Node_id.Set.mem sender t.view then Node_id.Set.union msg.Message.view acc
+      else acc)
+    t.msg_set Node_id.Set.empty
+
+let compute_view t lst ~evidence =
+  List.fold_left
+    (fun acc (v, _, mark) ->
+      let quarantined =
+        match Node_id.Map.find_opt v t.quarantine with Some 0 -> false | _ -> true
+      in
+      let admissible =
+        Node_id.equal v t.id
+        || Node_id.Set.mem v t.view
+        || (not t.config.Config.admission_gate_enabled)
+        || Node_id.Set.mem v evidence
+      in
+      if mark = Mark.Clear && (not quarantined) && admissible then Node_id.Set.add v acc
+      else acc)
+    Node_id.Set.empty (Antlist.entries lst)
+
+let update_priorities t lst ~clock =
+  (* Oldness accrues only while the node is truly alone: in a group (view
+     of two or more) or actively merging (unmarked list members beyond
+     itself) the clock holds.  If failed merge attempts kept aging a node,
+     every collapse would make it weaker, it would defer to everyone in
+     the next too-far contest and shatter its own links again — observed
+     as multi-thousand-round convergence tails on chains of groups
+     (DESIGN.md Section 5). *)
+  let in_group = Node_id.Set.cardinal t.view >= 2 in
+  let merging = Node_id.Set.cardinal (Antlist.clear_ids lst) >= 2 in
+  (match t.config.Config.priority_mode with
+  | Config.Oldness ->
+      if not (in_group || merging) then
+        t.own_priority <- Priority.bump (Priority.sync t.own_priority clock)
+  | Config.Lowest_id -> ());
+  let keep = Node_id.Set.add t.id (Antlist.ids lst) in
+  t.prio_table <-
+    Node_id.Map.filter (fun v _ -> Node_id.Set.mem v keep) t.prio_table;
+  t.prio_table <- Node_id.Map.add t.id t.own_priority t.prio_table
+
+let compute t =
+  let dmax = t.config.Config.dmax in
+  let clock = merge_priority_tables t in
+  let evidence = admission_evidence t in
+  let checked = check_incoming t in
+  let candidate = Antlist.truncate (fold_ant t checked) (dmax + 2) in
+  let final_list, too_far_conflict, rejected_senders = resolve_too_far t checked candidate in
+  let final_list = Antlist.truncate final_list (dmax + 1) in
+  update_quarantine t final_list;
+  let old_view = t.view in
+  let new_view = compute_view t final_list ~evidence in
+  t.antlist <- final_list;
+  t.view <- new_view;
+  update_priorities t final_list ~clock;
+  t.msg_set <- Node_id.Map.empty;
+  {
+    view_added = Node_id.Set.diff new_view old_view;
+    view_removed = Node_id.Set.diff old_view new_view;
+    too_far_conflict;
+    rejected_senders;
+  }
+
+let make_message t =
+  let priorities =
+    Node_id.Set.fold
+      (fun v acc ->
+        match Node_id.Map.find_opt v t.prio_table with
+        | None -> acc
+        | Some p -> Node_id.Map.add v p acc)
+      (Antlist.ids t.antlist) Node_id.Map.empty
+  in
+  Message.make ~sender:t.id ~antlist:t.antlist ~priorities
+    ~group_priority:(group_priority t) ~view:t.view
+
+let corrupt_list t lst = t.antlist <- lst
+let corrupt_view t v = t.view <- v
+
+let corrupt_quarantine t qs =
+  t.quarantine <- List.fold_left (fun acc (v, k) -> Node_id.Map.add v k acc) t.quarantine qs
+
+let corrupt_priority t p = t.own_priority <- p
+
+let corrupt_priority_table t ps =
+  t.prio_table <- List.fold_left (fun acc (v, p) -> Node_id.Map.add v p acc) t.prio_table ps
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>node %a: list=%a@ view=%a pr=%a@]" Node_id.pp t.id Antlist.pp
+    t.antlist Node_id.pp_set t.view Priority.pp t.own_priority

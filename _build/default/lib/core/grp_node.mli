@@ -1,0 +1,86 @@
+(** Per-node GRP protocol state machine (paper Section 4.3).
+
+    The node is driven from outside by the three events of Algorithm GRP:
+    message reception ({!receive}), the compute timer [Tc] ({!compute}) and
+    the send timer [Ts] ({!make_message} gives the payload to broadcast).
+    Timers themselves belong to the simulator/runtime layer.
+
+    The state a node exposes to applications is its {!view} — the agreed
+    composition of its group.  {!antlist} is the protocol-internal list of
+    ancestor sets, which also holds the link-local marks. *)
+
+type t
+
+type step_info = {
+  view_added : Node_id.Set.t;
+  view_removed : Node_id.Set.t;  (** non-empty only on evictions — the continuity metric *)
+  too_far_conflict : bool;  (** the Dmax+2 overflow branch fired *)
+  rejected_senders : Node_id.Set.t;  (** senders double-marked this step *)
+}
+
+val create : config:Config.t -> Node_id.t -> t
+(** Fresh node: list [(v)], view [{v}], priority oldness 0. *)
+
+val id : t -> Node_id.t
+val config : t -> Config.t
+
+val view : t -> Node_id.Set.t
+(** Current output of the protocol: unmarked list members with elapsed
+    quarantine; always contains the node itself. *)
+
+val antlist : t -> Antlist.t
+val own_priority : t -> Priority.t
+
+val group_priority : t -> Priority.t
+(** Minimum priority over the current view members (own priority when
+    alone). *)
+
+val quarantine_of : t -> Node_id.t -> int option
+(** Remaining quarantine timers of a list member. *)
+
+val quarantines : t -> int Node_id.Map.t
+(** The whole quarantine table (stability detection, tests). *)
+
+val known_priority : t -> Node_id.t -> Priority.t option
+
+val pending_senders : t -> Node_id.Set.t
+(** Senders currently buffered in [msgSet] (testing/inspection). *)
+
+val receive : t -> Message.t -> unit
+(** Store the message in [msgSet], overwriting any previous message of the
+    same sender (one-message channel). *)
+
+val compute : t -> step_info
+(** Procedure [compute()] of the paper: check incoming lists (goodList,
+    compatibleList), fold the [ant] operator, resolve too-far conflicts by
+    priority, update quarantines, the view and the priorities; finally reset
+    [msgSet]. *)
+
+val make_message : t -> Message.t
+
+(** {2 White-box admission tests} (exposed for unit tests) *)
+
+val good_list : t -> sender:Node_id.t -> Antlist.t -> bool
+(** The [goodList] test on an already-stripped list: the local node appears
+    unmarked or single-marked in [list.1], the sender heads the list, the
+    clear extent fits in [Dmax+1] and no level is empty. *)
+
+val compatible_list : t -> sender_view:Node_id.Set.t -> Antlist.t -> bool
+(** The [compatibleList] admission test against the node's current state,
+    with extents measured over established group members (the sender's
+    advertised view, and the receiver's view plus the views its senders
+    advertise).  Note (DESIGN.md Section 5): the shortcut disjunct requires
+    {e both} bounds [p-i+1+q <= Dmax] and [i/2+q+1 <= Dmax]; the paper's
+    "either ... or" would let a lone node join a diameter-[Dmax] group,
+    which its own proof of Proposition 13 excludes. *)
+
+(** {2 Fault injection} (self-stabilization tests start from arbitrary
+    states) *)
+
+val corrupt_list : t -> Antlist.t -> unit
+val corrupt_view : t -> Node_id.Set.t -> unit
+val corrupt_quarantine : t -> (Node_id.t * int) list -> unit
+val corrupt_priority : t -> Priority.t -> unit
+val corrupt_priority_table : t -> (Node_id.t * Priority.t) list -> unit
+
+val pp : Format.formatter -> t -> unit

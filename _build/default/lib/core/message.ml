@@ -1,0 +1,14 @@
+type t = {
+  sender : Node_id.t;
+  antlist : Antlist.t;
+  priorities : Priority.t Node_id.Map.t;
+  group_priority : Priority.t;
+  view : Node_id.Set.t;
+}
+
+let make ~sender ~antlist ~priorities ~group_priority ~view =
+  { sender; antlist; priorities; group_priority; view }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>msg from %a: %a (grp-pr %a)@]" Node_id.pp t.sender Antlist.pp
+    t.antlist Priority.pp t.group_priority

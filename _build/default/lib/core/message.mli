@@ -1,0 +1,27 @@
+(** Messages broadcast to the neighborhood on each [Ts] expiration.
+
+    Per the paper ("send(listv with priorities)"), a message carries the
+    sender's ancestor list, the node priorities of every node appearing in
+    it, and the sender's group priority (used when a too-far conflict is a
+    group-merging contest rather than an intra-group one). *)
+
+type t = {
+  sender : Node_id.t;
+  antlist : Antlist.t;
+  priorities : Priority.t Node_id.Map.t;
+  group_priority : Priority.t;
+  view : Node_id.Set.t;
+      (** the sender's current view — its established group.  The joint
+          admission pass sizes foreign groups by their view extent rather
+          than their speculative list extent (DESIGN.md Section 5). *)
+}
+
+val make :
+  sender:Node_id.t ->
+  antlist:Antlist.t ->
+  priorities:Priority.t Node_id.Map.t ->
+  group_priority:Priority.t ->
+  view:Node_id.Set.t ->
+  t
+
+val pp : Format.formatter -> t -> unit

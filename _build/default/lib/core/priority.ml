@@ -1,0 +1,19 @@
+type t = { oldness : int; id : Node_id.t }
+
+let make ~oldness ~id = { oldness; id }
+let initial id = { oldness = 0; id }
+
+let compare a b =
+  match Int.compare a.oldness b.oldness with 0 -> Node_id.compare a.id b.id | c -> c
+
+let equal a b = compare a b = 0
+let has_priority_over a b = compare a b < 0
+let min a b = if compare a b <= 0 then a else b
+let bump t = { t with oldness = t.oldness + 1 }
+let sync t clock = if clock > t.oldness then { t with oldness = clock } else t
+
+let beats ~window pw pv =
+  let diff = if pw.oldness >= pv.oldness then pw.oldness - pv.oldness else pv.oldness - pw.oldness in
+  if diff <= window then Node_id.compare pw.id pv.id < 0 else pw.oldness < pv.oldness
+let lowest = { oldness = max_int; id = max_int }
+let pp ppf t = Format.fprintf ppf "%d.%a" t.oldness Node_id.pp t.id

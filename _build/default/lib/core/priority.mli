@@ -1,0 +1,50 @@
+(** Totally ordered node priorities (paper Section 4.1).
+
+    A priority is the pair (oldness, id), compared lexicographically;
+    a {e smaller} value means a {e higher} priority.  The oldness counter
+    is a logical clock that increments while the node is not in a group of
+    at least two members and freezes once it is, so long-standing group
+    members outrank newcomers.  The node id breaks ties, making the order
+    total as the paper requires. *)
+
+type t = { oldness : int; id : Node_id.t }
+
+val make : oldness:int -> id:Node_id.t -> t
+
+val initial : Node_id.t -> t
+(** Priority of a fresh node: oldness 0. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val has_priority_over : t -> t -> bool
+(** [has_priority_over a b] iff [a] outranks [b] (strictly smaller). *)
+
+val min : t -> t -> t
+(** The higher-priority (smaller) of the two — used for group priority,
+    defined as the minimum over the members. *)
+
+val bump : t -> t
+(** Increment the oldness counter (node not in a group). *)
+
+val sync : t -> int -> t
+(** [sync t clock] advances the oldness to at least [clock] — the
+    Lamport-clock receive rule.  A solo (bumping) node keeps its clock in
+    step with the largest oldness it hears, so a freshly (re)started node
+    cannot masquerade as older than long-frozen group members. *)
+
+val beats : window:int -> t -> t -> bool
+(** [beats ~window pw pv]: does [pw] win a too-far contest against [pv]?
+    Oldness values that differ by at most [window] are treated as equal
+    (remote reports are up to [Dmax+2] computes stale, and solo nodes bump
+    once per compute, so smaller differences are propagation noise) and the
+    node id decides; larger differences are real — frozen group members
+    diverge from bumping outsiders — and the smaller (older) oldness wins.
+    Both endpoints of a contest evaluate consistently under this rule,
+    which a raw {!compare} does not guarantee under staleness. *)
+
+val lowest : t
+(** Sentinel that every real priority outranks; used when a priority is
+    unknown, so unknown nodes never win a conflict. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Dgs_util Format Hashtbl List

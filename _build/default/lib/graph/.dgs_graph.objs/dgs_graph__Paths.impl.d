@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Graph Hashtbl List Queue

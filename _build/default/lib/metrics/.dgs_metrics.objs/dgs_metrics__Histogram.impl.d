@@ -1,0 +1,1 @@
+lib/metrics/histogram.ml: Buffer Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/metrics/table.ml: Buffer Dgs_util List Printf String

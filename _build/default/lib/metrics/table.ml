@@ -1,0 +1,48 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: row width differs from header";
+  t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+let row_count t = List.length t.rows
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_int = string_of_int
+
+let cell_summary (s : Dgs_util.Stats.summary) =
+  Printf.sprintf "%.2f ± %.2f" s.Dgs_util.Stats.mean s.Dgs_util.Stats.stddev
+
+let widths t =
+  let all = t.columns :: List.rev t.rows in
+  List.fold_left
+    (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+    (List.map (fun _ -> 0) t.columns)
+    all
+
+let pad w s = s ^ String.make (w - String.length s) ' '
+
+let render t =
+  let ws = widths t in
+  let line row = String.concat "  " (List.map2 pad ws row) |> String.trim
+  and trimmed row = List.map2 pad ws row in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') ws) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (String.concat "  " (trimmed t.columns) ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_escape row) in
+  String.concat "\n" (line t.columns :: List.map line (List.rev t.rows)) ^ "\n"

@@ -1,0 +1,15 @@
+(** Time-stamped series (group counts over time, eviction events...). *)
+
+type t
+
+val create : name:string -> t
+val name : t -> string
+val record : t -> time:float -> float -> unit
+val record_int : t -> time:float -> int -> unit
+val length : t -> int
+val points : t -> (float * float) list
+(** In recording order. *)
+
+val last : t -> (float * float) option
+val values : t -> float list
+val to_csv : t -> string

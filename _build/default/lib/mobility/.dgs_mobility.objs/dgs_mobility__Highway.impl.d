@@ -1,0 +1,1 @@
+lib/mobility/highway.ml: Array Dgs_util Float

@@ -1,0 +1,1 @@
+lib/mobility/highway.mli: Dgs_util

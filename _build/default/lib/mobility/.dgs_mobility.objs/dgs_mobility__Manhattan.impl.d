@@ -1,0 +1,1 @@
+lib/mobility/manhattan.ml: Array Dgs_util List

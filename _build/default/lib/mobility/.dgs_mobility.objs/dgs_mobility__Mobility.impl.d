@@ -1,0 +1,1 @@
+lib/mobility/mobility.ml: Array Dgs_graph Dgs_util Highway Manhattan Walk Waypoint

@@ -1,0 +1,1 @@
+lib/mobility/mobility.mli: Dgs_graph Dgs_util

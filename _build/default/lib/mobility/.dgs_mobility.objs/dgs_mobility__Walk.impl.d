@@ -1,0 +1,1 @@
+lib/mobility/walk.ml: Array Dgs_util Float

@@ -1,0 +1,1 @@
+lib/mobility/walk.mli: Dgs_util

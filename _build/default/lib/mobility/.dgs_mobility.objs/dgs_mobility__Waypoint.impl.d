@@ -1,0 +1,1 @@
+lib/mobility/waypoint.ml: Array Dgs_util Float

@@ -1,0 +1,1 @@
+lib/mobility/waypoint.mli: Dgs_util

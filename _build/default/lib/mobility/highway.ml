@@ -1,0 +1,59 @@
+module Rng = Dgs_util.Rng
+module Geom = Dgs_util.Geom
+
+type t = {
+  rng : Rng.t;
+  length : float;
+  vmin : float;
+  vmax : float;
+  lanes : int array;  (** lane index per vehicle *)
+  lane_y : float array;  (** y coordinate per lane *)
+  direction : float array;  (** +1 / -1 per lane *)
+  speeds : float array;
+  xs : float array;
+  positions : Geom.point array;
+}
+
+let create rng ~n ~lanes ~lane_gap ~length ~vmin ~vmax ?(bidirectional = false) () =
+  if lanes < 1 then invalid_arg "Highway.create: need at least one lane";
+  if vmin < 0.0 || vmax < vmin then invalid_arg "Highway.create: need 0 <= vmin <= vmax";
+  let lane_y = Array.init lanes (fun l -> float_of_int l *. lane_gap) in
+  let direction =
+    Array.init lanes (fun l -> if bidirectional && l mod 2 = 1 then -1.0 else 1.0)
+  in
+  let t =
+    {
+      rng;
+      length;
+      vmin;
+      vmax;
+      lanes = Array.init n (fun i -> i mod lanes);
+      lane_y;
+      direction;
+      speeds = Array.init n (fun _ -> Rng.float_in rng vmin vmax);
+      xs = Array.init n (fun _ -> Rng.float rng length);
+      positions = Array.make n Geom.origin;
+    }
+  in
+  for i = 0 to n - 1 do
+    t.positions.(i) <- Geom.make t.xs.(i) t.lane_y.(t.lanes.(i))
+  done;
+  t
+
+let positions t = t.positions
+let lane_of t i = t.lanes.(i)
+
+let wrap t x =
+  let x = Float.rem x t.length in
+  if x < 0.0 then x +. t.length else x
+
+let step t ~dt =
+  for i = 0 to Array.length t.xs - 1 do
+    let lane = t.lanes.(i) in
+    let dx = t.speeds.(i) *. t.direction.(lane) *. dt in
+    t.xs.(i) <- wrap t (t.xs.(i) +. dx);
+    (* Occasional speed change: roughly once per 30 length-units driven. *)
+    if Rng.bernoulli t.rng (Float.min 1.0 (t.speeds.(i) *. dt /. 30.0)) then
+      t.speeds.(i) <- Rng.float_in t.rng t.vmin t.vmax;
+    t.positions.(i) <- Geom.make t.xs.(i) t.lane_y.(lane)
+  done

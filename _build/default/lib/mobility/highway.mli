@@ -1,0 +1,30 @@
+(** Multi-lane highway mobility — the VANET scenario that motivates the
+    paper.  Vehicles are distributed over parallel lanes of a straight
+    road segment; each keeps a (slowly varying) longitudinal speed, and the
+    segment wraps around (a ring road) so density stays constant.  Lanes
+    can run in opposite directions, producing the high relative speeds
+    that stress group continuity. *)
+
+type t
+
+val create :
+  Dgs_util.Rng.t ->
+  n:int ->
+  lanes:int ->
+  lane_gap:float ->
+  length:float ->
+  vmin:float ->
+  vmax:float ->
+  ?bidirectional:bool ->
+  unit ->
+  t
+(** Vehicles are assigned lanes round-robin and positions uniform along the
+    segment.  With [bidirectional] (default false), odd lanes drive
+    backwards.  Speeds are drawn uniformly in [\[vmin, vmax\]] and
+    re-drawn on average every 30 length-units of travel. *)
+
+val positions : t -> Dgs_util.Geom.point array
+val step : t -> dt:float -> unit
+
+val lane_of : t -> int -> int
+(** Lane index of a vehicle (examples use it for reporting). *)

@@ -1,0 +1,89 @@
+module Rng = Dgs_util.Rng
+module Geom = Dgs_util.Geom
+
+(* A node's itinerary is a pair of intersections: [from] -> [target];
+   progress is the distance already covered on that street. *)
+type node_state = {
+  mutable from_ix : int * int;
+  mutable target_ix : int * int;
+  mutable progress : float;
+}
+
+type t = {
+  rng : Rng.t;
+  nx : int;  (** intersections along x *)
+  ny : int;
+  block : float;
+  speed : float;
+  states : node_state array;
+  positions : Geom.point array;
+}
+
+let point_of t (ix, iy) = Geom.make (float_of_int ix *. t.block) (float_of_int iy *. t.block)
+
+let neighbors t (ix, iy) =
+  List.filter
+    (fun (x, y) -> x >= 0 && x < t.nx && y >= 0 && y < t.ny)
+    [ (ix - 1, iy); (ix + 1, iy); (ix, iy - 1); (ix, iy + 1) ]
+
+let pick_next t state =
+  let candidates =
+    match List.filter (fun c -> c <> state.from_ix) (neighbors t state.target_ix) with
+    | [] -> neighbors t state.target_ix (* dead end: allow the U-turn *)
+    | cs -> cs
+  in
+  let next = Rng.pick_list t.rng candidates in
+  state.from_ix <- state.target_ix;
+  state.target_ix <- next;
+  state.progress <- 0.0
+
+let create rng ~n ~blocks_x ~blocks_y ~block ~speed =
+  let nx = blocks_x + 1 and ny = blocks_y + 1 in
+  let t =
+    {
+      rng;
+      nx;
+      ny;
+      block;
+      speed;
+      states =
+        Array.init n (fun _ ->
+            { from_ix = (0, 0); target_ix = (0, 0); progress = 0.0 });
+      positions = Array.make n Geom.origin;
+    }
+  in
+  Array.iter
+    (fun s ->
+      let start = (Rng.int rng nx, Rng.int rng ny) in
+      s.from_ix <- start;
+      s.target_ix <- Rng.pick_list rng (neighbors t start);
+      s.progress <- 0.0)
+    t.states;
+  for i = 0 to n - 1 do
+    t.positions.(i) <- point_of t t.states.(i).from_ix
+  done;
+  t
+
+let positions t = t.positions
+
+let rec advance t i dt =
+  if dt > 0.0 then begin
+    let s = t.states.(i) in
+    let remaining = t.block -. s.progress in
+    let reach = t.speed *. dt in
+    if reach >= remaining then begin
+      let used = if t.speed > 0.0 then remaining /. t.speed else dt in
+      pick_next t s;
+      advance t i (dt -. used)
+    end
+    else s.progress <- s.progress +. reach
+  end
+
+let step t ~dt =
+  for i = 0 to Array.length t.states - 1 do
+    advance t i dt;
+    let s = t.states.(i) in
+    let a = point_of t s.from_ix and b = point_of t s.target_ix in
+    let frac = if t.block > 0.0 then s.progress /. t.block else 0.0 in
+    t.positions.(i) <- Geom.lerp a b frac
+  done

@@ -1,0 +1,19 @@
+(** Manhattan-grid mobility: nodes travel along the streets of a regular
+    city grid, choosing a direction uniformly at each intersection (no
+    immediate U-turns). *)
+
+type t
+
+val create :
+  Dgs_util.Rng.t ->
+  n:int ->
+  blocks_x:int ->
+  blocks_y:int ->
+  block:float ->
+  speed:float ->
+  t
+(** The street network spans [(blocks_x+1) × (blocks_y+1)] intersections
+    spaced [block] apart; nodes start at random intersections. *)
+
+val positions : t -> Dgs_util.Geom.point array
+val step : t -> dt:float -> unit

@@ -1,0 +1,66 @@
+module Geom = Dgs_util.Geom
+module Rng = Dgs_util.Rng
+
+type spec =
+  | Static of Geom.point array
+  | Waypoint of {
+      xmax : float;
+      ymax : float;
+      vmin : float;
+      vmax : float;
+      pause : float;
+    }
+  | Walk of { xmax : float; ymax : float; speed : float; turn_sigma : float }
+  | Highway of {
+      lanes : int;
+      lane_gap : float;
+      length : float;
+      vmin : float;
+      vmax : float;
+      bidirectional : bool;
+    }
+  | Manhattan of { blocks_x : int; blocks_y : int; block : float; speed : float }
+
+type t =
+  | T_static of Geom.point array
+  | T_waypoint of Waypoint.t
+  | T_walk of Walk.t
+  | T_highway of Highway.t
+  | T_manhattan of Manhattan.t
+
+let create rng ~n = function
+  | Static p ->
+      if Array.length p <> n then invalid_arg "Mobility.create: Static size mismatch";
+      T_static p
+  | Waypoint { xmax; ymax; vmin; vmax; pause } ->
+      T_waypoint (Waypoint.create rng ~n ~xmax ~ymax ~vmin ~vmax ~pause)
+  | Walk { xmax; ymax; speed; turn_sigma } ->
+      T_walk (Walk.create rng ~n ~xmax ~ymax ~speed ~turn_sigma)
+  | Highway { lanes; lane_gap; length; vmin; vmax; bidirectional } ->
+      T_highway (Highway.create rng ~n ~lanes ~lane_gap ~length ~vmin ~vmax ~bidirectional ())
+  | Manhattan { blocks_x; blocks_y; block; speed } ->
+      T_manhattan (Manhattan.create rng ~n ~blocks_x ~blocks_y ~block ~speed)
+
+let positions = function
+  | T_static p -> p
+  | T_waypoint m -> Waypoint.positions m
+  | T_walk m -> Walk.positions m
+  | T_highway m -> Highway.positions m
+  | T_manhattan m -> Manhattan.positions m
+
+let step t ~dt =
+  match t with
+  | T_static _ -> ()
+  | T_waypoint m -> Waypoint.step m ~dt
+  | T_walk m -> Walk.step m ~dt
+  | T_highway m -> Highway.step m ~dt
+  | T_manhattan m -> Manhattan.step m ~dt
+
+let graph t ~range = Dgs_graph.Gen.of_positions (positions t) ~range
+
+let spec_name = function
+  | Static _ -> "static"
+  | Waypoint _ -> "waypoint"
+  | Walk _ -> "walk"
+  | Highway _ -> "highway"
+  | Manhattan _ -> "manhattan"

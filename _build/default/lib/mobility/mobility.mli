@@ -1,0 +1,37 @@
+(** Unified front-end over the mobility models.
+
+    A value of type {!t} animates [n] node positions; {!graph} derives the
+    unit-disk topology the simulator feeds to the protocol. *)
+
+type spec =
+  | Static of Dgs_util.Geom.point array
+  | Waypoint of {
+      xmax : float;
+      ymax : float;
+      vmin : float;
+      vmax : float;
+      pause : float;
+    }
+  | Walk of { xmax : float; ymax : float; speed : float; turn_sigma : float }
+  | Highway of {
+      lanes : int;
+      lane_gap : float;
+      length : float;
+      vmin : float;
+      vmax : float;
+      bidirectional : bool;
+    }
+  | Manhattan of { blocks_x : int; blocks_y : int; block : float; speed : float }
+
+type t
+
+val create : Dgs_util.Rng.t -> n:int -> spec -> t
+(** For [Static p], [n] must equal [Array.length p]. *)
+
+val positions : t -> Dgs_util.Geom.point array
+val step : t -> dt:float -> unit
+
+val graph : t -> range:float -> Dgs_graph.Graph.t
+(** Unit-disk graph over the current positions. *)
+
+val spec_name : spec -> string

@@ -1,0 +1,46 @@
+module Rng = Dgs_util.Rng
+module Geom = Dgs_util.Geom
+
+type t = {
+  rng : Rng.t;
+  xmax : float;
+  ymax : float;
+  speed : float;
+  turn_sigma : float;
+  positions : Geom.point array;
+  headings : float array;
+}
+
+let create rng ~n ~xmax ~ymax ~speed ~turn_sigma =
+  {
+    rng;
+    xmax;
+    ymax;
+    speed;
+    turn_sigma;
+    positions =
+      Array.init n (fun _ -> Geom.make (Rng.float rng xmax) (Rng.float rng ymax));
+    headings = Array.init n (fun _ -> Rng.float rng (2.0 *. Float.pi));
+  }
+
+let positions t = t.positions
+
+let step t ~dt =
+  for i = 0 to Array.length t.positions - 1 do
+    t.headings.(i) <-
+      t.headings.(i) +. Rng.gaussian t.rng ~mu:0.0 ~sigma:t.turn_sigma;
+    let d = t.speed *. dt in
+    let p = t.positions.(i) in
+    let x = p.Geom.x +. (d *. cos t.headings.(i)) in
+    let y = p.Geom.y +. (d *. sin t.headings.(i)) in
+    (* Reflect off the borders, flipping the heading component. *)
+    let x, flip_x =
+      if x < 0.0 then (-.x, true) else if x > t.xmax then ((2.0 *. t.xmax) -. x, true) else (x, false)
+    in
+    let y, flip_y =
+      if y < 0.0 then (-.y, true) else if y > t.ymax then ((2.0 *. t.ymax) -. y, true) else (y, false)
+    in
+    if flip_x then t.headings.(i) <- Float.pi -. t.headings.(i);
+    if flip_y then t.headings.(i) <- -.t.headings.(i);
+    t.positions.(i) <- Geom.clamp_box (Geom.make x y) ~xmax:t.xmax ~ymax:t.ymax
+  done

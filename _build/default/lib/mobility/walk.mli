@@ -1,0 +1,18 @@
+(** Random-walk (random direction) mobility: each node keeps a heading,
+    perturbs it with Gaussian noise, and reflects off the box borders. *)
+
+type t
+
+val create :
+  Dgs_util.Rng.t ->
+  n:int ->
+  xmax:float ->
+  ymax:float ->
+  speed:float ->
+  turn_sigma:float ->
+  t
+(** [turn_sigma] is the standard deviation (radians) of the per-step
+    heading perturbation. *)
+
+val positions : t -> Dgs_util.Geom.point array
+val step : t -> dt:float -> unit

@@ -1,0 +1,75 @@
+module Rng = Dgs_util.Rng
+module Geom = Dgs_util.Geom
+
+type node_state = {
+  mutable target : Geom.point;
+  mutable speed : float;
+  mutable pause_left : float;
+}
+
+type t = {
+  rng : Rng.t;
+  xmax : float;
+  ymax : float;
+  vmin : float;
+  vmax : float;
+  pause : float;
+  positions : Geom.point array;
+  states : node_state array;
+}
+
+let random_point t = Geom.make (Rng.float t.rng t.xmax) (Rng.float t.rng t.ymax)
+
+let create rng ~n ~xmax ~ymax ~vmin ~vmax ~pause =
+  if vmin <= 0.0 || vmax < vmin then invalid_arg "Waypoint.create: need 0 < vmin <= vmax";
+  let t =
+    {
+      rng;
+      xmax;
+      ymax;
+      vmin;
+      vmax;
+      pause;
+      positions = Array.init n (fun _ -> Geom.origin);
+      states = Array.init n (fun _ -> { target = Geom.origin; speed = vmin; pause_left = 0.0 });
+    }
+  in
+  for i = 0 to n - 1 do
+    t.positions.(i) <- random_point t;
+    t.states.(i) <-
+      { target = random_point t; speed = Rng.float_in rng vmin vmax; pause_left = 0.0 }
+  done;
+  t
+
+let positions t = t.positions
+
+let rec advance t i dt =
+  if dt > 0.0 then begin
+    let s = t.states.(i) in
+    if s.pause_left > 0.0 then begin
+      let used = Float.min dt s.pause_left in
+      s.pause_left <- s.pause_left -. used;
+      advance t i (dt -. used)
+    end
+    else begin
+      let pos = t.positions.(i) in
+      let to_target = Geom.dist pos s.target in
+      let reachable = s.speed *. dt in
+      if reachable >= to_target then begin
+        t.positions.(i) <- s.target;
+        let travel_time = if s.speed > 0.0 then to_target /. s.speed else 0.0 in
+        s.pause_left <- t.pause;
+        s.target <- random_point t;
+        s.speed <- Rng.float_in t.rng t.vmin t.vmax;
+        advance t i (dt -. travel_time)
+      end
+      else
+        let dir = Geom.normalize (Geom.sub s.target pos) in
+        t.positions.(i) <- Geom.add pos (Geom.scale reachable dir)
+    end
+  end
+
+let step t ~dt =
+  for i = 0 to Array.length t.positions - 1 do
+    advance t i dt
+  done

@@ -1,0 +1,23 @@
+(** Random-waypoint mobility: each node picks a uniform destination in the
+    box, travels to it at a uniform speed, pauses, and repeats — the
+    standard MANET evaluation model. *)
+
+type t
+
+val create :
+  Dgs_util.Rng.t ->
+  n:int ->
+  xmax:float ->
+  ymax:float ->
+  vmin:float ->
+  vmax:float ->
+  pause:float ->
+  t
+(** Initial positions uniform in the box.  Speeds are per time unit; [vmin]
+    must be positive (the classical vmin=0 model never reaches a stationary
+    regime). *)
+
+val positions : t -> Dgs_util.Geom.point array
+(** The live array (do not mutate). *)
+
+val step : t -> dt:float -> unit

@@ -1,0 +1,1 @@
+lib/ralgebra/instances.ml: Dgs_graph Format Hashtbl Int List Roperator

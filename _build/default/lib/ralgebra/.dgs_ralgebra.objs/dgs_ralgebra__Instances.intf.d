@@ -1,0 +1,1 @@
+lib/ralgebra/instances.mli: Dgs_graph Roperator

@@ -1,0 +1,1 @@
+lib/ralgebra/roperator.ml: Dgs_graph Format Hashtbl List

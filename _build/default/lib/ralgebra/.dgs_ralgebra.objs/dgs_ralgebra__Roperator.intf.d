@@ -1,0 +1,1 @@
+lib/ralgebra/roperator.mli: Dgs_graph Format

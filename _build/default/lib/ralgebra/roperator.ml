@@ -1,0 +1,66 @@
+module type S = sig
+  type t
+
+  val equal : t -> t -> bool
+  val combine : t -> t -> t
+  val transform : t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Laws (R : S) = struct
+  let associative a b c =
+    R.equal (R.combine a (R.combine b c)) (R.combine (R.combine a b) c)
+
+  let commutative a b = R.equal (R.combine a b) (R.combine b a)
+  let idempotent a = R.equal (R.combine a a) a
+
+  let endomorphism a b =
+    R.equal (R.transform (R.combine a b)) (R.combine (R.transform a) (R.transform b))
+
+  let leq x y = R.equal (R.combine x y) x
+  let r_inflationary x = leq x (R.transform x) && not (R.equal x (R.transform x))
+end
+
+module Make (R : S) = struct
+  module Graph = Dgs_graph.Graph
+
+  type t = {
+    graph : Graph.t;
+    own : int -> R.t;
+    registers : (int, R.t) Hashtbl.t;
+  }
+
+  let create_with ~own ~init graph =
+    let registers = Hashtbl.create 64 in
+    List.iter (fun v -> Hashtbl.replace registers v (init v)) (Graph.nodes graph);
+    { graph; own; registers }
+
+  let create ~own graph = create_with ~own ~init:own graph
+  let value t v = Hashtbl.find t.registers v
+
+  let step t =
+    let next =
+      List.map
+        (fun v ->
+          let acc =
+            Graph.Int_set.fold
+              (fun u acc -> R.combine acc (R.transform (Hashtbl.find t.registers u)))
+              (Graph.neighbors t.graph v) (t.own v)
+          in
+          (v, acc))
+        (Graph.nodes t.graph)
+    in
+    let changed = ref false in
+    List.iter
+      (fun (v, x) ->
+        if not (R.equal x (Hashtbl.find t.registers v)) then begin
+          changed := true;
+          Hashtbl.replace t.registers v x
+        end)
+      next;
+    !changed
+
+  let run_to_fixpoint ?(max_steps = 10_000) t =
+    let rec go n = if n > max_steps then None else if step t then go (n + 1) else Some n in
+    go 0
+end

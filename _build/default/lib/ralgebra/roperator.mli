@@ -1,0 +1,74 @@
+(** r-operators: the algebraic framework behind GRP's [ant] computation.
+
+    The paper builds its ancestor lists on the theory of r-operators
+    (Ducourthial & Tixeuil, "Self-stabilization with path algebra", TCS
+    2003 — references [7], [12], [13]): an idempotent abelian semigroup
+    [(S, ⊕)] together with an endomorphism [r] defines the operator
+
+    {[ op(x, y) = x ⊕ r(y) ]}
+
+    A node repeatedly recomputes its value as
+    [op(own, v1) ⊕ r(v2) ⊕ ... = own ⊕ r(v1) ⊕ r(v2) ⊕ ...] over its
+    neighbors' values.  When [⊕] is idempotent and [r] is {e strictly
+    inflationary} w.r.t. the order [x ≤ y ⟺ x ⊕ y = x] induced by [⊕]
+    (the {e strict idempotency} of the paper), the iteration is a
+    self-stabilizing silent task: from arbitrary initial values it
+    converges to the unique fixpoint determined by the nodes' own
+    constants, and stale information is flushed in time proportional to
+    the graph diameter.
+
+    This module gives the signature, law checkers used by the
+    property-based tests, and the generic synchronous-register-model
+    iteration {!module:Make}.  {!module:Instances} provides the classical
+    examples; GRP's [ant] is the same construction over lists of node
+    sets (see [Dgs_core.Antlist]). *)
+
+module type S = sig
+  type t
+
+  val equal : t -> t -> bool
+  val combine : t -> t -> t
+  (** The [⊕] of the semigroup: associative, commutative, idempotent. *)
+
+  val transform : t -> t
+  (** The endomorphism [r]: [r (x ⊕ y) = r x ⊕ r y]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Law checkers (each returns [true] when the law holds on the sample). *)
+module Laws (R : S) : sig
+  val associative : R.t -> R.t -> R.t -> bool
+  val commutative : R.t -> R.t -> bool
+  val idempotent : R.t -> bool
+  val endomorphism : R.t -> R.t -> bool
+
+  val leq : R.t -> R.t -> bool
+  (** The induced order: [x ≤ y ⟺ x ⊕ y = x]. *)
+
+  val r_inflationary : R.t -> bool
+  (** [x < r x] in the induced order — the strict idempotency that makes
+      the task self-stabilizing. *)
+end
+
+(** Generic fixpoint computation on a graph, synchronous register model:
+    on every step each node reads its neighbors' registers and writes
+    [own ⊕ r(v1) ⊕ ... ⊕ r(vk)]. *)
+module Make (R : S) : sig
+  type t
+
+  val create : own:(int -> R.t) -> Dgs_graph.Graph.t -> t
+  (** [own v] is node [v]'s constant input (its register also starts
+      there). *)
+
+  val create_with : own:(int -> R.t) -> init:(int -> R.t) -> Dgs_graph.Graph.t -> t
+  (** Like {!create} but with arbitrary (possibly corrupted) initial
+      register contents — the self-stabilization setting. *)
+
+  val value : t -> int -> R.t
+  val step : t -> bool
+  (** One synchronous step; [true] when at least one register changed. *)
+
+  val run_to_fixpoint : ?max_steps:int -> t -> int option
+  (** Steps until silent; [None] if [max_steps] (default 10 000) is hit. *)
+end

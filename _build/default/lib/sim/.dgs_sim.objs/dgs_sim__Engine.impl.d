@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Dgs_util Float Hashtbl Int

@@ -1,0 +1,1 @@
+lib/sim/medium.ml: Dgs_util Engine List

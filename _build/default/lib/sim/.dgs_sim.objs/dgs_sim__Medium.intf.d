@@ -1,0 +1,1 @@
+lib/sim/medium.mli: Dgs_util Engine

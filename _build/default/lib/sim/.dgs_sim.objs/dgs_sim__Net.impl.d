@@ -1,0 +1,1 @@
+lib/sim/net.ml: Antlist Buffer Config Dgs_core Dgs_graph Dgs_util Engine Format Grp_node Hashtbl List Medium Message Node_id Printf Wire

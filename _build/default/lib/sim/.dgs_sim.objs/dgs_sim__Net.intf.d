@@ -1,0 +1,1 @@
+lib/sim/net.mli: Dgs_core Dgs_graph Dgs_util Engine Medium

@@ -1,0 +1,1 @@
+lib/sim/rounds.ml: Config Dgs_core Dgs_graph Dgs_util Grp_node Hashtbl List Node_id Wire

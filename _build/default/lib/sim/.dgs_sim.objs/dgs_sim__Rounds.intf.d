@@ -1,0 +1,1 @@
+lib/sim/rounds.mli: Dgs_core Dgs_graph Dgs_util

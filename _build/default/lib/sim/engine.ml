@@ -1,0 +1,67 @@
+module Pqueue = Dgs_util.Pqueue
+
+type event_id = int
+
+type t = {
+  agenda : (float * int, event_id * (unit -> unit)) Pqueue.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable next_id : event_id;
+}
+
+let cmp (t1, s1) (t2, s2) =
+  match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+
+let create ?(start = 0.0) () =
+  {
+    agenda = Pqueue.create ~cmp;
+    cancelled = Hashtbl.create 16;
+    clock = start;
+    next_seq = 0;
+    next_id = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Pqueue.add t.agenda (time, t.next_seq) (id, f);
+  t.next_seq <- t.next_seq + 1;
+  id
+
+let schedule_after t delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t (t.clock +. delay) f
+
+let cancel t id = Hashtbl.replace t.cancelled id ()
+let pending t = Pqueue.length t.agenda
+
+let rec step t =
+  match Pqueue.pop t.agenda with
+  | None -> false
+  | Some ((time, _), (id, f)) ->
+      if Hashtbl.mem t.cancelled id then (
+        Hashtbl.remove t.cancelled id;
+        step t)
+      else (
+        t.clock <- time;
+        f ();
+        true)
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Pqueue.peek t.agenda with
+    | Some ((time, _), _) when time <= horizon -> ignore (step t)
+    | _ -> continue := false
+  done;
+  if horizon > t.clock then t.clock <- horizon
+
+let run_all t ~max_events =
+  let n = ref 0 in
+  while !n < max_events && step t do
+    incr n
+  done

@@ -1,0 +1,36 @@
+(** Discrete-event simulation engine.
+
+    A single agenda of timestamped callbacks; ties are broken by insertion
+    order, which keeps runs deterministic for a fixed seed.  Time is a
+    [float] in arbitrary "seconds". *)
+
+type t
+
+type event_id
+(** Handle for cancellation. *)
+
+val create : ?start:float -> unit -> t
+
+val now : t -> float
+(** Current simulation time. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> event_id
+(** Raises [Invalid_argument] when scheduling in the past. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> event_id
+
+val cancel : t -> event_id -> unit
+(** Idempotent; cancelled events are skipped when popped. *)
+
+val pending : t -> int
+(** Events still queued (including cancelled ones not yet skipped). *)
+
+val step : t -> bool
+(** Execute the next event; [false] when the agenda is empty. *)
+
+val run_until : t -> float -> unit
+(** Execute every event with timestamp ≤ the horizon, then advance the
+    clock to the horizon. *)
+
+val run_all : t -> max_events:int -> unit
+(** Drain the agenda, stopping after [max_events] as a runaway guard. *)

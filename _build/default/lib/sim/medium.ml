@@ -1,0 +1,60 @@
+module Rng = Dgs_util.Rng
+
+type stats = { broadcasts : int; deliveries : int; losses : int }
+
+type 'msg t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  mutable loss : float;
+  delay_min : float;
+  delay_max : float;
+  audience : int -> int list;
+  deliver : dst:int -> 'msg -> unit;
+  mutable broadcasts : int;
+  mutable deliveries : int;
+  mutable losses : int;
+}
+
+let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01) ~audience
+    ~deliver () =
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Medium.create: loss out of [0,1]";
+  if delay_min < 0.0 || delay_max < delay_min then
+    invalid_arg "Medium.create: bad delay bounds";
+  {
+    engine;
+    rng;
+    loss;
+    delay_min;
+    delay_max;
+    audience;
+    deliver;
+    broadcasts = 0;
+    deliveries = 0;
+    losses = 0;
+  }
+
+let broadcast t ~src msg =
+  t.broadcasts <- t.broadcasts + 1;
+  List.iter
+    (fun dst ->
+      if dst <> src then
+        if Rng.bernoulli t.rng t.loss then t.losses <- t.losses + 1
+        else begin
+          let delay = Rng.float_in t.rng t.delay_min t.delay_max in
+          ignore
+            (Engine.schedule_after t.engine delay (fun () ->
+                 t.deliveries <- t.deliveries + 1;
+                 t.deliver ~dst msg))
+        end)
+    (t.audience src)
+
+let set_loss t loss =
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Medium.set_loss: loss out of [0,1]";
+  t.loss <- loss
+
+let stats t = { broadcasts = t.broadcasts; deliveries = t.deliveries; losses = t.losses }
+
+let reset_stats t =
+  t.broadcasts <- 0;
+  t.deliveries <- 0;
+  t.losses <- 0

@@ -1,0 +1,37 @@
+(** Lossy broadcast radio medium.
+
+    A broadcast by [src] is delivered to every node currently in [src]'s
+    vicinity, independently subject to Bernoulli loss and a uniform delivery
+    delay — a simple abstraction of the paper's unreliable one-hop wireless
+    channel (its fair-channel hypothesis corresponds to loss < 1 and
+    periodic retransmission by the sender).
+
+    The vicinity is queried through a callback at send time, so mobility is
+    reflected instantaneously.  Directed (asymmetric) links are supported:
+    the callback returns the set of nodes able to hear [src]. *)
+
+type 'msg t
+
+type stats = {
+  broadcasts : int;  (** send operations *)
+  deliveries : int;  (** per-receiver successful deliveries *)
+  losses : int;  (** per-receiver losses *)
+}
+
+val create :
+  engine:Engine.t ->
+  rng:Dgs_util.Rng.t ->
+  ?loss:float ->
+  ?delay_min:float ->
+  ?delay_max:float ->
+  audience:(int -> int list) ->
+  deliver:(dst:int -> 'msg -> unit) ->
+  unit ->
+  'msg t
+(** [audience src] lists the nodes in whose vicinity [src] currently is;
+    [deliver] is invoked at the scheduled delivery time. *)
+
+val broadcast : 'msg t -> src:int -> 'msg -> unit
+val set_loss : 'msg t -> float -> unit
+val stats : 'msg t -> stats
+val reset_stats : 'msg t -> unit

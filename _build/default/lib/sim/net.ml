@@ -1,0 +1,170 @@
+module Graph = Dgs_graph.Graph
+module Rng = Dgs_util.Rng
+open Dgs_core
+
+type stats = {
+  computes : int;
+  view_additions : int;
+  view_removals : int;
+  too_far_conflicts : int;
+  medium : Medium.stats;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  config : Config.t;
+  tau_c : float;
+  tau_s : float;
+  topology : unit -> Graph.t;
+  nodes : (Node_id.t, Grp_node.t) Hashtbl.t;
+  active : (Node_id.t, unit) Hashtbl.t;
+  mutable medium : Message.t Medium.t option;
+  mutable computes : int;
+  mutable view_additions : int;
+  mutable view_removals : int;
+  mutable too_far_conflicts : int;
+  mutable observer :
+    (time:float -> Grp_node.t -> Grp_node.step_info -> unit) option;
+}
+
+let engine t = t.engine
+let node t v = Hashtbl.find t.nodes v
+let node_ids t = Hashtbl.fold (fun v _ acc -> v :: acc) t.nodes [] |> List.sort compare
+let is_active t v = Hashtbl.mem t.active v
+
+let views t =
+  List.fold_left
+    (fun acc v ->
+      if is_active t v then Node_id.Map.add v (Grp_node.view (node t v)) acc else acc)
+    Node_id.Map.empty (node_ids t)
+
+let medium t = match t.medium with Some m -> m | None -> assert false
+
+let rec schedule_compute t v delay =
+  ignore
+    (Engine.schedule_after t.engine delay (fun () ->
+         if Hashtbl.mem t.nodes v then begin
+           if is_active t v then begin
+             let n = node t v in
+             let info = Grp_node.compute n in
+             t.computes <- t.computes + 1;
+             t.view_additions <-
+               t.view_additions + Node_id.Set.cardinal info.Grp_node.view_added;
+             t.view_removals <-
+               t.view_removals + Node_id.Set.cardinal info.Grp_node.view_removed;
+             if info.Grp_node.too_far_conflict then
+               t.too_far_conflicts <- t.too_far_conflicts + 1;
+             match t.observer with
+             | Some f -> f ~time:(Engine.now t.engine) n info
+             | None -> ()
+           end;
+           schedule_compute t v t.tau_c
+         end))
+
+let rec schedule_send t v delay =
+  ignore
+    (Engine.schedule_after t.engine delay (fun () ->
+         if Hashtbl.mem t.nodes v then begin
+           if is_active t v then
+             Medium.broadcast (medium t) ~src:v (Grp_node.make_message (node t v));
+           schedule_send t v t.tau_s
+         end))
+
+let install_node t v =
+  Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config v);
+  Hashtbl.replace t.active v ();
+  schedule_compute t v (Rng.float t.rng t.tau_c);
+  schedule_send t v (Rng.float t.rng t.tau_s)
+
+let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
+    ?(corruption = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01) ~topology ~nodes () =
+  if tau_s > tau_c then invalid_arg "Net.create: tau_s must be <= tau_c";
+  if corruption < 0.0 || corruption > 1.0 then
+    invalid_arg "Net.create: corruption out of [0,1]";
+  let t =
+    {
+      engine;
+      rng;
+      config;
+      tau_c;
+      tau_s;
+      topology;
+      nodes = Hashtbl.create 64;
+      active = Hashtbl.create 64;
+      medium = None;
+      computes = 0;
+      view_additions = 0;
+      view_removals = 0;
+      too_far_conflicts = 0;
+      observer = None;
+    }
+  in
+  let audience src = Graph.Int_set.elements (Graph.neighbors (topology ()) src) in
+  let corrupt_rng = Rng.split rng in
+  let deliver ~dst msg =
+    if is_active t dst then
+      match Hashtbl.find_opt t.nodes dst with
+      | Some n ->
+          (* With frame corruption enabled, every delivery goes through the
+             wire format; a frame mutated out of the grammar is dropped
+             (equivalent to loss), one mutated into validity reaches the
+             protocol and is handled by its own checks. *)
+          if corruption > 0.0 && Rng.bernoulli corrupt_rng corruption then begin
+            match Wire.of_string (Wire.corrupt corrupt_rng (Wire.to_string msg)) with
+            | Some msg' -> Grp_node.receive n msg'
+            | None -> ()
+          end
+          else Grp_node.receive n msg
+      | None -> ()
+  in
+  t.medium <-
+    Some
+      (Medium.create ~engine ~rng:(Rng.split rng) ~loss ~delay_min ~delay_max ~audience
+         ~deliver ());
+  List.iter (install_node t) nodes;
+  t
+
+let run_until t horizon = Engine.run_until t.engine horizon
+let deactivate t v = Hashtbl.remove t.active v
+let activate t v = if Hashtbl.mem t.nodes v then Hashtbl.replace t.active v ()
+
+let reset_node t v =
+  if Hashtbl.mem t.nodes v then
+    Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config v)
+
+let add_node t v = if not (Hashtbl.mem t.nodes v) then install_node t v
+let set_loss t loss = Medium.set_loss (medium t) loss
+let on_step t f = t.observer <- Some f
+
+let stats t =
+  {
+    computes = t.computes;
+    view_additions = t.view_additions;
+    view_removals = t.view_removals;
+    too_far_conflicts = t.too_far_conflicts;
+    medium = Medium.stats (medium t);
+  }
+
+let reset_stats t =
+  t.computes <- 0;
+  t.view_additions <- 0;
+  t.view_removals <- 0;
+  t.too_far_conflicts <- 0;
+  Medium.reset_stats (medium t)
+
+let state_signature t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun v ->
+      if is_active t v then begin
+        let n = node t v in
+        Buffer.add_string buf (Antlist.to_string (Grp_node.antlist n));
+        Buffer.add_string buf (Format.asprintf "%a" Node_id.pp_set (Grp_node.view n));
+        Node_id.Map.iter
+          (fun u k -> Buffer.add_string buf (Printf.sprintf "%d:%d;" u k))
+          (Grp_node.quarantines n);
+        Buffer.add_char buf '|'
+      end)
+    (node_ids t);
+  Buffer.contents buf

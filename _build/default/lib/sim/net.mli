@@ -1,0 +1,81 @@
+(** Event-driven GRP network runtime.
+
+    Instantiates one {!Dgs_core.Grp_node.t} per node and drives the
+    Algorithm GRP event loop on a discrete-event {!Engine}: a compute timer
+    [Tc] of period [tau_c] and a send timer [Ts] of period [tau_s ≤ tau_c]
+    per node, with random initial phases, over a lossy broadcast
+    {!Medium}.  The topology is queried through a callback so mobility is
+    reflected immediately; node churn (deactivation, reset, reactivation)
+    models the appearing/disappearing nodes of the paper's dynamic
+    system. *)
+
+type t
+
+type stats = {
+  computes : int;
+  view_additions : int;
+  view_removals : int;  (** evictions — the continuity metric *)
+  too_far_conflicts : int;
+  medium : Medium.stats;
+}
+
+val create :
+  engine:Engine.t ->
+  rng:Dgs_util.Rng.t ->
+  config:Dgs_core.Config.t ->
+  ?tau_c:float ->
+  ?tau_s:float ->
+  ?loss:float ->
+  ?corruption:float ->
+  ?delay_min:float ->
+  ?delay_max:float ->
+  topology:(unit -> Dgs_graph.Graph.t) ->
+  nodes:Dgs_core.Node_id.t list ->
+  unit ->
+  t
+(** Defaults: [tau_c = 1.0], [tau_s = 0.4], no loss, no frame corruption,
+    delays in [\[0.001, 0.01\]].  Timers start with a uniform phase in
+    their period.  [corruption] is the probability that a delivered frame
+    passes through {!Dgs_core.Wire} with one byte mutated.  Raises
+    [Invalid_argument] on [tau_s > tau_c] or a corruption rate outside
+    [\[0,1\]]. *)
+
+val engine : t -> Engine.t
+val node : t -> Dgs_core.Node_id.t -> Dgs_core.Grp_node.t
+val node_ids : t -> Dgs_core.Node_id.t list
+val is_active : t -> Dgs_core.Node_id.t -> bool
+
+val views : t -> Dgs_core.Node_id.Set.t Dgs_core.Node_id.Map.t
+(** Views of the active nodes. *)
+
+val run_until : t -> float -> unit
+(** Advance the underlying engine. *)
+
+val deactivate : t -> Dgs_core.Node_id.t -> unit
+(** The node stops sending, receiving and computing; its memory is kept
+    (so a later {!activate} resumes with stale state — a transient
+    fault). *)
+
+val activate : t -> Dgs_core.Node_id.t -> unit
+
+val reset_node : t -> Dgs_core.Node_id.t -> unit
+(** Replace the protocol state by a fresh one (node reboot). *)
+
+val add_node : t -> Dgs_core.Node_id.t -> unit
+(** Create and activate a node unknown at {!create} time. *)
+
+val set_loss : t -> float -> unit
+
+val on_step :
+  t ->
+  (time:float -> Dgs_core.Grp_node.t -> Dgs_core.Grp_node.step_info -> unit) ->
+  unit
+(** Observer invoked after every compute (continuity monitoring). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val state_signature : t -> string
+(** Digest of all lists, views and quarantines of active nodes; two equal
+    signatures at different times mean the protocol state is unchanged
+    (used for convergence detection). *)

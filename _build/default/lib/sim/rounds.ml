@@ -1,0 +1,102 @@
+module Graph = Dgs_graph.Graph
+module Rng = Dgs_util.Rng
+open Dgs_core
+
+type t = {
+  config : Config.t;
+  mutable graph : Graph.t;
+  nodes : (Node_id.t, Grp_node.t) Hashtbl.t;
+  mutable sent : int;
+}
+
+let ensure_node t v =
+  if not (Hashtbl.mem t.nodes v) then
+    Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config v)
+
+let create ~config graph =
+  let t = { config; graph; nodes = Hashtbl.create 64; sent = 0 } in
+  List.iter (ensure_node t) (Graph.nodes graph);
+  t
+
+let config t = t.config
+let graph t = t.graph
+
+let set_graph t g =
+  t.graph <- g;
+  List.iter (ensure_node t) (Graph.nodes g)
+
+let node t v = Hashtbl.find t.nodes v
+let node_ids t = Graph.nodes t.graph
+
+let views t =
+  List.fold_left
+    (fun acc v -> Node_id.Map.add v (Grp_node.view (node t v)) acc)
+    Node_id.Map.empty (node_ids t)
+
+let round ?(loss = 0.0) ?(jitter = 0.0) ?(corruption = 0.0) ?(sends = 1) ?rng t =
+  if sends < 1 then invalid_arg "Rounds.round: sends must be >= 1";
+  let ids = node_ids t in
+  let outgoing = List.map (fun v -> (v, Grp_node.make_message (node t v))) ids in
+  let draw what p =
+    match rng with
+    | None ->
+        if p > 0.0 then invalid_arg ("Rounds.round: " ^ what ^ " > 0 requires an rng");
+        false
+    | Some r -> Rng.bernoulli r p
+  in
+  let deliver dst msg =
+    if draw "corruption" corruption then begin
+      (* The frame crosses the wire with one byte flipped: unparsable
+         frames are lost, parsable ones reach the protocol as-is. *)
+      match rng with
+      | None -> ()
+      | Some r -> (
+          match Wire.of_string (Wire.corrupt r (Wire.to_string msg)) with
+          | Some msg' -> Grp_node.receive (node t dst) msg'
+          | None -> ())
+    end
+    else Grp_node.receive (node t dst) msg
+  in
+  (* [sends] transmissions per compute period model Ts <= Tc: under loss,
+     a neighbor misses a whole period only when all of them are lost. *)
+  for _ = 1 to sends do
+    List.iter
+      (fun (src, msg) ->
+        Graph.iter_neighbors t.graph src (fun dst ->
+            t.sent <- t.sent + 1;
+            if not (draw "loss" loss) then deliver dst msg))
+      outgoing
+  done;
+  List.fold_left
+    (fun acc v ->
+      if draw "jitter" jitter then acc
+      else Node_id.Map.add v (Grp_node.compute (node t v)) acc)
+    Node_id.Map.empty ids
+
+let run ?loss ?jitter ?corruption ?sends ?rng t n =
+  for _ = 1 to n do
+    ignore (round ?loss ?jitter ?corruption ?sends ?rng t)
+  done
+
+let state_signature t =
+  List.map
+    (fun v ->
+      let n = node t v in
+      (v, Grp_node.antlist n, Grp_node.view n, Node_id.Map.bindings (Grp_node.quarantines n)))
+    (node_ids t)
+
+let run_until_stable ?loss ?jitter ?corruption ?sends ?rng ?(confirm = 2)
+    ?(max_rounds = 10_000) t =
+  let rec go rounds stable_streak previous =
+    if stable_streak >= confirm then Some (rounds - stable_streak)
+    else if rounds >= max_rounds then None
+    else begin
+      ignore (round ?loss ?jitter ?corruption ?sends ?rng t);
+      let sig_now = state_signature t in
+      let streak = if Some sig_now = previous then stable_streak + 1 else 0 in
+      go (rounds + 1) streak (Some sig_now)
+    end
+  in
+  go 0 0 None
+
+let messages_sent t = t.sent

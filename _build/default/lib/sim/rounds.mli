@@ -1,0 +1,80 @@
+(** Synchronous-round executor for GRP.
+
+    One round = every active node broadcasts its message, every node
+    receives from each current neighbor (optionally subject to loss), then
+    every node runs [compute].  This is the idealized fair-channel schedule
+    (one compute timer = one round) and makes stabilization arguments and
+    tests deterministic.  The event-driven runtime {!Net} relaxes it. *)
+
+type t
+
+val create : config:Dgs_core.Config.t -> Dgs_graph.Graph.t -> t
+(** One protocol node per graph node. *)
+
+val config : t -> Dgs_core.Config.t
+val graph : t -> Dgs_graph.Graph.t
+
+val set_graph : t -> Dgs_graph.Graph.t -> unit
+(** Install a new topology (dynamic network).  Nodes present in the new
+    graph but unknown to the runner are created fresh; protocol state of
+    departed nodes is kept in case they come back (a node that reappears
+    with stale state is exactly a transient fault). *)
+
+val node : t -> Dgs_core.Node_id.t -> Dgs_core.Grp_node.t
+(** Raises [Not_found] for unknown ids. *)
+
+val node_ids : t -> Dgs_core.Node_id.t list
+(** Sorted ids of nodes present in the current graph. *)
+
+val views : t -> Dgs_core.Node_id.Set.t Dgs_core.Node_id.Map.t
+(** Current views of the nodes in the graph. *)
+
+val round :
+  ?loss:float ->
+  ?jitter:float ->
+  ?corruption:float ->
+  ?sends:int ->
+  ?rng:Dgs_util.Rng.t ->
+  t ->
+  Dgs_core.Grp_node.step_info Dgs_core.Node_id.Map.t
+(** Execute one round and report each node's step outcome.  [loss] drops
+    each directed delivery independently; [jitter] skips each node's
+    compute independently with the given probability, emulating the phase
+    drift of real timers — perfectly synchronous rounds are an adversarial
+    schedule outside the paper's timer model, under which symmetric merge
+    races can livelock (DESIGN.md Section 5).  [rng] required when
+    either is > 0; skipped nodes keep accumulating messages (one-message
+    channel per sender), exactly as a slow timer would.  [sends] (default
+    1) transmissions happen per compute round, modelling the paper's
+    [Ts <= Tc]: under loss a neighbor misses a compute period only when
+    all its transmissions in it are lost.  [corruption] routes each
+    delivery through the {!Dgs_core.Wire} frame format with one byte
+    flipped with the given probability; unparsable frames are dropped. *)
+
+val run :
+  ?loss:float ->
+  ?jitter:float ->
+  ?corruption:float ->
+  ?sends:int ->
+  ?rng:Dgs_util.Rng.t ->
+  t ->
+  int ->
+  unit
+
+val run_until_stable :
+  ?loss:float ->
+  ?jitter:float ->
+  ?corruption:float ->
+  ?sends:int ->
+  ?rng:Dgs_util.Rng.t ->
+  ?confirm:int ->
+  ?max_rounds:int ->
+  t ->
+  int option
+(** Rounds executed until every node's list and view stay unchanged for
+    [confirm] consecutive rounds (default 2); [None] when [max_rounds]
+    (default 10_000) is exhausted first.  The count excludes the
+    confirmation tail. *)
+
+val messages_sent : t -> int
+(** Total directed message deliveries attempted so far. *)

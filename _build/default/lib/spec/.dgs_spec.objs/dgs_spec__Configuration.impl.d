@@ -1,0 +1,1 @@
+lib/spec/configuration.ml: Dgs_core Dgs_graph Format Hashtbl List Node_id

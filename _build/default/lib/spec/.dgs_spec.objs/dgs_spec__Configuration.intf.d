@@ -1,0 +1,1 @@
+lib/spec/configuration.mli: Dgs_core Dgs_graph Format

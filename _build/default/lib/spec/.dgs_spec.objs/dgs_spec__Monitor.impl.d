@@ -1,0 +1,1 @@
+lib/spec/monitor.ml: Configuration Format Predicates

@@ -1,0 +1,1 @@
+lib/spec/predicates.ml: Configuration Dgs_core Dgs_graph Format List Node_id

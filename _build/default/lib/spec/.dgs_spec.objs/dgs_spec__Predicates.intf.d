@@ -1,0 +1,1 @@
+lib/spec/predicates.mli: Configuration Dgs_core Format

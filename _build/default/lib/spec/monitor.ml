@@ -1,0 +1,63 @@
+type report = {
+  steps : int;
+  agreement_violations : int;
+  safety_violations : int;
+  maximality_violations : int;
+  pt_breaches : int;
+  continuity_breaches : int;
+  excused_breaches : int;
+  legitimate_steps : int;
+}
+
+type t = { dmax : int; mutable previous : Configuration.t option; mutable r : report }
+
+let zero =
+  {
+    steps = 0;
+    agreement_violations = 0;
+    safety_violations = 0;
+    maximality_violations = 0;
+    pt_breaches = 0;
+    continuity_breaches = 0;
+    excused_breaches = 0;
+    legitimate_steps = 0;
+  }
+
+let create ~dmax = { dmax; previous = None; r = zero }
+
+let observe t c =
+  let r = t.r in
+  let bump cond n = if cond then n + 1 else n in
+  let agreement = Predicates.agreement c <> None in
+  let safety = Predicates.safety ~dmax:t.dmax c <> None in
+  let maximality = Predicates.maximality ~dmax:t.dmax c <> None in
+  let pt, cont =
+    match t.previous with
+    | None -> (false, false)
+    | Some p ->
+        ( Predicates.topology_preserved ~dmax:t.dmax p c <> None,
+          Predicates.continuity p c <> None )
+  in
+  t.r <-
+    {
+      steps = r.steps + 1;
+      agreement_violations = bump agreement r.agreement_violations;
+      safety_violations = bump safety r.safety_violations;
+      maximality_violations = bump maximality r.maximality_violations;
+      pt_breaches = bump pt r.pt_breaches;
+      continuity_breaches = bump cont r.continuity_breaches;
+      excused_breaches = bump (cont && pt) r.excused_breaches;
+      legitimate_steps =
+        bump (not (agreement || safety || maximality)) r.legitimate_steps;
+    };
+  t.previous <- Some c
+
+let report t = t.r
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>steps: %d (legitimate: %d)@,\
+     violations: agreement %d, safety %d, maximality %d@,\
+     transitions: ΠT breaches %d, continuity breaches %d (excused by ΠT: %d)@]"
+    r.steps r.legitimate_steps r.agreement_violations r.safety_violations
+    r.maximality_violations r.pt_breaches r.continuity_breaches r.excused_breaches

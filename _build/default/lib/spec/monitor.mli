@@ -1,0 +1,30 @@
+(** Execution monitor: feed it the stream of configuration snapshots and it
+    accumulates the specification statistics — static-predicate violations
+    per round, transition classification (ΠT) and continuity accounting.
+
+    The workload experiments embed specialized versions of this logic; the
+    monitor is the reusable form used by the CLI and by tests that assert
+    over whole executions. *)
+
+type t
+
+type report = {
+  steps : int;
+  agreement_violations : int;
+  safety_violations : int;
+  maximality_violations : int;
+  pt_breaches : int;  (** transitions where some node's own ΠT broke *)
+  continuity_breaches : int;  (** transitions where some view lost a member *)
+  excused_breaches : int;
+      (** continuity breaches in transitions whose ΠT also broke (the
+          best-effort clause) *)
+  legitimate_steps : int;
+}
+
+val create : dmax:int -> t
+
+val observe : t -> Configuration.t -> unit
+(** Record the next configuration; the first call sets the baseline. *)
+
+val report : t -> report
+val pp_report : Format.formatter -> report -> unit

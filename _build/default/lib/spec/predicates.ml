@@ -1,0 +1,108 @@
+module Graph = Dgs_graph.Graph
+module Paths = Dgs_graph.Paths
+open Dgs_core
+
+type violation = { predicate : string; subject : Node_id.t list; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s violated at [%a]: %s" v.predicate
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Node_id.pp)
+    v.subject v.detail
+
+let fail predicate subject detail = Some { predicate; subject; detail }
+
+let find_map_nodes c f =
+  let rec go = function [] -> None | v :: rest -> (match f v with None -> go rest | s -> s) in
+  go (Configuration.nodes c)
+
+let agreement c =
+  let node_set = Node_id.Set.of_list (Configuration.nodes c) in
+  find_map_nodes c (fun v ->
+      let vw = Configuration.view c v in
+      if not (Node_id.Set.mem v vw) then
+        fail "agreement" [ v ] "node does not belong to its own view"
+      else if not (Node_id.Set.subset vw node_set) then
+        fail "agreement" [ v ] "view contains a non-existing node"
+      else
+        Node_id.Set.fold
+          (fun u acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if Node_id.Set.equal (Configuration.view c u) vw then None
+                else
+                  fail "agreement" [ v; u ]
+                    (Format.asprintf "views differ: %a vs %a" Node_id.pp_set vw
+                       Node_id.pp_set (Configuration.view c u)))
+          vw None)
+
+let group_diameter_ok ~dmax graph group =
+  Paths.diameter_of_set graph group <= dmax
+
+let safety ~dmax c =
+  find_map_nodes c (fun v ->
+      let g = Configuration.omega c v in
+      if group_diameter_ok ~dmax c.Configuration.graph g then None
+      else
+        fail "safety" [ v ]
+          (Format.asprintf "group %a is disconnected or wider than %d" Node_id.pp_set g
+             dmax))
+
+let maximality ~dmax c =
+  let groups = Configuration.groups c in
+  let rec pairs = function
+    | [] -> None
+    | g :: rest -> (
+        let mergeable =
+          List.find_opt
+            (fun g' -> group_diameter_ok ~dmax c.Configuration.graph (Node_id.Set.union g g'))
+            rest
+        in
+        match mergeable with
+        | Some g' ->
+            fail "maximality"
+              [ Node_id.Set.min_elt g; Node_id.Set.min_elt g' ]
+              (Format.asprintf "groups %a and %a could merge within %d" Node_id.pp_set g
+                 Node_id.pp_set g' dmax)
+        | None -> pairs rest)
+  in
+  pairs groups
+
+let legitimate ~dmax c =
+  match agreement c with
+  | Some _ as v -> v
+  | None -> ( match safety ~dmax c with Some _ as v -> v | None -> maximality ~dmax c)
+
+(* ΠT and ΠC are evaluated over views rather than Ω: Ω collapses to
+   singletons whenever members update views at (inevitably) staggered
+   times, so the Ω-based reading of the paper's definition would flag every
+   legal merge; the proof of Proposition 14 argues over views, which is the
+   reading implemented here (DESIGN.md Section 5). *)
+let topology_preserved ~dmax c c' =
+  find_map_nodes c (fun v ->
+      let g = Configuration.view c v in
+      if group_diameter_ok ~dmax c'.Configuration.graph g then None
+      else
+        fail "topology" [ v ]
+          (Format.asprintf "group %a stretched beyond %d by the topology change"
+             Node_id.pp_set g dmax))
+
+let continuity c c' =
+  find_map_nodes c (fun v ->
+      let g = Configuration.view c v in
+      let g' = Configuration.view c' v in
+      if Node_id.Set.subset g g' then None
+      else
+        let missing = Node_id.Set.diff g g' in
+        fail "continuity"
+          (v :: Node_id.Set.elements missing)
+          (Format.asprintf "nodes %a disappeared from the view of %a" Node_id.pp_set
+             missing Node_id.pp v))
+
+let best_effort ~dmax c c' =
+  match topology_preserved ~dmax c c' with
+  | Some _ -> None (* ΠT broken: ΠC is not owed *)
+  | None -> (
+      match continuity c c' with
+      | None -> None
+      | Some v -> Some { v with predicate = "best-effort (ΠT ∧ ¬ΠC)" })

@@ -1,0 +1,1 @@
+lib/util/geom.ml: Float Format

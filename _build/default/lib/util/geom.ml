@@ -1,0 +1,25 @@
+type point = { x : float; y : float }
+
+let origin = { x = 0.0; y = 0.0 }
+let make x y = { x; y }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale k p = { x = k *. p.x; y = k *. p.y }
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist a b = sqrt (dist2 a b)
+let norm p = sqrt ((p.x *. p.x) +. (p.y *. p.y))
+
+let normalize p =
+  let n = norm p in
+  if n = 0.0 then p else scale (1.0 /. n) p
+
+let lerp a b t = add a (scale t (sub b a))
+
+let clamp_box p ~xmax ~ymax =
+  { x = Float.max 0.0 (Float.min xmax p.x); y = Float.max 0.0 (Float.min ymax p.y) }
+
+let pp ppf p = Format.fprintf ppf "(%.2f, %.2f)" p.x p.y

@@ -1,0 +1,25 @@
+(** 2D points for node positions in the Euclidean plane (paper Section 2:
+    nodes are "spread out in an Euclidean space"). *)
+
+type point = { x : float; y : float }
+
+val origin : point
+val make : float -> float -> point
+val add : point -> point -> point
+val sub : point -> point -> point
+val scale : float -> point -> point
+val dist : point -> point -> float
+val dist2 : point -> point -> float
+(** Squared distance (avoids the sqrt in range tests). *)
+
+val norm : point -> float
+val normalize : point -> point
+(** Unit vector in the same direction; the origin maps to itself. *)
+
+val lerp : point -> point -> float -> point
+(** [lerp a b t] is the affine interpolation, [t] in [\[0,1\]]. *)
+
+val clamp_box : point -> xmax:float -> ymax:float -> point
+(** Clamp into the axis-aligned box [\[0,xmax\] × \[0,ymax\]]. *)
+
+val pp : Format.formatter -> point -> unit

@@ -1,0 +1,57 @@
+type ('prio, 'a) node = { key : 'prio; value : 'a; mutable children : ('prio, 'a) node list }
+
+type ('prio, 'a) t = {
+  cmp : 'prio -> 'prio -> int;
+  mutable root : ('prio, 'a) node option;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; root = None; size = 0 }
+let is_empty t = t.root = None
+let length t = t.size
+
+let meld cmp a b =
+  if cmp a.key b.key <= 0 then (
+    a.children <- b :: a.children;
+    a)
+  else (
+    b.children <- a :: b.children;
+    b)
+
+let add t key value =
+  let n = { key; value; children = [] } in
+  t.root <- (match t.root with None -> Some n | Some r -> Some (meld t.cmp r n));
+  t.size <- t.size + 1
+
+let peek t = match t.root with None -> None | Some r -> Some (r.key, r.value)
+
+(* Two-pass pairing merge of the root's children. *)
+let rec merge_pairs cmp = function
+  | [] -> None
+  | [ x ] -> Some x
+  | a :: b :: rest -> (
+      let ab = meld cmp a b in
+      match merge_pairs cmp rest with None -> Some ab | Some r -> Some (meld cmp ab r))
+
+let pop t =
+  match t.root with
+  | None -> None
+  | Some r ->
+      t.root <- merge_pairs t.cmp r.children;
+      t.size <- t.size - 1;
+      Some (r.key, r.value)
+
+let pop_exn t =
+  match pop t with None -> invalid_arg "Pqueue.pop_exn: empty queue" | Some x -> x
+
+let clear t =
+  t.root <- None;
+  t.size <- 0
+
+let to_sorted_list t =
+  let rec copy_node n = { key = n.key; value = n.value; children = List.map copy_node n.children } in
+  let c =
+    { cmp = t.cmp; root = (match t.root with None -> None | Some r -> Some (copy_node r)); size = t.size }
+  in
+  let rec drain acc = match pop c with None -> List.rev acc | Some kv -> drain (kv :: acc) in
+  drain []

@@ -1,0 +1,34 @@
+(** Polymorphic min-priority queue (pairing heap).
+
+    Used by the discrete-event engine for its event agenda and by graph
+    algorithms.  Operations are amortized O(log n) for [pop] and O(1) for
+    [add]. *)
+
+type ('prio, 'a) t
+(** Mutable queue holding values of type ['a] keyed by ['prio]. *)
+
+val create : cmp:('prio -> 'prio -> int) -> ('prio, 'a) t
+(** [create ~cmp] makes an empty queue ordered by [cmp] (smallest first). *)
+
+val is_empty : ('prio, 'a) t -> bool
+
+val length : ('prio, 'a) t -> int
+(** Number of queued elements, O(1). *)
+
+val add : ('prio, 'a) t -> 'prio -> 'a -> unit
+(** Insert an element. *)
+
+val peek : ('prio, 'a) t -> ('prio * 'a) option
+(** Smallest element, if any, without removing it. *)
+
+val pop : ('prio, 'a) t -> ('prio * 'a) option
+(** Remove and return the smallest element. *)
+
+val pop_exn : ('prio, 'a) t -> 'prio * 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty queue. *)
+
+val clear : ('prio, 'a) t -> unit
+
+val to_sorted_list : ('prio, 'a) t -> ('prio * 'a) list
+(** Drain a copy of the queue into an ordered list (for inspection in
+    tests); the queue itself is unchanged. *)

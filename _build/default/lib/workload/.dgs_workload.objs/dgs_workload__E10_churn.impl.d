@@ -1,0 +1,1 @@
+lib/workload/e10_churn.ml: Config Dgs_core Dgs_graph Dgs_metrics Dgs_sim Dgs_spec Dgs_util Grp_node Harness List Node_id

@@ -1,0 +1,1 @@
+lib/workload/e10_churn.mli: Dgs_metrics

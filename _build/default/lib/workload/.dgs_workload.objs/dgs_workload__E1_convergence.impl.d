@@ -1,0 +1,1 @@
+lib/workload/e1_convergence.ml: Config Dgs_core Dgs_metrics Dgs_util Harness List Option Printf

@@ -1,0 +1,1 @@
+lib/workload/e1_convergence.mli: Dgs_metrics

@@ -1,0 +1,1 @@
+lib/workload/e2_dmax_sweep.ml: Config Dgs_core Dgs_graph Dgs_metrics Dgs_util Harness List Option Printf

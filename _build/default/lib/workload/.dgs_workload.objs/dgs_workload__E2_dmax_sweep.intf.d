@@ -1,0 +1,1 @@
+lib/workload/e2_dmax_sweep.mli: Dgs_metrics

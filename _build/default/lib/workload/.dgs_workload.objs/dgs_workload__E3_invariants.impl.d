@@ -1,0 +1,1 @@
+lib/workload/e3_invariants.ml: Config Dgs_core Dgs_graph Dgs_metrics Dgs_sim Dgs_spec Dgs_util Harness List Node_id

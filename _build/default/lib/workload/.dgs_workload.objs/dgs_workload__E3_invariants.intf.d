@@ -1,0 +1,1 @@
+lib/workload/e3_invariants.mli: Dgs_metrics

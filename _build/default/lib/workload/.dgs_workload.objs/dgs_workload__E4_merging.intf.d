@@ -1,0 +1,1 @@
+lib/workload/e4_merging.mli: Dgs_metrics

@@ -1,0 +1,1 @@
+lib/workload/e5_continuity.ml: Config Dgs_core Dgs_metrics Dgs_mobility Harness List

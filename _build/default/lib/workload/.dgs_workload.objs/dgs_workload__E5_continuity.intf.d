@@ -1,0 +1,1 @@
+lib/workload/e5_continuity.mli: Dgs_metrics

@@ -1,0 +1,1 @@
+lib/workload/e6_baselines.ml: Config Dgs_baselines Dgs_core Dgs_graph Dgs_metrics Dgs_mobility Dgs_util Harness Hashtbl List Node_id

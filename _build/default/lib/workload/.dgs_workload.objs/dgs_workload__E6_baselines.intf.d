@@ -1,0 +1,1 @@
+lib/workload/e6_baselines.mli: Dgs_metrics

@@ -1,0 +1,1 @@
+lib/workload/e7_loss.ml: Config Dgs_core Dgs_metrics Dgs_sim Dgs_spec Dgs_util Grp_node Harness List Node_id Option Printf

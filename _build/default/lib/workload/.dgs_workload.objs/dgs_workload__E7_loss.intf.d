@@ -1,0 +1,1 @@
+lib/workload/e7_loss.mli: Dgs_metrics

@@ -1,0 +1,1 @@
+lib/workload/e8_ablation.ml: Config Dgs_core Dgs_graph Dgs_metrics Dgs_mobility Dgs_sim Dgs_util Harness List Option Printf

@@ -1,0 +1,1 @@
+lib/workload/e8_ablation.mli: Dgs_metrics

@@ -1,0 +1,1 @@
+lib/workload/e9_scalability.ml: Config Dgs_core Dgs_metrics Dgs_sim Dgs_util Harness List Option Printf Unix

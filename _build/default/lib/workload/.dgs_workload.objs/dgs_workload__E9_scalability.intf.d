@@ -1,0 +1,1 @@
+lib/workload/e9_scalability.mli: Dgs_metrics

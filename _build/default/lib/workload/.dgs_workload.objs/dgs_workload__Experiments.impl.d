@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Dgs_metrics E10_churn E1_convergence E2_dmax_sweep E3_invariants E4_merging E5_continuity E6_baselines E7_loss E8_ablation E9_scalability List Printf String

@@ -1,0 +1,1 @@
+lib/workload/harness.ml: Config Dgs_core Dgs_graph Dgs_mobility Dgs_sim Dgs_spec Dgs_util Float Grp_node Hashtbl List Node_id Option

@@ -1,0 +1,1 @@
+lib/workload/harness.mli: Dgs_core Dgs_graph Dgs_mobility Dgs_sim Dgs_spec Dgs_util

@@ -1,0 +1,92 @@
+module Table = Dgs_metrics.Table
+module Graph = Dgs_graph.Graph
+module Rounds = Dgs_sim.Rounds
+module P = Dgs_spec.Predicates
+module Rng = Dgs_util.Rng
+open Dgs_core
+
+(* One churn cycle: a random live node leaves the topology; a previously
+   departed one returns (with whatever protocol memory it had).  The
+   returning node's neighbors in the base geometry are restored. *)
+let run_churn ~config ~dmax ~period ~rounds ~seed base =
+  let rng = Rng.create seed in
+  let g = Graph.copy base in
+  let t = Rounds.create ~config g in
+  Rounds.run ~jitter:0.1 ~rng t 60;
+  let departed = ref [] in
+  let legit = ref 0 and evictions = ref 0 and ghost_rounds = ref 0 in
+  for round = 1 to rounds do
+    if round mod period = 0 then begin
+      (* Return the oldest departed node first. *)
+      (match !departed with
+      | v :: rest ->
+          departed := rest;
+          Graph.add_node g v;
+          Graph.iter_neighbors base v (fun u -> if Graph.mem_node g u then Graph.add_edge g v u)
+      | [] -> ());
+      let live = Graph.nodes g in
+      if List.length live > 3 then begin
+        let v = List.nth live (Rng.int rng (List.length live)) in
+        Graph.remove_node g v;
+        departed := !departed @ [ v ]
+      end;
+      Rounds.set_graph t g
+    end;
+    let infos = Rounds.round ~jitter:0.1 ~rng t in
+    Node_id.Map.iter
+      (fun v i ->
+        if Graph.mem_node g v then
+          evictions := !evictions + Node_id.Set.cardinal i.Grp_node.view_removed)
+      infos;
+    let views =
+      List.fold_left
+        (fun acc v -> Node_id.Map.add v (Grp_node.view (Rounds.node t v)) acc)
+        Node_id.Map.empty (Rounds.node_ids t)
+    in
+    let c = Dgs_spec.Configuration.make ~graph:g ~views in
+    if P.agreement c = None && P.safety ~dmax c = None then incr legit;
+    (* Ghosts: a departed node still appearing in some live view. *)
+    let ghosts =
+      List.exists
+        (fun v ->
+          List.exists
+            (fun d -> Node_id.Set.mem d (Grp_node.view (Rounds.node t v)))
+            !departed)
+        (Rounds.node_ids t)
+    in
+    if ghosts then incr ghost_rounds
+  done;
+  ( float_of_int !legit /. float_of_int rounds,
+    100.0 *. float_of_int !evictions /. float_of_int rounds,
+    float_of_int !ghost_rounds /. float_of_int rounds )
+
+let run ?(quick = false) () =
+  let rounds = if quick then 100 else 400 in
+  let n = if quick then 20 else 30 in
+  let dmax = 3 in
+  let config = Config.make ~dmax () in
+  let table =
+    Table.create ~title:"E10: node churn (crash + stale-state reboot)"
+      ~columns:
+        [
+          "churn period (rounds)";
+          "agreement+safety fraction";
+          "evictions /100r";
+          "ghost-view fraction";
+        ]
+  in
+  let base = Harness.rgg ~seed:31 ~n () in
+  List.iter
+    (fun period ->
+      let legit, ev, ghosts =
+        run_churn ~config ~dmax ~period ~rounds ~seed:(500 + period) base
+      in
+      Table.add_row table
+        [
+          Table.cell_int period;
+          Table.cell_float legit;
+          Table.cell_float ev;
+          Table.cell_float ghosts;
+        ])
+    (if quick then [ 20; 50 ] else [ 10; 20; 40; 80 ]);
+  [ table ]

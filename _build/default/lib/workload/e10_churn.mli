@@ -1,0 +1,10 @@
+(** E10 — Node churn (extension beyond the paper's scope).
+
+    On a static geometry, nodes crash and reboot at a configurable rate
+    (a crashed node's stale memory survives, so every return is a
+    transient-fault injection).  The table reports, per churn period, the
+    fraction of rounds with agreement+safety intact, eviction rates and
+    the ghost-cleanup behavior (Proposition 2: departed nodes eventually
+    vanish from every view). *)
+
+val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list

@@ -1,0 +1,55 @@
+module Table = Dgs_metrics.Table
+module Stats = Dgs_util.Stats
+open Dgs_core
+
+let run ?(quick = false) () =
+  let sizes = if quick then [ 10; 20 ] else [ 10; 20; 40; 80 ] in
+  let dmaxes = [ 2; 4 ] in
+  let reps = if quick then 2 else 5 in
+  let table =
+    Table.create ~title:"E1: convergence on static random geometric graphs"
+      ~columns:
+        [
+          "n";
+          "Dmax";
+          "rounds (mean ± sd)";
+          "messages (mean)";
+          "agree+safe";
+          "maximal";
+          "groups";
+        ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun dmax ->
+          let config = Config.make ~dmax () in
+          let runs =
+            List.init reps (fun r ->
+                let seed = (n * 1000) + (dmax * 100) + r in
+                let g = Harness.rgg ~seed ~n () in
+                Harness.converge ~config ~seed:(seed + 1) g)
+          in
+          let rounds =
+            List.filter_map (fun c -> Option.map float_of_int c.Harness.rounds) runs
+          in
+          let converged = List.length rounds in
+          Table.add_row table
+            [
+              Table.cell_int n;
+              Table.cell_int dmax;
+              Table.cell_summary (Stats.summarize rounds);
+              Table.cell_float ~decimals:0
+                (Stats.mean (List.map (fun c -> float_of_int c.Harness.messages) runs));
+              Printf.sprintf "%d/%d"
+                (List.length (List.filter (fun c -> c.Harness.agree_safe) runs))
+                converged;
+              Printf.sprintf "%d/%d"
+                (List.length (List.filter (fun c -> c.Harness.legitimate) runs))
+                converged;
+              Table.cell_float ~decimals:1
+                (Stats.mean (List.map (fun c -> float_of_int c.Harness.groups) runs));
+            ])
+        dmaxes)
+    sizes;
+  [ table ]

@@ -1,0 +1,7 @@
+(** E1 — Convergence time vs. network size (Propositions 7, 8, 12).
+
+    Fresh networks on connected random geometric graphs; the table reports
+    rounds-to-quiescence, message count and legitimacy of the final
+    configuration per (n, Dmax). *)
+
+val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list

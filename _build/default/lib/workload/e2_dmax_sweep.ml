@@ -1,0 +1,39 @@
+module Table = Dgs_metrics.Table
+module Gen = Dgs_graph.Gen
+module Stats = Dgs_util.Stats
+open Dgs_core
+
+let topologies = [ ("line24", Gen.line 24); ("ring24", Gen.ring 24); ("grid5x5", Gen.grid 5 5) ]
+
+let run ?(quick = false) () =
+  let dmaxes = if quick then [ 1; 2; 4 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let reps = if quick then 2 else 5 in
+  let table =
+    Table.create ~title:"E2: convergence vs Dmax (structured topologies)"
+      ~columns:[ "topology"; "Dmax"; "rounds (mean ± sd)"; "groups"; "legitimate" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun dmax ->
+          let config = Config.make ~dmax () in
+          let runs =
+            List.init reps (fun r -> Harness.converge ~config ~seed:((dmax * 37) + r) g)
+          in
+          let rounds =
+            List.filter_map (fun c -> Option.map float_of_int c.Harness.rounds) runs
+          in
+          Table.add_row table
+            [
+              name;
+              Table.cell_int dmax;
+              Table.cell_summary (Stats.summarize rounds);
+              Table.cell_float ~decimals:1
+                (Stats.mean (List.map (fun c -> float_of_int c.Harness.groups) runs));
+              Printf.sprintf "%d/%d"
+                (List.length (List.filter (fun c -> c.Harness.legitimate) runs))
+                reps;
+            ])
+        dmaxes)
+    topologies;
+  [ table ]

@@ -1,0 +1,6 @@
+(** E2 — Convergence time vs. Dmax on structured topologies.
+
+    The quarantine alone costs Dmax computes per admission, so convergence
+    should grow roughly linearly in Dmax. *)
+
+val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list

@@ -1,0 +1,7 @@
+(** E3 — Post-stabilization invariance of ΠA, ΠS, ΠM.
+
+    After convergence, the configuration is re-checked on every subsequent
+    round for a long window; the table reports observed violations (the
+    closure property demands 0) and the steady-state group statistics. *)
+
+val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list

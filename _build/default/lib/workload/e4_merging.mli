@@ -1,0 +1,10 @@
+(** E4 — Maximality and group merging (Propositions 11, 12).
+
+    Two parts: (a) from-scratch convergence on the merge-chain and
+    merge-loop clique topologies (the "loop of groups willing to merge"
+    case the group priorities resolve), reporting final group counts and
+    leftover mergeable pairs; (b) merge latency: two pre-stabilized
+    adjacent groups get a bridge edge, and we count the rounds until they
+    share one view. *)
+
+val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list

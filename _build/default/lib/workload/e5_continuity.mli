@@ -1,0 +1,11 @@
+(** E5 — The headline result: best-effort continuity under mobility
+    (Proposition 14, ΠT ⇒ ΠC).
+
+    Highway and random-waypoint traces at increasing speeds; every round
+    transition is classified as ΠT-preserving or ΠT-violating, and view
+    evictions are attributed to their transition class.  The theorem
+    demands zero evictions inside ΠT-preserving transitions; evictions are
+    expected (and counted) when the topology change breaks the group
+    distance bound. *)
+
+val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list

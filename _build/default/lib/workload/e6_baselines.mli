@@ -1,0 +1,11 @@
+(** E6 — Group stability: GRP vs. periodically reclustered k-hop baselines.
+
+    The same mobility trace is run through GRP (continuous protocol) and
+    replayed through Max-Min d-cluster and greedy lowest-ID k-hop
+    clustering recomputed every period.  The paper's motivation — "it is
+    preferable to maintain the composition of existing groups" even when
+    another partitioning would be better — predicts that GRP's view
+    lifetime beats the baselines and that GRP evicts members only on
+    ΠT violations while the baselines reshuffle membership freely. *)
+
+val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list

@@ -1,0 +1,97 @@
+module Table = Dgs_metrics.Table
+module Rounds = Dgs_sim.Rounds
+module P = Dgs_spec.Predicates
+module Rng = Dgs_util.Rng
+module Stats = Dgs_util.Stats
+open Dgs_core
+
+(* Under loss the lists never fully quiesce, so "convergence" is the first
+   round where the configuration is legitimate; stability is the fraction
+   of window rounds that stay legitimate plus the eviction rate. *)
+let one_run ~config ~dmax ~loss ~corruption ~sends ~window ~seed g =
+  let t = Rounds.create ~config g in
+  let rng = Rng.create seed in
+  let budget = 600 in
+  let first_legit = ref None in
+  (try
+     for round = 1 to budget do
+       ignore (Rounds.round ~jitter:0.1 ~loss ~corruption ~sends ~rng t);
+       if P.legitimate ~dmax (Harness.snapshot t g) = None then begin
+         first_legit := Some round;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let legit_rounds = ref 0 and evictions = ref 0 in
+  for _ = 1 to window do
+    let infos = Rounds.round ~jitter:0.1 ~loss ~corruption ~sends ~rng t in
+    Node_id.Map.iter
+      (fun _ i -> evictions := !evictions + Node_id.Set.cardinal i.Grp_node.view_removed)
+      infos;
+    if P.legitimate ~dmax (Harness.snapshot t g) = None then incr legit_rounds
+  done;
+  (!first_legit, float_of_int !legit_rounds /. float_of_int window,
+   100.0 *. float_of_int !evictions /. float_of_int window)
+
+let run ?(quick = false) () =
+  let n = if quick then 20 else 30 in
+  let reps = if quick then 2 else 5 in
+  let window = if quick then 50 else 150 in
+  let dmax = 3 in
+  let config = Config.make ~dmax () in
+  let table =
+    Table.create
+      ~title:
+        "E7: robustness to message loss and frame corruption (sends models Ts <= Tc)"
+      ~columns:
+        [
+          "loss";
+          "corruption";
+          "sends";
+          "reached legit";
+          "rounds to legit (mean ± sd)";
+          "legit fraction";
+          "evictions /100r";
+        ]
+  in
+  let cases =
+    if quick then [ (0.0, 0.0, 1); (0.2, 0.0, 2); (0.0, 0.2, 1) ]
+    else
+      [
+        (0.0, 0.0, 1);
+        (0.1, 0.0, 1);
+        (0.2, 0.0, 1);
+        (0.3, 0.0, 1);
+        (0.1, 0.0, 2);
+        (0.2, 0.0, 2);
+        (0.3, 0.0, 2);
+        (0.5, 0.0, 2);
+        (0.5, 0.0, 3);
+        (0.0, 0.1, 1);
+        (0.0, 0.3, 1);
+        (0.0, 0.3, 2);
+      ]
+  in
+  List.iter
+    (fun (loss, corruption, sends) ->
+      let runs =
+        List.init reps (fun r ->
+            let seed = 900 + r in
+            let g = Harness.rgg ~seed ~n () in
+            one_run ~config ~dmax ~loss ~corruption ~sends ~window ~seed:(seed * 3) g)
+      in
+      let legit_rounds =
+        List.filter_map (fun (f, _, _) -> Option.map float_of_int f) runs
+      in
+      Table.add_row table
+        [
+          Table.cell_float ~decimals:1 loss;
+          Table.cell_float ~decimals:1 corruption;
+          Table.cell_int sends;
+          Printf.sprintf "%d/%d" (List.length legit_rounds) reps;
+          Table.cell_summary (Stats.summarize legit_rounds);
+          Table.cell_float (Stats.mean (List.map (fun (_, l, _) -> l) runs));
+          Table.cell_float (Stats.mean (List.map (fun (_, _, e) -> e) runs));
+        ])
+    cases;
+  [ table ]

@@ -1,0 +1,8 @@
+(** E7 — Robustness to message loss (the fair-channel hypothesis).
+
+    Static topology with Bernoulli per-delivery loss: convergence time
+    degrades gracefully with the loss rate, and the steady state exhibits
+    spurious evictions once losses make neighbors vanish from [msgSet] for
+    a whole compute period. *)
+
+val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list

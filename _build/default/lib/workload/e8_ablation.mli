@@ -1,0 +1,9 @@
+(** E8 — Ablation of the design mechanisms.
+
+    Variants: no quarantine (premature view admissions and continuity
+    breaks), no compatibleList shortcut (legal shortcut-backed merges
+    refused), no joint admission (bridge-node livelocks on grids),
+    static lowest-id priorities instead of oldness.  Each variant runs the
+    convergence and merging workloads and a mild mobility trace. *)
+
+val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list

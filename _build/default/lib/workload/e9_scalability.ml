@@ -1,0 +1,68 @@
+module Table = Dgs_metrics.Table
+module Rounds = Dgs_sim.Rounds
+module Rng = Dgs_util.Rng
+module Stats = Dgs_util.Stats
+open Dgs_core
+
+let wall_clock_per_round ~config ~seed g =
+  let t = Rounds.create ~config g in
+  let rng = Rng.create seed in
+  (* Warm into a busy regime, then time a batch. *)
+  Rounds.run ~jitter:0.1 ~rng t 10;
+  let t0 = Unix.gettimeofday () in
+  let batch = 30 in
+  Rounds.run ~jitter:0.1 ~rng t batch;
+  (Unix.gettimeofday () -. t0) /. float_of_int batch
+
+let run ?(quick = false) () =
+  let sizes = if quick then [ 25; 50 ] else [ 25; 50; 100; 200 ] in
+  let reps = if quick then 2 else 3 in
+  let dmax = 3 in
+  let config = Config.make ~dmax () in
+  let table =
+    Table.create ~title:"E9: scalability with network size (Dmax=3, rgg)"
+      ~columns:
+        [
+          "n";
+          "rounds (mean ± sd)";
+          "messages (mean)";
+          "ms / round";
+          "groups";
+          "agree+safe";
+          "maximal";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let runs =
+        List.init reps (fun r ->
+            let seed = 4000 + (n * 10) + r in
+            let g = Harness.rgg ~seed ~n () in
+            (Harness.converge ~max_rounds:4000 ~config ~seed:(seed + 1) g, g))
+      in
+      let rounds =
+        List.filter_map (fun (c, _) -> Option.map float_of_int c.Harness.rounds) runs
+      in
+      let ms =
+        let _, g = List.hd runs in
+        1000.0 *. wall_clock_per_round ~config ~seed:(4000 + n) g
+      in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_summary (Stats.summarize rounds);
+          Table.cell_float ~decimals:0
+            (Stats.mean
+               (List.map (fun (c, _) -> float_of_int c.Harness.messages) runs));
+          Table.cell_float ms;
+          Table.cell_float ~decimals:1
+            (Stats.mean (List.map (fun (c, _) -> float_of_int c.Harness.groups) runs));
+          Printf.sprintf "%d/%d"
+            (List.length (List.filter (fun (c, _) -> c.Harness.agree_safe) runs))
+            reps;
+          Printf.sprintf "%d/%d"
+            (List.length (List.filter (fun (c, _) -> c.Harness.legitimate) runs))
+            reps;
+        ])
+    sizes;
+  [ table ]

@@ -1,0 +1,13 @@
+(** Registry of the experiments — one entry per table/figure of DESIGN.md's
+    experiment index.  Both the benchmark harness and the CLI dispatch
+    through this list. *)
+
+type t = {
+  id : string;  (** "e1" .. "e10" *)
+  title : string;
+  run : ?quick:bool -> unit -> Dgs_metrics.Table.t list;
+}
+
+val all : t list
+val find : string -> t option
+val run_and_print : ?quick:bool -> t -> unit

@@ -1,0 +1,92 @@
+(** Shared machinery for the experiments E1-E8.
+
+    Experiments run the protocol either on a static topology until
+    convergence (round runner with seeded jitter — DESIGN.md Section 5,
+    item 13) or over a mobility trace while monitoring the dynamic
+    predicates. *)
+
+val snapshot : Dgs_sim.Rounds.t -> Dgs_graph.Graph.t -> Dgs_spec.Configuration.t
+(** Configuration (graph + views) of the current runner state. *)
+
+type convergence = {
+  rounds : int option;  (** [None] when the round budget ran out *)
+  messages : int;  (** directed deliveries attempted *)
+  legitimate : bool;  (** ΠA ∧ ΠS ∧ ΠM on the final configuration *)
+  agree_safe : bool;
+      (** ΠA ∧ ΠS only — in dense graphs ΠM can be conservatively missed
+          (DESIGN.md Section 5) while agreement and safety must always
+          hold *)
+  groups : int;
+  mean_group_size : float;
+}
+
+val converge :
+  ?jitter:float ->
+  ?loss:float ->
+  ?max_rounds:int ->
+  config:Dgs_core.Config.t ->
+  seed:int ->
+  Dgs_graph.Graph.t ->
+  convergence
+(** Fresh network on the given topology, run to quiescence.  Default
+    jitter 0.1, no loss, budget 5000 rounds. *)
+
+type mobility_run = {
+  steps : int;
+  pt_preserving : int;  (** transitions where ΠT held *)
+  pt_violating : int;
+  evictions_under_pt : int;
+      (** view evictions while ΠT has held over the protocol's whole
+          reaction horizon (Dmax+2 rounds) — the best-effort theorem says
+          this must be 0; evictions during or shortly after a breach are
+          reactions to it and attributed to the breach *)
+  unjustified_evictions : int;
+      (** evicted members still within Dmax of the evictor in the current
+          topology — the "groups split needlessly" events the paper's
+          continuity is designed to prevent *)
+  evictions_total : int;
+  additions_total : int;
+  mean_groups : float;
+  mean_group_size : float;
+  group_lifetime : Dgs_util.Stats.summary;
+      (** rounds a node's view composition persists between changes *)
+  stale_member_fraction : float;
+      (** fraction of (node, view member) pairs whose distance exceeds
+          Dmax in the current topology — the freshness GRP's evictions
+          buy; reclustering baselines accumulate staleness between their
+          periodic recomputations *)
+}
+
+val run_mobility :
+  ?jitter:float ->
+  ?loss:float ->
+  ?warmup:int ->
+  config:Dgs_core.Config.t ->
+  seed:int ->
+  spec:Dgs_mobility.Mobility.spec ->
+  n:int ->
+  range:float ->
+  dt:float ->
+  rounds:int ->
+  unit ->
+  mobility_run
+(** One protocol round per mobility step of [dt].  [warmup] rounds
+    (default 30) let the initial convergence finish before measuring. *)
+
+val graph_snapshots :
+  seed:int ->
+  spec:Dgs_mobility.Mobility.spec ->
+  n:int ->
+  range:float ->
+  dt:float ->
+  every:int ->
+  rounds:int ->
+  Dgs_graph.Graph.t list
+(** The topology trace alone (one snapshot every [every] steps) — used to
+    feed the reclustering baselines with exactly the workload GRP saw. *)
+
+val rgg :
+  seed:int -> n:int -> ?density:float -> unit -> Dgs_graph.Graph.t
+(** Connected random geometric graph with ~[density] expected neighbors
+    per node (default 6.0); retries seeds deterministically until
+    connected. *)

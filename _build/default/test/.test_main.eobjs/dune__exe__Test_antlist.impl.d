@@ -1,0 +1,1 @@
+test/test_antlist.ml: Alcotest Antlist Dgs_core List Mark Node_id QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Dgs_baselines Dgs_core Dgs_graph Dgs_util Node_id QCheck QCheck_alcotest

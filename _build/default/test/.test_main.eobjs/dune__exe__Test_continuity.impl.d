@@ -1,0 +1,1 @@
+test/test_continuity.ml: Alcotest Config Dgs_core Dgs_graph Dgs_mobility Dgs_util Dgs_workload List Printf

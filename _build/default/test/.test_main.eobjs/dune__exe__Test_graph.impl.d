@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dgs_graph Dgs_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+test/test_grp_node.ml: Alcotest Antlist Config Dgs_core Dgs_graph Dgs_sim Dgs_util Grp_node List Mark Message Node_id Printf Priority QCheck QCheck_alcotest

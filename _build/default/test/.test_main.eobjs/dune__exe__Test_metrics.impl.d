@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Dgs_metrics Dgs_util List Str_helpers String

@@ -1,0 +1,1 @@
+test/test_mobility.ml: Alcotest Array Dgs_graph Dgs_mobility Dgs_util Float

@@ -1,0 +1,1 @@
+test/test_priority.ml: Alcotest Dgs_core Mark Priority QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_propositions.ml: Alcotest Antlist Config Dgs_core Dgs_graph Dgs_sim Dgs_spec Dgs_util Dgs_workload Grp_node List Mark Node_id

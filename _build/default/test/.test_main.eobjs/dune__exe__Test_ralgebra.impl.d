@@ -1,0 +1,1 @@
+test/test_ralgebra.ml: Alcotest Dgs_graph Dgs_ralgebra Dgs_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Antlist Config Dgs_core Dgs_graph Dgs_sim Dgs_util Grp_node List Node_id String

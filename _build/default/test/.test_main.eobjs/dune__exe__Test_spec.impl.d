@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Dgs_core Dgs_graph Dgs_spec List Node_id

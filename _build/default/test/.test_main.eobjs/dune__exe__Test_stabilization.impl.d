@@ -1,0 +1,1 @@
+test/test_stabilization.ml: Alcotest Antlist Array Config Dgs_core Dgs_graph Dgs_sim Dgs_spec Dgs_util Grp_node List Mark Node_id Printf Priority

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dgs_metrics Dgs_workload List Printf String

@@ -1,0 +1,10 @@
+(* Tiny substring helpers for the test suite (no Str dependency). *)
+
+let index_of haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then -1 else if String.sub haystack i n = needle then i else go (i + 1)
+  in
+  go 0
+
+let contains haystack needle = index_of haystack needle >= 0

@@ -1,0 +1,261 @@
+(* Unit tests for the ordered-lists-of-ancestor-sets structure and the
+   ant r-operator (paper Section 4.2). *)
+
+open Dgs_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let al = Alcotest.testable Antlist.pp Antlist.equal
+
+let of_clear levels =
+  Antlist.of_levels (List.map (List.map (fun id -> (id, Mark.Clear))) levels)
+
+let test_singleton () =
+  let l = Antlist.singleton 5 in
+  check_int "size" 1 (Antlist.size l);
+  check "mem" true (Antlist.mem l 5);
+  check "find pos" true (Antlist.find l 5 = Some (0, Mark.Clear))
+
+let test_singleton_marked () =
+  let l = Antlist.singleton_marked 7 Mark.Double in
+  check "marked entry" true (Antlist.find l 7 = Some (0, Mark.Double));
+  check_int "clear size of all-marked" 0 (Antlist.clear_size l)
+
+let test_paper_example () =
+  (* ({d},{b},{a,c}) ⊕ ({c},{a,e},{b}) = ({d,c},{b,a,e}) with
+     d=0 b=1 a=2 c=3 e=4. *)
+  let l1 = of_clear [ [ 0 ]; [ 1 ]; [ 2; 3 ] ] in
+  let l2 = of_clear [ [ 3 ]; [ 2; 4 ]; [ 1 ] ] in
+  let merged = Antlist.merge l1 l2 in
+  Alcotest.check al "paper merge example" (of_clear [ [ 0; 3 ]; [ 1; 2; 4 ] ]) merged
+
+let test_shift () =
+  let l = of_clear [ [ 1 ]; [ 2 ] ] in
+  let s = Antlist.shift l in
+  check_int "size grows" 3 (Antlist.size s);
+  check "entry shifted" true (Antlist.find s 1 = Some (1, Mark.Clear));
+  check "empty shift" true (Antlist.is_empty (Antlist.shift Antlist.empty))
+
+let test_ant_basic () =
+  (* ant((v), (u)) = ({v},{u}) — the neighbor lands at distance 1. *)
+  let r = Antlist.ant (Antlist.singleton 0) (Antlist.singleton 1) in
+  Alcotest.check al "neighbor at 1" (of_clear [ [ 0 ]; [ 1 ] ]) r
+
+let test_ant_dedupe_keeps_closest () =
+  (* u appears at distance 1 directly and at distance 2 via the other
+     list: the closest occurrence wins. *)
+  let own = of_clear [ [ 0 ]; [ 1 ] ] in
+  let from_2 = of_clear [ [ 2 ]; [ 1 ] ] in
+  let r = Antlist.ant own from_2 in
+  check "1 stays at distance 1" true (Antlist.find r 1 = Some (1, Mark.Clear));
+  check "2 at distance 1" true (Antlist.find r 2 = Some (1, Mark.Clear))
+
+let test_ant_self_dedupe () =
+  (* The receiver's echo in the incoming list is shadowed by its own
+     position-0 entry. *)
+  let incoming = of_clear [ [ 1 ]; [ 0; 2 ] ] in
+  let r = Antlist.ant (Antlist.singleton 0) incoming in
+  check "self at 0" true (Antlist.find r 0 = Some (0, Mark.Clear));
+  check "no duplicate" true (Antlist.well_formed r);
+  check "2 at distance 2" true (Antlist.find r 2 = Some (2, Mark.Clear))
+
+let test_gap_truncation () =
+  (* If deduplication empties an interior level, everything deeper is
+     dropped instead of slid closer (DESIGN.md Section 5). *)
+  let acc = of_clear [ [ 0 ]; [ 1 ] ] in
+  (* sender 2's list: 2 at 0, 1 at 1 (will dedupe to nothing at level 2),
+     9 at 2 (claims distance 3 via a support that vanished). *)
+  let incoming = of_clear [ [ 2 ]; [ 1 ]; [ 9 ] ] in
+  let r = Antlist.ant acc incoming in
+  check "9 dropped at the gap" false (Antlist.mem r 9);
+  check_int "truncated size" 2 (Antlist.size r)
+
+let test_merge_mark_severity () =
+  let a = Antlist.of_levels [ [ (1, Mark.Single) ] ] in
+  let b = Antlist.of_levels [ [ (1, Mark.Double) ] ] in
+  let m = Antlist.merge a b in
+  check "severest mark wins in-level" true (Antlist.find m 1 = Some (0, Mark.Double))
+
+let test_clear_size_ignores_marked_tail () =
+  let l = Antlist.of_levels [ [ (0, Mark.Clear) ]; [ (1, Mark.Single); (2, Mark.Double) ] ] in
+  check_int "raw size" 2 (Antlist.size l);
+  check_int "clear size" 1 (Antlist.clear_size l);
+  let l2 = Antlist.of_levels [ [ (0, Mark.Clear) ]; [ (1, Mark.Single); (2, Mark.Clear) ] ] in
+  check_int "clear entry counts" 2 (Antlist.clear_size l2)
+
+let test_strip_marked () =
+  let l =
+    Antlist.of_levels
+      [ [ (0, Mark.Clear) ]; [ (1, Mark.Single); (2, Mark.Clear); (3, Mark.Double) ] ]
+  in
+  let s = Antlist.strip_marked ~keep:3 l in
+  check "clear kept" true (Antlist.mem s 2);
+  check "other marked dropped" false (Antlist.mem s 1);
+  check "keep exception" true (Antlist.find s 3 = Some (1, Mark.Double));
+  (* Stripping a trailing all-marked level trims it. *)
+  let l2 = Antlist.of_levels [ [ (0, Mark.Clear) ]; [ (1, Mark.Single) ] ] in
+  check_int "trailing trim" 1 (Antlist.size (Antlist.strip_marked ~keep:0 l2))
+
+let test_strip_keeps_interior_empty () =
+  (* An interior level emptied by stripping stays, so goodList can reject
+     the malformed shape. *)
+  let l =
+    Antlist.of_levels
+      [ [ (0, Mark.Clear) ]; [ (1, Mark.Double) ]; [ (2, Mark.Clear) ] ]
+  in
+  let s = Antlist.strip_marked ~keep:9 l in
+  check "has empty level" true (Antlist.has_empty_level s);
+  check_int "size kept" 3 (Antlist.size s)
+
+let test_truncate () =
+  let l = of_clear [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ] in
+  let t = Antlist.truncate l 2 in
+  check_int "truncated" 2 (Antlist.size t);
+  check "far node gone" false (Antlist.mem t 3);
+  check_int "truncate beyond size" 4 (Antlist.size (Antlist.truncate l 10))
+
+let test_ids_and_entries () =
+  let l = Antlist.of_levels [ [ (0, Mark.Clear) ]; [ (1, Mark.Single); (2, Mark.Clear) ] ] in
+  Alcotest.(check (list int)) "ids" [ 0; 1; 2 ] (Node_id.Set.elements (Antlist.ids l));
+  Alcotest.(check (list int)) "clear ids" [ 0; 2 ]
+    (Node_id.Set.elements (Antlist.clear_ids l));
+  check_int "entries" 3 (List.length (Antlist.entries l));
+  Alcotest.(check (list int)) "level ids" [ 1; 2 ]
+    (Node_id.Set.elements (Antlist.level_ids l 1));
+  check "out of range level" true (Antlist.level l 7 = [])
+
+let test_well_formed () =
+  check "good" true (Antlist.well_formed (of_clear [ [ 0 ]; [ 1; 2 ] ]));
+  check "duplicate id" false (Antlist.well_formed (of_clear [ [ 0 ]; [ 0 ] ]));
+  check "empty level" false
+    (Antlist.well_formed (Antlist.of_levels [ [ (0, Mark.Clear) ]; []; [ (2, Mark.Clear) ] ]));
+  check "deep mark" false
+    (Antlist.well_formed
+       (Antlist.of_levels [ [ (0, Mark.Clear) ]; [ (1, Mark.Clear) ]; [ (2, Mark.Single) ] ]))
+
+let test_restrict_clear () =
+  let l =
+    Antlist.of_levels [ [ (0, Mark.Clear) ]; [ (1, Mark.Double) ]; [ (2, Mark.Clear) ] ]
+  in
+  let r = Antlist.restrict_clear l in
+  check "marked gone" false (Antlist.mem r 1);
+  check "clear kept" true (Antlist.mem r 0 && Antlist.mem r 2)
+
+let test_compare_equal () =
+  let a = of_clear [ [ 0 ]; [ 1 ] ] in
+  let b = of_clear [ [ 0 ]; [ 1 ] ] in
+  check "equal" true (Antlist.equal a b);
+  check_int "compare zero" 0 (Antlist.compare a b);
+  let c = Antlist.of_levels [ [ (0, Mark.Clear) ]; [ (1, Mark.Single) ] ] in
+  check "marks distinguish" false (Antlist.equal a c);
+  let d = Antlist.of_levels [ [ (0, Mark.Clear) ]; [ (1, Mark.Double) ] ] in
+  check "single vs double distinguish" false (Antlist.equal c d)
+
+(* --- r-operator laws, with qcheck --- *)
+
+(* Random unmarked lists with unique ids per list (the representation
+   invariant of computed lists): the algebraic laws are about the distance
+   structure; marks are exercised by the unit tests above. *)
+let gen_antlist =
+  QCheck.Gen.(
+    let* n_levels = int_range 1 4 in
+    let* sizes = list_repeat n_levels (int_range 1 3) in
+    let total = List.fold_left ( + ) 0 sizes in
+    let* ids = shuffle_l (List.init 16 (fun i -> i)) in
+    let rec take k l = if k = 0 then ([], l) else
+      match l with [] -> ([], []) | x :: r -> let (a, b) = take (k - 1) r in (x :: a, b)
+    in
+    let picked, _ = take total ids in
+    let rec split sizes pool = match sizes with
+      | [] -> []
+      | k :: rest -> let (lvl, pool') = take k pool in
+          List.map (fun id -> (id, Mark.Clear)) lvl :: split rest pool'
+    in
+    return (Antlist.of_levels (split sizes picked)))
+
+let arb_antlist = QCheck.make ~print:Antlist.to_string gen_antlist
+
+let prop_merge_idempotent =
+  QCheck.Test.make ~name:"merge idempotent: l ⊕ l has l's ids at l's positions or closer"
+    ~count:200 arb_antlist (fun l ->
+      let m = Antlist.merge l l in
+      Node_id.Set.subset (Antlist.ids m) (Antlist.ids l))
+
+let prop_ant_absorbs_self =
+  QCheck.Test.make ~name:"idempotency: merge l (merge l r) = merge l r" ~count:200
+    (QCheck.pair arb_antlist arb_antlist) (fun (l, r) ->
+      let lr = Antlist.merge l r in
+      Antlist.equal (Antlist.merge l lr) lr)
+
+let prop_merge_ids_bounded =
+  QCheck.Test.make ~name:"merge ids ⊆ union of ids" ~count:200
+    (QCheck.pair arb_antlist arb_antlist) (fun (a, b) ->
+      Node_id.Set.subset
+        (Antlist.ids (Antlist.merge a b))
+        (Node_id.Set.union (Antlist.ids a) (Antlist.ids b)))
+
+let prop_merge_no_duplicates =
+  QCheck.Test.make ~name:"merge output has unique ids" ~count:200
+    (QCheck.pair arb_antlist arb_antlist) (fun (a, b) ->
+      let m = Antlist.merge a b in
+      let all = Antlist.entries m in
+      List.length all
+      = Node_id.Set.cardinal
+          (Node_id.Set.of_list (List.map (fun (id, _, _) -> id) all)))
+
+let prop_merge_positions_min =
+  QCheck.Test.make ~name:"merge keeps positions no farther than either input" ~count:200
+    (QCheck.pair arb_antlist arb_antlist) (fun (a, b) ->
+      let m = Antlist.merge a b in
+      List.for_all
+        (fun (id, pos, _) ->
+          let best =
+            match (Antlist.find a id, Antlist.find b id) with
+            | Some (pa, _), Some (pb, _) -> min pa pb
+            | Some (pa, _), None -> pa
+            | None, Some (pb, _) -> pb
+            | None, None -> max_int
+          in
+          pos >= best)
+        (Antlist.entries m))
+
+let prop_shift_increments =
+  QCheck.Test.make ~name:"shift moves every entry one level deeper" ~count:200 arb_antlist
+    (fun l ->
+      let s = Antlist.shift l in
+      List.for_all
+        (fun (id, pos, _) -> Antlist.find s id = Some (pos + 1, Mark.Clear))
+        (Antlist.entries l))
+
+let qcheck_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_merge_idempotent;
+      prop_ant_absorbs_self;
+      prop_merge_ids_bounded;
+      prop_merge_no_duplicates;
+      prop_merge_positions_min;
+      prop_shift_increments;
+    ]
+
+let suite =
+  [
+    ("singleton", `Quick, test_singleton);
+    ("singleton marked", `Quick, test_singleton_marked);
+    ("paper merge example", `Quick, test_paper_example);
+    ("shift (r endomorphism)", `Quick, test_shift);
+    ("ant basic", `Quick, test_ant_basic);
+    ("ant dedupe keeps closest", `Quick, test_ant_dedupe_keeps_closest);
+    ("ant self dedupe", `Quick, test_ant_self_dedupe);
+    ("gap truncation", `Quick, test_gap_truncation);
+    ("mark severity in level", `Quick, test_merge_mark_severity);
+    ("clear size", `Quick, test_clear_size_ignores_marked_tail);
+    ("strip marked", `Quick, test_strip_marked);
+    ("strip keeps interior empty", `Quick, test_strip_keeps_interior_empty);
+    ("truncate", `Quick, test_truncate);
+    ("ids and entries", `Quick, test_ids_and_entries);
+    ("well_formed", `Quick, test_well_formed);
+    ("restrict_clear", `Quick, test_restrict_clear);
+    ("compare/equal", `Quick, test_compare_equal);
+  ]
+  @ qcheck_suite

@@ -1,0 +1,447 @@
+(* White-box tests of the GRP node: handshake, admission tests, quarantine,
+   views, priorities, the too-far contest and fault injection. *)
+
+open Dgs_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let ids = Alcotest.testable Node_id.pp_set Node_id.Set.equal
+let config ?(dmax = 2) () = Config.make ~dmax ()
+
+let msg_of node = Grp_node.make_message node
+
+(* Deliver every node's message to every other (clique round) then compute
+   all; used to drive small node sets by hand. *)
+let clique_round nodes =
+  let msgs = List.map (fun n -> msg_of n) nodes in
+  List.iter (fun n -> List.iter (fun m -> Grp_node.receive n m) msgs) nodes;
+  List.map (fun n -> (n, Grp_node.compute n)) nodes
+
+let test_create () =
+  let n = Grp_node.create ~config:(config ()) 4 in
+  check_int "id" 4 (Grp_node.id n);
+  Alcotest.check ids "initial view" (Node_id.Set.singleton 4) (Grp_node.view n);
+  check "own list" true (Antlist.equal (Grp_node.antlist n) (Antlist.singleton 4));
+  check "own quarantine 0" true (Grp_node.quarantine_of n 4 = Some 0)
+
+let test_receive_keeps_last () =
+  let a = Grp_node.create ~config:(config ()) 0 in
+  let b = Grp_node.create ~config:(config ()) 1 in
+  Grp_node.receive a (msg_of b);
+  ignore (Grp_node.compute b);
+  Grp_node.receive a (msg_of b);
+  Alcotest.check ids "one sender buffered" (Node_id.Set.singleton 1)
+    (Grp_node.pending_senders a)
+
+let test_receive_ignores_self () =
+  let a = Grp_node.create ~config:(config ()) 0 in
+  Grp_node.receive a (msg_of a);
+  check "self message dropped" true (Node_id.Set.is_empty (Grp_node.pending_senders a))
+
+let test_msgset_reset_after_compute () =
+  let a = Grp_node.create ~config:(config ()) 0 in
+  let b = Grp_node.create ~config:(config ()) 1 in
+  Grp_node.receive a (msg_of b);
+  ignore (Grp_node.compute a);
+  check "msgSet reset" true (Node_id.Set.is_empty (Grp_node.pending_senders a))
+
+let test_handshake_marks () =
+  let a = Grp_node.create ~config:(config ~dmax:1 ()) 0 in
+  let b = Grp_node.create ~config:(config ~dmax:1 ()) 1 in
+  (* Round 1: both only know themselves; each single-marks the other. *)
+  ignore (clique_round [ a; b ]);
+  check "a single-marks b" true (Antlist.find (Grp_node.antlist a) 1 = Some (1, Mark.Single));
+  check "b single-marks a" true (Antlist.find (Grp_node.antlist b) 0 = Some (1, Mark.Single));
+  Alcotest.check ids "view still solo" (Node_id.Set.singleton 0) (Grp_node.view a);
+  (* Round 2: each sees itself (marked) in the other's list: link confirmed
+     and the entry turns clear; the admission gate then wants to see itself
+     unmarked in the partner's list, which arrives one round later. *)
+  ignore (clique_round [ a; b ]);
+  check "b clear at a" true (Antlist.find (Grp_node.antlist a) 1 = Some (1, Mark.Clear));
+  ignore (clique_round [ a; b ]);
+  Alcotest.check ids "pair formed" (Node_id.set_of_list [ 0; 1 ]) (Grp_node.view a);
+  Alcotest.check ids "pair formed at b" (Node_id.set_of_list [ 0; 1 ]) (Grp_node.view b)
+
+let test_quarantine_delays_admission () =
+  let dmax = 3 in
+  let a = Grp_node.create ~config:(config ~dmax ()) 0 in
+  let b = Grp_node.create ~config:(config ~dmax ()) 1 in
+  ignore (clique_round [ a; b ]);
+  ignore (clique_round [ a; b ]);
+  (* After the handshake, b is clear at a but still quarantined. *)
+  check "clear" true (Antlist.find (Grp_node.antlist a) 1 = Some (1, Mark.Clear));
+  (match Grp_node.quarantine_of a 1 with
+  | Some q -> check "quarantine pending" true (q > 0)
+  | None -> Alcotest.fail "expected quarantine entry");
+  check "not in view yet" false (Node_id.Set.mem 1 (Grp_node.view a));
+  for _ = 1 to dmax do
+    ignore (clique_round [ a; b ])
+  done;
+  check "admitted after Dmax computes" true (Node_id.Set.mem 1 (Grp_node.view a))
+
+let test_no_quarantine_ablation () =
+  let cfg = Config.make ~quarantine_enabled:false ~dmax:3 () in
+  let a = Grp_node.create ~config:cfg 0 in
+  let b = Grp_node.create ~config:cfg 1 in
+  ignore (clique_round [ a; b ]);
+  ignore (clique_round [ a; b ]);
+  ignore (clique_round [ a; b ]);
+  (* Dmax = 3 quarantine would keep b out for three more rounds; without it
+     b enters as soon as the admission evidence arrives. *)
+  check "admitted without waiting out the quarantine" true
+    (Node_id.Set.mem 1 (Grp_node.view a))
+
+let test_good_list () =
+  let v = Grp_node.create ~config:(config ~dmax:2 ()) 0 in
+  let ok = Antlist.of_levels [ [ (1, Mark.Clear) ]; [ (0, Mark.Clear) ] ] in
+  check "accepts listing me" true (Grp_node.good_list v ~sender:1 ok);
+  let marked_me = Antlist.of_levels [ [ (1, Mark.Clear) ]; [ (0, Mark.Single) ] ] in
+  check "accepts single-marked me" true (Grp_node.good_list v ~sender:1 marked_me);
+  let double_me = Antlist.of_levels [ [ (1, Mark.Clear) ]; [ (0, Mark.Double) ] ] in
+  check "rejects double-marked me" false (Grp_node.good_list v ~sender:1 double_me);
+  let absent = Antlist.of_levels [ [ (1, Mark.Clear) ]; [ (2, Mark.Clear) ] ] in
+  check "rejects me-less list" false (Grp_node.good_list v ~sender:1 absent);
+  let deep_clear =
+    Antlist.of_levels [ [ (1, Mark.Clear) ]; [ (2, Mark.Clear) ]; [ (0, Mark.Clear) ] ]
+  in
+  check "accepts me clear at depth (group-mate over a new link)" true
+    (Grp_node.good_list v ~sender:1 deep_clear);
+  let too_long =
+    Antlist.of_levels
+      [ [ (1, Mark.Clear) ]; [ (0, Mark.Clear) ]; [ (2, Mark.Clear) ]; [ (3, Mark.Clear) ] ]
+  in
+  check "rejects oversized" false (Grp_node.good_list v ~sender:1 too_long);
+  let gap =
+    Antlist.of_levels [ [ (1, Mark.Clear) ]; [ (0, Mark.Clear) ]; []; [] ]
+  in
+  check "rejects empty level" false (Grp_node.good_list v ~sender:1 gap);
+  let wrong_head = Antlist.of_levels [ [ (9, Mark.Clear) ]; [ (0, Mark.Clear) ] ] in
+  check "rejects wrong head" false (Grp_node.good_list v ~sender:1 wrong_head)
+
+let test_compatible_list_basic () =
+  let v = Grp_node.create ~config:(config ~dmax:2 ()) 0 in
+  (* Lone sender: always compatible with a lone receiver. *)
+  let lone = Antlist.of_levels [ [ (1, Mark.Clear) ]; [ (0, Mark.Clear) ] ] in
+  check "lone-lone" true
+    (Grp_node.compatible_list v ~sender_view:(Node_id.Set.singleton 1) lone);
+  (* Sender advertising an established group of extent 1: joining puts its
+     far member at distance 2 = dmax from me — compatible. *)
+  let near =
+    Antlist.of_levels [ [ (1, Mark.Clear) ]; [ (0, Mark.Clear); (2, Mark.Clear) ] ]
+  in
+  check "extent-1 group fits dmax 2" true
+    (Grp_node.compatible_list v ~sender_view:(Node_id.set_of_list [ 1; 2 ]) near);
+  (* Extent 2: its far member would land at distance 3 > dmax. *)
+  let big =
+    Antlist.of_levels
+      [ [ (1, Mark.Clear) ]; [ (0, Mark.Clear); (2, Mark.Clear) ]; [ (3, Mark.Clear) ] ]
+  in
+  let view_big = Node_id.set_of_list [ 1; 2; 3 ] in
+  check "extent-2 group too far for dmax 2" false
+    (Grp_node.compatible_list v ~sender_view:view_big big)
+
+let test_compatible_list_rejects_overflow () =
+  (* Receiver with an established line of extent 2 (dmax=2): a sender
+     advertising one more established hop must be refused. *)
+  let v = Grp_node.create ~config:(config ~dmax:2 ()) 0 in
+  Grp_node.corrupt_list v
+    (Antlist.of_levels [ [ (0, Mark.Clear) ]; [ (1, Mark.Clear) ]; [ (2, Mark.Clear) ] ]);
+  Grp_node.corrupt_view v (Node_id.set_of_list [ 0; 1; 2 ]);
+  let sender =
+    Antlist.of_levels [ [ (3, Mark.Clear) ]; [ (0, Mark.Clear); (4, Mark.Clear) ] ]
+  in
+  let sender_view = Node_id.set_of_list [ 3; 4 ] in
+  check "overflowing merge refused" false
+    (Grp_node.compatible_list v ~sender_view sender)
+
+let test_pair_formation_dmax1 () =
+  (* Regression: two lone nodes at Dmax=1 must form a pair (the echo of
+     the receiver in the sender's list must not count as extent). *)
+  let a = Grp_node.create ~config:(config ~dmax:1 ()) 0 in
+  let b = Grp_node.create ~config:(config ~dmax:1 ()) 1 in
+  for _ = 1 to 4 do
+    ignore (clique_round [ a; b ])
+  done;
+  Alcotest.check ids "pair" (Node_id.set_of_list [ 0; 1 ]) (Grp_node.view a)
+
+let test_triangle_formation_dmax1 () =
+  (* Regression: the triangle is a legal Dmax=1 clique; joint admission's
+     overlap test must see the adjacency witnessed by marked entries. *)
+  let mk i = Grp_node.create ~config:(config ~dmax:1 ()) i in
+  let a = mk 0 and b = mk 1 and c = mk 2 in
+  for _ = 1 to 6 do
+    ignore (clique_round [ a; b; c ])
+  done;
+  let everyone = Node_id.set_of_list [ 0; 1; 2 ] in
+  List.iter
+    (fun n -> Alcotest.check ids "triangle clique" everyone (Grp_node.view n))
+    [ a; b; c ]
+
+let test_priority_freezes_in_group () =
+  let a = Grp_node.create ~config:(config ~dmax:2 ()) 0 in
+  let b = Grp_node.create ~config:(config ~dmax:2 ()) 1 in
+  for _ = 1 to 6 do
+    ignore (clique_round [ a; b ])
+  done;
+  let frozen = (Grp_node.own_priority a).Priority.oldness in
+  for _ = 1 to 5 do
+    ignore (clique_round [ a; b ])
+  done;
+  check_int "oldness frozen once grouped" frozen
+    (Grp_node.own_priority a).Priority.oldness
+
+let test_solo_priority_bumps () =
+  let a = Grp_node.create ~config:(config ()) 0 in
+  ignore (Grp_node.compute a);
+  ignore (Grp_node.compute a);
+  check_int "bumps while solo" 2 (Grp_node.own_priority a).Priority.oldness
+
+let test_lamport_sync () =
+  (* A freshly booted node hearing an old network jumps its clock forward
+     so it cannot outrank established members. *)
+  let a = Grp_node.create ~config:(config ()) 0 in
+  let b = Grp_node.create ~config:(config ()) 1 in
+  Grp_node.corrupt_priority b (Priority.make ~oldness:50 ~id:1);
+  Grp_node.corrupt_priority_table b [ (1, Priority.make ~oldness:50 ~id:1) ];
+  Grp_node.receive a (msg_of b);
+  ignore (Grp_node.compute a);
+  check "clock jumped" true ((Grp_node.own_priority a).Priority.oldness >= 50)
+
+let test_group_priority_is_min () =
+  let a = Grp_node.create ~config:(config ~dmax:2 ()) 0 in
+  let b = Grp_node.create ~config:(config ~dmax:2 ()) 1 in
+  for _ = 1 to 6 do
+    ignore (clique_round [ a; b ])
+  done;
+  let ga = Grp_node.group_priority a in
+  let pa = Grp_node.own_priority a in
+  let pb =
+    match Grp_node.known_priority a 1 with Some p -> p | None -> Alcotest.fail "pb"
+  in
+  check "group priority = min of members" true
+    (Priority.equal ga (Priority.min pa pb))
+
+let test_message_contents () =
+  let a = Grp_node.create ~config:(config ()) 0 in
+  let b = Grp_node.create ~config:(config ()) 1 in
+  for _ = 1 to 4 do
+    ignore (clique_round [ a; b ])
+  done;
+  let m = msg_of a in
+  check_int "sender" 0 m.Message.sender;
+  check "list included" true (Antlist.equal m.Message.antlist (Grp_node.antlist a));
+  check "priorities cover list ids" true
+    (Node_id.Set.for_all
+       (fun v -> Node_id.Map.mem v m.Message.priorities)
+       (Antlist.ids m.Message.antlist));
+  Alcotest.check ids "view advertised" (Grp_node.view a) m.Message.view
+
+let test_step_info_reports_changes () =
+  let a = Grp_node.create ~config:(config ~dmax:1 ()) 0 in
+  let b = Grp_node.create ~config:(config ~dmax:1 ()) 1 in
+  ignore (clique_round [ a; b ]);
+  let infos = clique_round [ a; b ] in
+  let _, ia = List.hd infos in
+  Alcotest.check ids "addition reported" (Node_id.Set.singleton 1) ia.Grp_node.view_added;
+  (* b falls silent: a evicts it and reports the removal. *)
+  let ia = Grp_node.compute a in
+  Alcotest.check ids "removal reported" (Node_id.Set.singleton 1)
+    ia.Grp_node.view_removed
+
+let test_silence_evicts () =
+  let a = Grp_node.create ~config:(config ~dmax:2 ()) 0 in
+  let b = Grp_node.create ~config:(config ~dmax:2 ()) 1 in
+  for _ = 1 to 5 do
+    ignore (clique_round [ a; b ])
+  done;
+  check "paired" true (Node_id.Set.mem 1 (Grp_node.view a));
+  (* One compute with an empty msgSet: the departed neighbor disappears. *)
+  ignore (Grp_node.compute a);
+  Alcotest.check ids "view reset to self" (Node_id.Set.singleton 0) (Grp_node.view a);
+  check "list reset" true (Antlist.equal (Grp_node.antlist a) (Antlist.singleton 0))
+
+let test_corrupt_state_recovers () =
+  (* Self-stabilization in the small: a corrupted node heals in one
+     exchange with a correct neighbor. *)
+  let a = Grp_node.create ~config:(config ~dmax:2 ()) 0 in
+  let b = Grp_node.create ~config:(config ~dmax:2 ()) 1 in
+  for _ = 1 to 5 do
+    ignore (clique_round [ a; b ])
+  done;
+  Grp_node.corrupt_list a
+    (Antlist.of_levels
+       [ [ (0, Mark.Clear) ]; [ (77, Mark.Clear) ]; [ (88, Mark.Double) ] ]);
+  Grp_node.corrupt_view a (Node_id.set_of_list [ 0; 77 ]);
+  Grp_node.corrupt_quarantine a [ (77, 0) ];
+  for _ = 1 to 6 do
+    ignore (clique_round [ a; b ])
+  done;
+  Alcotest.check ids "ghosts purged" (Node_id.set_of_list [ 0; 1 ]) (Grp_node.view a);
+  check "ghost not in list" false (Antlist.mem (Grp_node.antlist a) 77)
+
+let test_admission_gate () =
+  (* With the optional gate, a transitive candidate enters the view only
+     once a view-mate advertises it — one-sided memberships become
+     impossible.  Drive a 3-line by hand: a-b-c with a and c out of range
+     of each other. *)
+  let cfg = Config.make ~admission_gate_enabled:true ~dmax:2 () in
+  let a = Grp_node.create ~config:cfg 0 in
+  let b = Grp_node.create ~config:cfg 1 in
+  let c = Grp_node.create ~config:cfg 2 in
+  let line_round () =
+    let ma = msg_of a and mb = msg_of b and mc = msg_of c in
+    Grp_node.receive a mb;
+    Grp_node.receive b ma;
+    Grp_node.receive b mc;
+    Grp_node.receive c mb;
+    ignore (Grp_node.compute a);
+    ignore (Grp_node.compute b);
+    ignore (Grp_node.compute c)
+  in
+  for _ = 1 to 12 do
+    line_round ()
+  done;
+  let everyone = Node_id.set_of_list [ 0; 1; 2 ] in
+  Alcotest.check ids "gated line forms" everyone (Grp_node.view a);
+  Alcotest.check ids "gated line forms at c" everyone (Grp_node.view c)
+
+let test_asymmetric_link_never_groups () =
+  (* b hears a, a never hears b (directed link): the triple handshake
+     cannot complete, b keeps a single-marked and no pair ever forms —
+     "asymmetric link information is not propagated". *)
+  let a = Grp_node.create ~config:(config ~dmax:2 ()) 0 in
+  let b = Grp_node.create ~config:(config ~dmax:2 ()) 1 in
+  for _ = 1 to 10 do
+    let ma = msg_of a in
+    ignore (msg_of b);
+    Grp_node.receive b ma;
+    (* a receives nothing *)
+    ignore (Grp_node.compute a);
+    ignore (Grp_node.compute b)
+  done;
+  Alcotest.check ids "b stays solo" (Node_id.Set.singleton 1) (Grp_node.view b);
+  (match Antlist.find (Grp_node.antlist b) 0 with
+  | Some (1, Mark.Single) -> ()
+  | other ->
+      Alcotest.failf "expected a single-marked at level 1, got %s"
+        (match other with
+        | None -> "absent"
+        | Some (p, m) -> Printf.sprintf "pos %d mark %s" p (Mark.to_string m)));
+  Alcotest.check ids "a stays solo" (Node_id.Set.singleton 0) (Grp_node.view a)
+
+let test_too_far_contest_truncates_for_winner () =
+  (* A line 0-1-2-3 at Dmax=2: once everyone merges speculatively, the
+     ends see each other at distance 3 = Dmax+1.  The higher-priority
+     (lower id under equal oldness) end keeps its side; the far end is
+     truncated, not the provider cut, when the far node loses. *)
+  let cfg = config ~dmax:2 () in
+  let nodes = List.init 4 (fun i -> Grp_node.create ~config:cfg i) in
+  let line_round () =
+    let msgs = List.map msg_of nodes in
+    let get i = List.nth msgs i in
+    let recv i m = Grp_node.receive (List.nth nodes i) m in
+    recv 0 (get 1);
+    recv 1 (get 0);
+    recv 1 (get 2);
+    recv 2 (get 1);
+    recv 2 (get 3);
+    recv 3 (get 2);
+    List.map (fun n -> Grp_node.compute n) nodes
+  in
+  let saw_conflict = ref false in
+  for _ = 1 to 15 do
+    List.iter
+      (fun (i : Grp_node.step_info) ->
+        if i.Grp_node.too_far_conflict then saw_conflict := true)
+      (line_round ())
+  done;
+  check "a too-far conflict happened" true !saw_conflict;
+  (* The stable outcome partitions the line into two legal groups. *)
+  let views = List.map Grp_node.view nodes in
+  List.iter
+    (fun v -> check "views bounded" true (Node_id.Set.cardinal v <= 3))
+    views;
+  let v0 = List.nth views 0 in
+  check "node 0 grouped" true (Node_id.Set.cardinal v0 >= 2)
+
+let test_rounds_corruption_smoke () =
+  let t =
+    Dgs_sim.Rounds.create ~config:(config ~dmax:2 ()) (Dgs_graph.Gen.line 3)
+  in
+  let rng = Dgs_util.Rng.create 5 in
+  (* High corruption: protocol must neither crash nor violate its local
+     invariants. *)
+  for _ = 1 to 60 do
+    ignore (Dgs_sim.Rounds.round ~corruption:0.5 ~rng t)
+  done;
+  List.iter
+    (fun v ->
+      let n = Dgs_sim.Rounds.node t v in
+      check "list bounded under corruption" true
+        (Antlist.size (Grp_node.antlist n) <= 3))
+    (Dgs_sim.Rounds.node_ids t)
+
+let test_list_size_invariant =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"computed lists never exceed Dmax+1 levels" ~count:50
+       QCheck.(pair (int_range 1 4) (int_range 2 8))
+       (fun (dmax, n) ->
+         let cfg = Config.make ~dmax () in
+         let nodes = List.init n (fun i -> Grp_node.create ~config:cfg i) in
+         for _ = 1 to 8 do
+           ignore (clique_round nodes)
+         done;
+         List.for_all
+           (fun nd ->
+             Antlist.size (Grp_node.antlist nd) <= dmax + 1
+             && Antlist.well_formed (Grp_node.antlist nd))
+           nodes))
+
+let test_view_subset_of_clear_list =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"views are unmarked zero-quarantine list members" ~count:50
+       QCheck.(int_range 2 8)
+       (fun n ->
+         let cfg = Config.make ~dmax:2 () in
+         let nodes = List.init n (fun i -> Grp_node.create ~config:cfg i) in
+         for _ = 1 to 6 do
+           ignore (clique_round nodes)
+         done;
+         List.for_all
+           (fun nd ->
+             Node_id.Set.for_all
+               (fun v ->
+                 Node_id.Set.mem v (Antlist.clear_ids (Grp_node.antlist nd))
+                 && Grp_node.quarantine_of nd v = Some 0)
+               (Grp_node.view nd))
+           nodes))
+
+let suite =
+  [
+    ("create", `Quick, test_create);
+    ("receive keeps last message", `Quick, test_receive_keeps_last);
+    ("receive ignores self", `Quick, test_receive_ignores_self);
+    ("msgSet reset after compute", `Quick, test_msgset_reset_after_compute);
+    ("triple handshake marks", `Quick, test_handshake_marks);
+    ("quarantine delays admission", `Quick, test_quarantine_delays_admission);
+    ("quarantine ablation", `Quick, test_no_quarantine_ablation);
+    ("goodList", `Quick, test_good_list);
+    ("compatibleList basic", `Quick, test_compatible_list_basic);
+    ("compatibleList rejects overflow", `Quick, test_compatible_list_rejects_overflow);
+    ("pair at Dmax=1", `Quick, test_pair_formation_dmax1);
+    ("triangle at Dmax=1", `Quick, test_triangle_formation_dmax1);
+    ("priority freezes in group", `Quick, test_priority_freezes_in_group);
+    ("priority bumps while solo", `Quick, test_solo_priority_bumps);
+    ("lamport clock sync", `Quick, test_lamport_sync);
+    ("group priority is min", `Quick, test_group_priority_is_min);
+    ("message contents", `Quick, test_message_contents);
+    ("step info reports view changes", `Quick, test_step_info_reports_changes);
+    ("silence evicts a neighbor", `Quick, test_silence_evicts);
+    ("corrupted state recovers", `Quick, test_corrupt_state_recovers);
+    ("admission gate (optional)", `Quick, test_admission_gate);
+    ("asymmetric link never groups", `Quick, test_asymmetric_link_never_groups);
+    ("too-far contest on a line", `Quick, test_too_far_contest_truncates_for_winner);
+    ("rounds under heavy corruption", `Quick, test_rounds_corruption_smoke);
+    test_list_size_invariant;
+    test_view_subset_of_clear_list;
+  ]

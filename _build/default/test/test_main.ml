@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "dgs"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("ralgebra", Test_ralgebra.suite);
+      ("antlist", Test_antlist.suite);
+      ("mark/priority", Test_priority.suite);
+      ("grp-node", Test_grp_node.suite);
+      ("wire", Test_wire.suite);
+      ("sim", Test_sim.suite);
+      ("spec", Test_spec.suite);
+      ("mobility", Test_mobility.suite);
+      ("baselines", Test_baselines.suite);
+      ("metrics", Test_metrics.suite);
+      ("stabilization", Test_stabilization.suite);
+      ("propositions", Test_propositions.suite);
+      ("continuity", Test_continuity.suite);
+      ("workload", Test_workload.suite);
+    ]

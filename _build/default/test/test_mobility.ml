@@ -1,0 +1,140 @@
+(* Unit tests for the mobility models. *)
+
+module Mobility = Dgs_mobility.Mobility
+module Waypoint = Dgs_mobility.Waypoint
+module Walk = Dgs_mobility.Walk
+module Highway = Dgs_mobility.Highway
+module Manhattan = Dgs_mobility.Manhattan
+module Geom = Dgs_util.Geom
+module Rng = Dgs_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let in_box ~xmax ~ymax p =
+  p.Geom.x >= 0.0 && p.Geom.x <= xmax && p.Geom.y >= 0.0 && p.Geom.y <= ymax
+
+let max_step positions positions' =
+  let m = ref 0.0 in
+  Array.iteri (fun i p -> m := Float.max !m (Geom.dist p positions'.(i))) positions;
+  !m
+
+let test_waypoint_bounds () =
+  let m = Waypoint.create (Rng.create 1) ~n:20 ~xmax:5.0 ~ymax:4.0 ~vmin:0.5 ~vmax:1.0 ~pause:0.5 in
+  for _ = 1 to 200 do
+    Waypoint.step m ~dt:0.3;
+    Array.iter
+      (fun p -> check "waypoint in box" true (in_box ~xmax:5.0 ~ymax:4.0 p))
+      (Waypoint.positions m)
+  done
+
+let test_waypoint_speed_bound () =
+  let m = Waypoint.create (Rng.create 2) ~n:10 ~xmax:10.0 ~ymax:10.0 ~vmin:0.5 ~vmax:1.0 ~pause:0.0 in
+  for _ = 1 to 100 do
+    let before = Array.map (fun p -> p) (Waypoint.positions m) in
+    Waypoint.step m ~dt:0.5;
+    check "bounded displacement" true (max_step before (Waypoint.positions m) <= 0.5 +. 1e-6)
+  done
+
+let test_waypoint_moves () =
+  let m = Waypoint.create (Rng.create 3) ~n:5 ~xmax:10.0 ~ymax:10.0 ~vmin:1.0 ~vmax:1.0 ~pause:0.0 in
+  let before = Array.map (fun p -> p) (Waypoint.positions m) in
+  Waypoint.step m ~dt:1.0;
+  check "someone moved" true (max_step before (Waypoint.positions m) > 0.1)
+
+let test_waypoint_validation () =
+  Alcotest.check_raises "vmin 0" (Invalid_argument "Waypoint.create: need 0 < vmin <= vmax")
+    (fun () ->
+      ignore (Waypoint.create (Rng.create 4) ~n:2 ~xmax:1.0 ~ymax:1.0 ~vmin:0.0 ~vmax:1.0 ~pause:0.0))
+
+let test_walk_bounds () =
+  let m = Walk.create (Rng.create 5) ~n:15 ~xmax:4.0 ~ymax:4.0 ~speed:1.0 ~turn_sigma:0.5 in
+  for _ = 1 to 300 do
+    Walk.step m ~dt:0.2;
+    Array.iter
+      (fun p -> check "walk in box" true (in_box ~xmax:4.0 ~ymax:4.0 p))
+      (Walk.positions m)
+  done
+
+let test_highway_lanes () =
+  let m = Highway.create (Rng.create 6) ~n:12 ~lanes:3 ~lane_gap:0.5 ~length:20.0 ~vmin:0.5 ~vmax:1.0 () in
+  Array.iteri
+    (fun i p ->
+      check_int "lane assignment round robin" (i mod 3) (Highway.lane_of m i);
+      check "on its lane" true (abs_float (p.Geom.y -. (0.5 *. float_of_int (i mod 3))) < 1e-9))
+    (Highway.positions m);
+  for _ = 1 to 100 do
+    Highway.step m ~dt:1.0
+  done;
+  Array.iteri
+    (fun i p ->
+      check "y never changes" true
+        (abs_float (p.Geom.y -. (0.5 *. float_of_int (Highway.lane_of m i))) < 1e-9);
+      check "x wraps into segment" true (p.Geom.x >= 0.0 && p.Geom.x < 20.0))
+    (Highway.positions m)
+
+let test_highway_bidirectional () =
+  let m =
+    Highway.create (Rng.create 7) ~n:4 ~lanes:2 ~lane_gap:0.5 ~length:100.0 ~vmin:1.0
+      ~vmax:1.0 ~bidirectional:true ()
+  in
+  let x0 = Array.map (fun p -> p.Geom.x) (Highway.positions m) in
+  Highway.step m ~dt:1.0;
+  let x1 = Array.map (fun p -> p.Geom.x) (Highway.positions m) in
+  (* Vehicle 0 is in lane 0 (forward), vehicle 1 in lane 1 (backward). *)
+  let fwd = Float.rem (x1.(0) -. x0.(0) +. 100.0) 100.0 in
+  let bwd = Float.rem (x1.(1) -. x0.(1) +. 100.0) 100.0 in
+  check "lane 0 forward" true (abs_float (fwd -. 1.0) < 1e-6);
+  check "lane 1 backward" true (abs_float (bwd -. 99.0) < 1e-6)
+
+let test_manhattan_on_streets () =
+  let m = Manhattan.create (Rng.create 8) ~n:10 ~blocks_x:3 ~blocks_y:3 ~block:2.0 ~speed:0.7 in
+  for _ = 1 to 200 do
+    Manhattan.step m ~dt:0.3;
+    Array.iter
+      (fun p ->
+        let on_x = abs_float (Float.rem p.Geom.x 2.0) < 1e-6 || abs_float (Float.rem p.Geom.x 2.0 -. 2.0) < 1e-6 in
+        let on_y = abs_float (Float.rem p.Geom.y 2.0) < 1e-6 || abs_float (Float.rem p.Geom.y 2.0 -. 2.0) < 1e-6 in
+        check "on a street" true (on_x || on_y);
+        check "inside the city" true (in_box ~xmax:6.0 ~ymax:6.0 p))
+      (Manhattan.positions m)
+  done
+
+let test_static_spec () =
+  let pts = [| Geom.make 0.0 0.0; Geom.make 1.0 0.0 |] in
+  let m = Mobility.create (Rng.create 9) ~n:2 (Mobility.Static pts) in
+  Mobility.step m ~dt:10.0;
+  check "static never moves" true (Mobility.positions m == pts);
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Mobility.create: Static size mismatch") (fun () ->
+      ignore (Mobility.create (Rng.create 9) ~n:3 (Mobility.Static pts)))
+
+let test_mobility_graph () =
+  let pts = [| Geom.make 0.0 0.0; Geom.make 1.0 0.0; Geom.make 5.0 0.0 |] in
+  let m = Mobility.create (Rng.create 10) ~n:3 (Mobility.Static pts) in
+  let g = Mobility.graph m ~range:2.0 in
+  check "close pair linked" true (Dgs_graph.Graph.mem_edge g 0 1);
+  check "far pair not" false (Dgs_graph.Graph.mem_edge g 0 2)
+
+let test_spec_names () =
+  check "static" true (Mobility.spec_name (Mobility.Static [||]) = "static");
+  check "highway" true
+    (Mobility.spec_name
+       (Mobility.Highway
+          { lanes = 1; lane_gap = 1.0; length = 1.0; vmin = 0.0; vmax = 0.0; bidirectional = false })
+    = "highway")
+
+let suite =
+  [
+    ("waypoint stays in box", `Quick, test_waypoint_bounds);
+    ("waypoint speed bound", `Quick, test_waypoint_speed_bound);
+    ("waypoint moves", `Quick, test_waypoint_moves);
+    ("waypoint validation", `Quick, test_waypoint_validation);
+    ("walk stays in box", `Quick, test_walk_bounds);
+    ("highway lanes and wrap", `Quick, test_highway_lanes);
+    ("highway bidirectional", `Quick, test_highway_bidirectional);
+    ("manhattan stays on streets", `Quick, test_manhattan_on_streets);
+    ("static spec", `Quick, test_static_spec);
+    ("mobility graph", `Quick, test_mobility_graph);
+    ("spec names", `Quick, test_spec_names);
+  ]

@@ -1,0 +1,70 @@
+(* Unit tests for marks and priorities. *)
+
+open Dgs_core
+
+let check = Alcotest.(check bool)
+
+let test_mark_order () =
+  check "clear < single" true (Mark.compare Mark.Clear Mark.Single < 0);
+  check "single < double" true (Mark.compare Mark.Single Mark.Double < 0);
+  check "max" true (Mark.max Mark.Single Mark.Double = Mark.Double);
+  check "is_marked" true (Mark.is_marked Mark.Single && Mark.is_marked Mark.Double);
+  check "clear unmarked" false (Mark.is_marked Mark.Clear)
+
+let test_priority_total_order () =
+  let a = Priority.make ~oldness:1 ~id:5 in
+  let b = Priority.make ~oldness:1 ~id:6 in
+  let c = Priority.make ~oldness:2 ~id:1 in
+  check "oldness first" true (Priority.has_priority_over a c);
+  check "id breaks ties" true (Priority.has_priority_over a b);
+  check "irreflexive" false (Priority.has_priority_over a a);
+  check "min" true (Priority.equal (Priority.min b c) b)
+
+let test_priority_bump_sync () =
+  let p = Priority.initial 3 in
+  check "initial oldness" true (p.Priority.oldness = 0);
+  let p = Priority.bump p in
+  check "bumped" true (p.Priority.oldness = 1);
+  let p = Priority.sync p 10 in
+  check "synced forward" true (p.Priority.oldness = 10);
+  let p2 = Priority.sync p 5 in
+  check "sync never goes back" true (p2.Priority.oldness = 10)
+
+let test_priority_lowest () =
+  let p = Priority.make ~oldness:1_000_000 ~id:99 in
+  check "everything beats lowest" true (Priority.has_priority_over p Priority.lowest)
+
+let test_beats_window () =
+  let old_frozen = Priority.make ~oldness:5 ~id:9 in
+  let young = Priority.make ~oldness:100 ~id:1 in
+  (* Far apart in oldness: the frozen (older) one wins regardless of id. *)
+  check "frozen beats bumping" true (Priority.beats ~window:4 old_frozen young);
+  check "bumping loses" false (Priority.beats ~window:4 young old_frozen);
+  (* Within the staleness window: ids decide. *)
+  let a = Priority.make ~oldness:10 ~id:2 in
+  let b = Priority.make ~oldness:12 ~id:7 in
+  check "window tie, lower id wins" true (Priority.beats ~window:4 a b);
+  check "window tie, higher id loses" false (Priority.beats ~window:4 b a);
+  (* The lowest sentinel never wins a contest. *)
+  check "unknown never wins" false (Priority.beats ~window:4 Priority.lowest a)
+
+let test_beats_consistency =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"beats is antisymmetric for distinct priorities" ~count:500
+       QCheck.(pair (pair small_nat small_nat) (pair small_nat small_nat))
+       (fun ((o1, i1), (o2, i2)) ->
+         let p = Priority.make ~oldness:o1 ~id:i1
+         and q = Priority.make ~oldness:o2 ~id:i2 in
+         QCheck.assume (not (Priority.equal p q));
+         QCheck.assume (i1 <> i2);
+         not (Priority.beats ~window:5 p q && Priority.beats ~window:5 q p)))
+
+let suite =
+  [
+    ("mark order", `Quick, test_mark_order);
+    ("priority total order", `Quick, test_priority_total_order);
+    ("priority bump/sync", `Quick, test_priority_bump_sync);
+    ("priority lowest sentinel", `Quick, test_priority_lowest);
+    ("beats with staleness window", `Quick, test_beats_window);
+    test_beats_consistency;
+  ]

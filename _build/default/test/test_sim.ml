@@ -1,0 +1,351 @@
+(* Unit tests for the simulation layer: engine, medium, round runner and
+   the event-driven network runtime. *)
+
+module Engine = Dgs_sim.Engine
+module Medium = Dgs_sim.Medium
+module Rounds = Dgs_sim.Rounds
+module Net = Dgs_sim.Net
+module Gen = Dgs_graph.Gen
+module Graph = Dgs_graph.Graph
+module Rng = Dgs_util.Rng
+open Dgs_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- engine --- *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule_at e 3.0 (fun () -> log := 3 :: !log));
+  ignore (Engine.schedule_at e 1.0 (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule_at e 2.0 (fun () -> log := 2 :: !log));
+  Engine.run_until e 10.0;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "clock at horizon" 10.0 (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule_at e 1.0 (fun () -> log := i :: !log))
+  done;
+  Engine.run_until e 2.0;
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_horizon () =
+  let e = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule_at e 5.0 (fun () -> fired := true));
+  Engine.run_until e 4.0;
+  check "not yet" false !fired;
+  Engine.run_until e 5.0;
+  check "now fired" true !fired
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule_at e 1.0 (fun () -> fired := true) in
+  Engine.cancel e id;
+  Engine.run_until e 2.0;
+  check "cancelled" false !fired
+
+let test_engine_cascading () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then ignore (Engine.schedule_after e 1.0 tick)
+  in
+  ignore (Engine.schedule_after e 1.0 tick);
+  Engine.run_until e 100.0;
+  check_int "self-rescheduling chain" 5 !count
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  Engine.run_until e 5.0;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> ignore (Engine.schedule_at e 1.0 (fun () -> ())))
+
+let test_engine_run_all_guard () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec forever () =
+    incr count;
+    ignore (Engine.schedule_after e 1.0 forever)
+  in
+  ignore (Engine.schedule_after e 1.0 forever);
+  Engine.run_all e ~max_events:50;
+  check_int "bounded" 50 !count
+
+(* --- medium --- *)
+
+let make_medium ?(loss = 0.0) ~audience () =
+  let engine = Engine.create () in
+  let received = ref [] in
+  let medium =
+    Medium.create ~engine ~rng:(Rng.create 1) ~loss ~delay_min:0.001 ~delay_max:0.01
+      ~audience
+      ~deliver:(fun ~dst msg -> received := (dst, msg) :: !received)
+      ()
+  in
+  (engine, medium, received)
+
+let test_medium_broadcast () =
+  let engine, medium, received = make_medium ~audience:(fun _ -> [ 1; 2; 3 ]) () in
+  Medium.broadcast medium ~src:0 "hello";
+  Engine.run_until engine 1.0;
+  check_int "all neighbors" 3 (List.length !received);
+  check "payload" true (List.for_all (fun (_, m) -> m = "hello") !received)
+
+let test_medium_excludes_sender () =
+  let engine, medium, received = make_medium ~audience:(fun _ -> [ 0; 1 ]) () in
+  Medium.broadcast medium ~src:0 "x";
+  Engine.run_until engine 1.0;
+  Alcotest.(check (list int)) "no self-delivery" [ 1 ] (List.map fst !received)
+
+let test_medium_loss () =
+  let engine, medium, received = make_medium ~loss:1.0 ~audience:(fun _ -> [ 1; 2 ]) () in
+  Medium.broadcast medium ~src:0 "x";
+  Engine.run_until engine 1.0;
+  check_int "all lost" 0 (List.length !received);
+  let s = Medium.stats medium in
+  check_int "losses counted" 2 s.Medium.losses;
+  check_int "broadcast counted" 1 s.Medium.broadcasts
+
+let test_medium_loss_rate () =
+  let engine, medium, received = make_medium ~loss:0.5 ~audience:(fun _ -> [ 1 ]) () in
+  for _ = 1 to 2000 do
+    Medium.broadcast medium ~src:0 "x"
+  done;
+  Engine.run_until engine 100.0;
+  let n = List.length !received in
+  check "≈ half delivered" true (n > 850 && n < 1150)
+
+let test_medium_stats_reset () =
+  let engine, medium, _ = make_medium ~audience:(fun _ -> [ 1 ]) () in
+  Medium.broadcast medium ~src:0 "x";
+  Engine.run_until engine 1.0;
+  Medium.reset_stats medium;
+  let s = Medium.stats medium in
+  check_int "reset" 0 (s.Medium.broadcasts + s.Medium.deliveries + s.Medium.losses)
+
+(* --- rounds runner --- *)
+
+let test_rounds_message_count () =
+  let t = Rounds.create ~config:(Config.make ~dmax:2 ()) (Gen.line 3) in
+  ignore (Rounds.round t);
+  (* line 0-1-2: directed deliveries = 2*edges = 4. *)
+  check_int "messages" 4 (Rounds.messages_sent t)
+
+let test_rounds_stabilizes_pair () =
+  let t = Rounds.create ~config:(Config.make ~dmax:1 ()) (Gen.line 2) in
+  match Rounds.run_until_stable t with
+  | Some r ->
+      check "fast" true (r <= 5);
+      Alcotest.(check bool) "paired" true
+        (Node_id.Set.equal (Grp_node.view (Rounds.node t 0)) (Node_id.set_of_list [ 0; 1 ]))
+  | None -> Alcotest.fail "did not stabilize"
+
+let test_rounds_loss_requires_rng () =
+  let t = Rounds.create ~config:(Config.make ~dmax:1 ()) (Gen.line 2) in
+  Alcotest.check_raises "loss without rng"
+    (Invalid_argument "Rounds.round: loss > 0 requires an rng") (fun () ->
+      ignore (Rounds.round ~loss:0.5 t))
+
+let test_rounds_sends_multiplies () =
+  let t = Rounds.create ~config:(Config.make ~dmax:2 ()) (Gen.line 3) in
+  ignore (Rounds.round ~sends:3 t);
+  check_int "3x messages" 12 (Rounds.messages_sent t)
+
+let test_rounds_set_graph_adds_nodes () =
+  let g = Gen.line 2 in
+  let t = Rounds.create ~config:(Config.make ~dmax:2 ()) g in
+  Graph.add_edge g 1 2;
+  Rounds.set_graph t g;
+  Alcotest.(check (list int)) "new node known" [ 0; 1; 2 ] (Rounds.node_ids t);
+  ignore (Rounds.round t)
+
+let test_rounds_views_map () =
+  let t = Rounds.create ~config:(Config.make ~dmax:2 ()) (Gen.line 3) in
+  ignore (Rounds.run_until_stable t);
+  let views = Rounds.views t in
+  check_int "all nodes" 3 (Node_id.Map.cardinal views);
+  check "agreeing" true
+    (Node_id.Map.for_all
+       (fun _ v -> Node_id.Set.equal v (Node_id.set_of_list [ 0; 1; 2 ]))
+       views)
+
+(* --- net (event-driven) --- *)
+
+let test_net_converges () =
+  let graph = Gen.line 3 in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~rng:(Rng.create 3)
+      ~config:(Config.make ~dmax:2 ())
+      ~topology:(fun () -> graph)
+      ~nodes:(Graph.nodes graph) ()
+  in
+  Net.run_until net 40.0;
+  let views = Net.views net in
+  check "line of 3 groups up" true
+    (Node_id.Map.for_all
+       (fun _ v -> Node_id.Set.equal v (Node_id.set_of_list [ 0; 1; 2 ]))
+       views)
+
+let test_net_signature_stabilizes () =
+  let graph = Gen.ring 6 in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~rng:(Rng.create 4)
+      ~config:(Config.make ~dmax:2 ())
+      ~topology:(fun () -> graph)
+      ~nodes:(Graph.nodes graph) ()
+  in
+  Net.run_until net 80.0;
+  let s1 = Net.state_signature net in
+  Net.run_until net 100.0;
+  check "signature stable" true (String.equal s1 (Net.state_signature net))
+
+let test_net_deactivate_reactivate () =
+  let graph = Gen.line 3 in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~rng:(Rng.create 5)
+      ~config:(Config.make ~dmax:2 ())
+      ~topology:(fun () -> graph)
+      ~nodes:(Graph.nodes graph) ()
+  in
+  Net.run_until net 40.0;
+  Net.deactivate net 2;
+  Net.run_until net 80.0;
+  check "survivors regroup" true
+    (Node_id.Set.equal (Grp_node.view (Net.node net 0)) (Node_id.set_of_list [ 0; 1 ]));
+  Net.activate net 2;
+  Net.run_until net 140.0;
+  check "rejoins" true
+    (Node_id.Set.equal (Grp_node.view (Net.node net 0)) (Node_id.set_of_list [ 0; 1; 2 ]))
+
+let test_net_add_node () =
+  let graph = Gen.line 2 in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~rng:(Rng.create 6)
+      ~config:(Config.make ~dmax:2 ())
+      ~topology:(fun () -> graph)
+      ~nodes:(Graph.nodes graph) ()
+  in
+  Net.run_until net 30.0;
+  Graph.add_edge graph 1 2;
+  Net.add_node net 2;
+  Net.run_until net 80.0;
+  check "extended group" true
+    (Node_id.Set.equal (Grp_node.view (Net.node net 0)) (Node_id.set_of_list [ 0; 1; 2 ]))
+
+let test_net_stats () =
+  let graph = Gen.line 2 in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~rng:(Rng.create 7)
+      ~config:(Config.make ~dmax:1 ())
+      ~topology:(fun () -> graph)
+      ~nodes:(Graph.nodes graph) ()
+  in
+  Net.run_until net 20.0;
+  let s = Net.stats net in
+  check "computes happened" true (s.Net.computes > 10);
+  check "messages flowed" true (s.Net.medium.Medium.deliveries > 10);
+  Net.reset_stats net;
+  check_int "reset" 0 (Net.stats net).Net.computes
+
+let test_net_observer () =
+  let graph = Gen.line 2 in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~rng:(Rng.create 8)
+      ~config:(Config.make ~dmax:1 ())
+      ~topology:(fun () -> graph)
+      ~nodes:(Graph.nodes graph) ()
+  in
+  let additions = ref 0 in
+  Net.on_step net (fun ~time:_ _ info ->
+      additions := !additions + Node_id.Set.cardinal info.Grp_node.view_added);
+  Net.run_until net 30.0;
+  check "observer saw the admissions" true (!additions >= 2)
+
+let test_net_tau_validation () =
+  let graph = Gen.line 2 in
+  let engine = Engine.create () in
+  Alcotest.check_raises "tau_s > tau_c"
+    (Invalid_argument "Net.create: tau_s must be <= tau_c") (fun () ->
+      ignore
+        (Net.create ~engine ~rng:(Rng.create 9)
+           ~config:(Config.make ~dmax:1 ())
+           ~tau_c:1.0 ~tau_s:2.0
+           ~topology:(fun () -> graph)
+           ~nodes:[ 0; 1 ] ()))
+
+(* --- reproducibility --- *)
+
+let test_rounds_deterministic () =
+  let run () =
+    let t = Rounds.create ~config:(Config.make ~dmax:3 ()) (Gen.grid 4 4) in
+    let rng = Rng.create 123 in
+    Rounds.run ~jitter:0.2 ~loss:0.1 ~sends:2 ~rng t 40;
+    List.map
+      (fun v ->
+        let n = Rounds.node t v in
+        (Antlist.to_string (Grp_node.antlist n), Node_id.Set.elements (Grp_node.view n)))
+      (Rounds.node_ids t)
+  in
+  check "same seed, same execution" true (run () = run ())
+
+let test_net_deterministic () =
+  let run () =
+    let graph = Gen.ring 8 in
+    let engine = Engine.create () in
+    let net =
+      Net.create ~engine ~rng:(Rng.create 321)
+        ~config:(Config.make ~dmax:2 ())
+        ~loss:0.05
+        ~topology:(fun () -> graph)
+        ~nodes:(Graph.nodes graph) ()
+    in
+    Net.run_until net 60.0;
+    Net.state_signature net
+  in
+  check "same seed, same event-driven execution" true (String.equal (run ()) (run ()))
+
+let suite =
+  [
+    ("engine time order", `Quick, test_engine_order);
+    ("engine fifo on ties", `Quick, test_engine_fifo_ties);
+    ("engine horizon", `Quick, test_engine_horizon);
+    ("engine cancel", `Quick, test_engine_cancel);
+    ("engine cascading events", `Quick, test_engine_cascading);
+    ("engine rejects the past", `Quick, test_engine_past_rejected);
+    ("engine run_all guard", `Quick, test_engine_run_all_guard);
+    ("medium broadcast", `Quick, test_medium_broadcast);
+    ("medium excludes sender", `Quick, test_medium_excludes_sender);
+    ("medium total loss", `Quick, test_medium_loss);
+    ("medium loss rate", `Quick, test_medium_loss_rate);
+    ("medium stats reset", `Quick, test_medium_stats_reset);
+    ("rounds message count", `Quick, test_rounds_message_count);
+    ("rounds stabilizes a pair", `Quick, test_rounds_stabilizes_pair);
+    ("rounds loss needs rng", `Quick, test_rounds_loss_requires_rng);
+    ("rounds sends multiplier", `Quick, test_rounds_sends_multiplies);
+    ("rounds set_graph adds nodes", `Quick, test_rounds_set_graph_adds_nodes);
+    ("rounds views map", `Quick, test_rounds_views_map);
+    ("net converges", `Quick, test_net_converges);
+    ("net signature stabilizes", `Quick, test_net_signature_stabilizes);
+    ("net deactivate/reactivate", `Quick, test_net_deactivate_reactivate);
+    ("net add node", `Quick, test_net_add_node);
+    ("net stats", `Quick, test_net_stats);
+    ("net observer", `Quick, test_net_observer);
+    ("net tau validation", `Quick, test_net_tau_validation);
+    ("rounds runner is deterministic", `Quick, test_rounds_deterministic);
+    ("net runtime is deterministic", `Quick, test_net_deterministic);
+  ]

@@ -1,0 +1,169 @@
+(* Unit tests for the specification layer: Ω extraction and the predicates
+   of paper Section 3. *)
+
+module Graph = Dgs_graph.Graph
+module Gen = Dgs_graph.Gen
+module Cfg = Dgs_spec.Configuration
+module P = Dgs_spec.Predicates
+open Dgs_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let ids = Alcotest.testable Node_id.pp_set Node_id.Set.equal
+
+let cfg graph views =
+  Cfg.make ~graph
+    ~views:
+      (List.fold_left
+         (fun acc (v, members) -> Node_id.Map.add v (Node_id.set_of_list members) acc)
+         Node_id.Map.empty views)
+
+let agreed_pairs = [ (0, [ 0; 1 ]); (1, [ 0; 1 ]); (2, [ 2 ]) ]
+
+let test_omega_agreement () =
+  let c = cfg (Gen.line 3) agreed_pairs in
+  Alcotest.check ids "omega of member" (Node_id.set_of_list [ 0; 1 ]) (Cfg.omega c 0);
+  Alcotest.check ids "omega singleton" (Node_id.Set.singleton 2) (Cfg.omega c 2)
+
+let test_omega_collapses_disagreement () =
+  let c = cfg (Gen.line 3) [ (0, [ 0; 1 ]); (1, [ 0; 1; 2 ]); (2, [ 2 ]) ] in
+  Alcotest.check ids "disagreeing view collapses" (Node_id.Set.singleton 0) (Cfg.omega c 0)
+
+let test_omega_requires_self () =
+  let c = cfg (Gen.line 2) [ (0, [ 1 ]); (1, [ 1 ]) ] in
+  Alcotest.check ids "self-less view collapses" (Node_id.Set.singleton 0) (Cfg.omega c 0)
+
+let test_groups_partition () =
+  let c = cfg (Gen.line 4) [ (0, [ 0; 1 ]); (1, [ 0; 1 ]); (2, [ 2; 3 ]); (3, [ 2; 3 ]) ] in
+  check_int "two groups" 2 (List.length (Cfg.groups c))
+
+let test_default_view () =
+  let c = cfg (Gen.line 2) [] in
+  Alcotest.check ids "unknown node gets singleton" (Node_id.Set.singleton 1) (Cfg.view c 1)
+
+let test_agreement_predicate () =
+  check "agreed config" true (P.agreement (cfg (Gen.line 3) agreed_pairs) = None);
+  let bad = cfg (Gen.line 3) [ (0, [ 0; 1 ]); (1, [ 1 ]); (2, [ 2 ]) ] in
+  check "asymmetric views" false (P.agreement bad = None);
+  let ghost = cfg (Gen.line 2) [ (0, [ 0; 9 ]); (1, [ 1 ]) ] in
+  check "non-existing member" false (P.agreement ghost = None);
+  let selfless = cfg (Gen.line 2) [ (0, [ 1 ]); (1, [ 1 ]) ] in
+  check "missing self" false (P.agreement selfless = None)
+
+let test_safety_predicate () =
+  let line5 = Gen.line 5 in
+  let all = [ 0; 1; 2; 3; 4 ] in
+  let wide = cfg line5 (List.map (fun v -> (v, all)) all) in
+  check "diameter 4 > 2" false (P.safety ~dmax:2 wide = None);
+  check "diameter 4 <= 4" true (P.safety ~dmax:4 wide = None);
+  (* A group that is disconnected inside itself is unsafe even if its
+     members are pairwise close through outsiders. *)
+  let split = cfg line5 [ (0, [ 0; 2 ]); (2, [ 0; 2 ]); (1, [ 1 ]); (3, [ 3 ]); (4, [ 4 ]) ] in
+  check "internally disconnected group" false (P.safety ~dmax:2 split = None)
+
+let test_maximality_predicate () =
+  let line4 = Gen.line 4 in
+  let merged = cfg line4 [ (0, [ 0; 1 ]); (1, [ 0; 1 ]); (2, [ 2; 3 ]); (3, [ 2; 3 ]) ] in
+  (* {0,1} ∪ {2,3} has diameter 3 > 2: maximal for dmax = 2. *)
+  check "maximal partition" true (P.maximality ~dmax:2 merged = None);
+  check "mergeable pair flagged" false (P.maximality ~dmax:3 merged = None);
+  let singletons = cfg (Gen.line 2) [ (0, [ 0 ]); (1, [ 1 ]) ] in
+  check "two adjacent singletons not maximal" false (P.maximality ~dmax:1 singletons = None)
+
+let test_legitimate_combines () =
+  let good = cfg (Gen.line 3) [ (0, [ 0; 1; 2 ]); (1, [ 0; 1; 2 ]); (2, [ 0; 1; 2 ]) ] in
+  check "legitimate" true (P.legitimate ~dmax:2 good = None);
+  check "dmax too small" false (P.legitimate ~dmax:1 good = None)
+
+let test_topology_preserved () =
+  let before = cfg (Gen.line 3) [ (0, [ 0; 1; 2 ]); (1, [ 0; 1; 2 ]); (2, [ 0; 1; 2 ]) ] in
+  let g_broken = Graph.of_edges ~nodes:[ 0; 1; 2 ] [ (0, 1) ] in
+  let after_broken = Cfg.make ~graph:g_broken ~views:before.Cfg.views in
+  check "link loss breaks \xCE\xA0T" false (P.topology_preserved ~dmax:2 before after_broken = None);
+  let g_extra = Gen.complete 3 in
+  let after_extra = Cfg.make ~graph:g_extra ~views:before.Cfg.views in
+  check "extra links preserve \xCE\xA0T" true (P.topology_preserved ~dmax:2 before after_extra = None)
+
+let test_continuity () =
+  let v0 = [ (0, [ 0; 1 ]); (1, [ 0; 1 ]) ] in
+  let before = cfg (Gen.line 2) v0 in
+  let same = cfg (Gen.line 2) v0 in
+  check "no change" true (P.continuity before same = None);
+  let grown = cfg (Gen.line 2) [ (0, [ 0; 1 ]); (1, [ 0; 1 ]) ] in
+  check "growth fine" true (P.continuity before grown = None);
+  let shrunk = cfg (Gen.line 2) [ (0, [ 0 ]); (1, [ 0; 1 ]) ] in
+  check "eviction flagged" false (P.continuity before shrunk = None)
+
+let test_best_effort () =
+  let before = cfg (Gen.line 2) [ (0, [ 0; 1 ]); (1, [ 0; 1 ]) ] in
+  (* ΠT broken (edge vanished): an eviction is excused. *)
+  let gone = Cfg.make ~graph:(Graph.of_edges ~nodes:[ 0; 1 ] []) ~views:(cfg (Gen.line 2) [ (0, [ 0 ]); (1, [ 1 ]) ]).Cfg.views in
+  check "excused under broken \xCE\xA0T" true (P.best_effort ~dmax:1 before gone = None);
+  (* ΠT holds but a member vanished: the theorem is violated. *)
+  let betrayed = cfg (Gen.line 2) [ (0, [ 0 ]); (1, [ 0; 1 ]) ] in
+  check "violation under preserved \xCE\xA0T" false (P.best_effort ~dmax:1 before betrayed = None)
+
+let test_violation_report () =
+  let bad = cfg (Gen.line 3) [ (0, [ 0; 1 ]); (1, [ 1 ]); (2, [ 2 ]) ] in
+  match P.agreement bad with
+  | Some v ->
+      check "predicate name" true (v.P.predicate = "agreement");
+      check "witness present" true (v.P.subject <> [])
+  | None -> Alcotest.fail "expected violation"
+
+(* --- monitor --- *)
+
+let test_monitor_counts () =
+  let m = Dgs_spec.Monitor.create ~dmax:2 in
+  let good = cfg (Gen.line 3) [ (0, [ 0; 1; 2 ]); (1, [ 0; 1; 2 ]); (2, [ 0; 1; 2 ]) ] in
+  Dgs_spec.Monitor.observe m good;
+  Dgs_spec.Monitor.observe m good;
+  (* A member disappears while the topology is unchanged: continuity breach
+     not excused. *)
+  let shrunk = cfg (Gen.line 3) [ (0, [ 0; 1 ]); (1, [ 0; 1 ]); (2, [ 2 ]) ] in
+  Dgs_spec.Monitor.observe m shrunk;
+  let r = Dgs_spec.Monitor.report m in
+  check_int "steps" 3 r.Dgs_spec.Monitor.steps;
+  check_int "legit steps" 2 r.Dgs_spec.Monitor.legitimate_steps;
+  check_int "continuity breaches" 1 r.Dgs_spec.Monitor.continuity_breaches;
+  check_int "excused" 0 r.Dgs_spec.Monitor.excused_breaches;
+  check_int "pt breaches" 0 r.Dgs_spec.Monitor.pt_breaches;
+  (* legitimacy of the shrunk config: {0,1},{2} on a line with dmax 2 is
+     NOT maximal, so the last step is not legitimate. *)
+  check_int "maximality flagged" 1 r.Dgs_spec.Monitor.maximality_violations
+
+let test_monitor_excuses () =
+  let m = Dgs_spec.Monitor.create ~dmax:1 in
+  let pair = cfg (Gen.line 2) [ (0, [ 0; 1 ]); (1, [ 0; 1 ]) ] in
+  Dgs_spec.Monitor.observe m pair;
+  (* The edge disappears and the pair splits in the same transition: the
+     breach is excused by ΠT. *)
+  let split =
+    Cfg.make
+      ~graph:(Graph.of_edges ~nodes:[ 0; 1 ] [])
+      ~views:(cfg (Gen.line 2) [ (0, [ 0 ]); (1, [ 1 ]) ]).Cfg.views
+  in
+  Dgs_spec.Monitor.observe m split;
+  let r = Dgs_spec.Monitor.report m in
+  check_int "breach recorded" 1 r.Dgs_spec.Monitor.continuity_breaches;
+  check_int "breach excused" 1 r.Dgs_spec.Monitor.excused_breaches;
+  check_int "pt breach" 1 r.Dgs_spec.Monitor.pt_breaches
+
+let suite =
+  [
+    ("omega under agreement", `Quick, test_omega_agreement);
+    ("omega collapses disagreement", `Quick, test_omega_collapses_disagreement);
+    ("omega requires self", `Quick, test_omega_requires_self);
+    ("groups partition", `Quick, test_groups_partition);
+    ("default singleton view", `Quick, test_default_view);
+    ("agreement", `Quick, test_agreement_predicate);
+    ("safety", `Quick, test_safety_predicate);
+    ("maximality", `Quick, test_maximality_predicate);
+    ("legitimate", `Quick, test_legitimate_combines);
+    ("topology preserved", `Quick, test_topology_preserved);
+    ("continuity", `Quick, test_continuity);
+    ("best effort", `Quick, test_best_effort);
+    ("violation reporting", `Quick, test_violation_report);
+    ("monitor counts", `Quick, test_monitor_counts);
+    ("monitor excuses via Î T", `Quick, test_monitor_excuses);
+  ]

@@ -1,0 +1,271 @@
+(* Unit tests for Dgs_util: rng, pqueue, stats, geometry. *)
+
+module Rng = Dgs_util.Rng
+module Pqueue = Dgs_util.Pqueue
+module Stats = Dgs_util.Stats
+module Geom = Dgs_util.Geom
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- rng --- *)
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let sa = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let sb = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  check "different seeds differ" true (sa <> sb)
+
+let test_int_bounds () =
+  let t = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int t 17 in
+    check "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_in_bounds () =
+  let t = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in t (-5) 5 in
+    check "in inclusive range" true (x >= -5 && x <= 5)
+  done
+
+let test_int_covers_values () =
+  let t = Rng.create 5 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int t 4) <- true
+  done;
+  Array.iteri (fun i b -> check (Printf.sprintf "value %d reached" i) true b) seen
+
+let test_float_bounds () =
+  let t = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let x = Rng.float t 2.5 in
+    check "float in range (regression: 1 lsl 62 overflow)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_bernoulli_rates () =
+  let t = Rng.create 8 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli t 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000.0 in
+  check "bernoulli ~0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_bernoulli_extremes () =
+  let t = Rng.create 9 in
+  for _ = 1 to 100 do
+    check "p=0 never" false (Rng.bernoulli t 0.0)
+  done;
+  for _ = 1 to 100 do
+    check "p=1 always" true (Rng.bernoulli t 1.0)
+  done
+
+let test_split_independence () =
+  let t = Rng.create 10 in
+  let u = Rng.split t in
+  let su = List.init 10 (fun _ -> Rng.int u 1000) in
+  let st = List.init 10 (fun _ -> Rng.int t 1000) in
+  check "split streams differ" true (su <> st)
+
+let test_copy_preserves () =
+  let t = Rng.create 11 in
+  ignore (Rng.int t 5);
+  let c = Rng.copy t in
+  check_int "copy continues identically" (Rng.int t 10_000) (Rng.int c 10_000)
+
+let test_gaussian_moments () =
+  let t = Rng.create 12 in
+  let n = 20_000 in
+  let xs = List.init n (fun _ -> Rng.gaussian t ~mu:3.0 ~sigma:2.0) in
+  let mean = Stats.mean xs in
+  let sd = Stats.stddev xs in
+  check "gaussian mean" true (abs_float (mean -. 3.0) < 0.1);
+  check "gaussian sd" true (abs_float (sd -. 2.0) < 0.1)
+
+let test_exponential_mean () =
+  let t = Rng.create 13 in
+  let xs = List.init 20_000 (fun _ -> Rng.exponential t ~rate:2.0) in
+  check "exponential mean 1/rate" true (abs_float (Stats.mean xs -. 0.5) < 0.05)
+
+let test_shuffle_permutes () =
+  let t = Rng.create 14 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_permutation () =
+  let t = Rng.create 15 in
+  let p = Rng.permutation t 30 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation of 0..29" (Array.init 30 (fun i -> i)) sorted
+
+let test_pick () =
+  let t = Rng.create 16 in
+  for _ = 1 to 100 do
+    check "pick member" true (List.mem (Rng.pick t [| 1; 2; 3 |]) [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick t [||]))
+
+let test_invalid_args () =
+  let t = Rng.create 17 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int t 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range")
+    (fun () -> ignore (Rng.int_in t 3 2))
+
+(* --- pqueue --- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (fun k -> Pqueue.add q k (string_of_int k)) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_pqueue_length () =
+  let q = Pqueue.create ~cmp:compare in
+  check_int "empty" 0 (Pqueue.length q);
+  Pqueue.add q 1 ();
+  Pqueue.add q 2 ();
+  check_int "two" 2 (Pqueue.length q);
+  ignore (Pqueue.pop q);
+  check_int "one" 1 (Pqueue.length q);
+  Pqueue.clear q;
+  check_int "cleared" 0 (Pqueue.length q);
+  check "is_empty" true (Pqueue.is_empty q)
+
+let test_pqueue_peek () =
+  let q = Pqueue.create ~cmp:compare in
+  check "peek empty" true (Pqueue.peek q = None);
+  Pqueue.add q 3 "c";
+  Pqueue.add q 1 "a";
+  check "peek min" true (Pqueue.peek q = Some (1, "a"));
+  check_int "peek does not remove" 2 (Pqueue.length q)
+
+let test_pqueue_pop_exn () =
+  let q = Pqueue.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn empty" (Invalid_argument "Pqueue.pop_exn: empty queue")
+    (fun () -> ignore (Pqueue.pop_exn q))
+
+let test_pqueue_to_sorted_list () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (fun k -> Pqueue.add q k k) [ 3; 1; 2 ];
+  Alcotest.(check (list (pair int int)))
+    "sorted copy"
+    [ (1, 1); (2, 2); (3, 3) ]
+    (Pqueue.to_sorted_list q);
+  check_int "original intact" 3 (Pqueue.length q)
+
+let test_pqueue_random_vs_sort () =
+  let rng = Rng.create 18 in
+  let q = Pqueue.create ~cmp:compare in
+  let keys = List.init 500 (fun _ -> Rng.int rng 1000) in
+  List.iter (fun k -> Pqueue.add q k ()) keys;
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some (k, ()) -> drain (k :: acc)
+  in
+  Alcotest.(check (list int)) "matches sort" (List.sort compare keys) (drain [])
+
+(* --- stats --- *)
+
+let test_stats_mean () =
+  check_float "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "empty mean" 0.0 (Stats.mean [])
+
+let test_stats_stddev () =
+  check_float "sd of constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_float "sd pair" (sqrt 2.0) (Stats.stddev [ 1.0; 3.0 ]);
+  check_float "single" 0.0 (Stats.stddev [ 42.0 ])
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check_float "p0" 1.0 (Stats.percentile 0.0 xs);
+  check_float "p50" 3.0 (Stats.percentile 0.5 xs);
+  check_float "p100" 5.0 (Stats.percentile 1.0 xs);
+  check_float "p25 interpolates" 2.0 (Stats.percentile 0.25 xs);
+  check_float "unsorted input" 3.0 (Stats.percentile 0.5 [ 5.0; 1.0; 3.0; 2.0; 4.0 ])
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 2.0; 4.0; 6.0 ] in
+  check_int "count" 3 s.Stats.count;
+  check_float "mean" 4.0 s.Stats.mean;
+  check_float "min" 2.0 s.Stats.min;
+  check_float "max" 6.0 s.Stats.max;
+  check_float "median" 4.0 s.Stats.median
+
+(* --- geom --- *)
+
+let test_geom_dist () =
+  check_float "3-4-5" 5.0 (Geom.dist (Geom.make 0.0 0.0) (Geom.make 3.0 4.0));
+  check_float "dist2" 25.0 (Geom.dist2 (Geom.make 0.0 0.0) (Geom.make 3.0 4.0))
+
+let test_geom_algebra () =
+  let p = Geom.add (Geom.make 1.0 2.0) (Geom.make 3.0 4.0) in
+  check_float "add x" 4.0 p.Geom.x;
+  check_float "add y" 6.0 p.Geom.y;
+  let q = Geom.scale 2.0 (Geom.make 1.5 (-1.0)) in
+  check_float "scale x" 3.0 q.Geom.x;
+  check_float "scale y" (-2.0) q.Geom.y
+
+let test_geom_normalize () =
+  let u = Geom.normalize (Geom.make 3.0 4.0) in
+  check_float "unit norm" 1.0 (Geom.norm u);
+  let z = Geom.normalize Geom.origin in
+  check_float "origin stays" 0.0 (Geom.norm z)
+
+let test_geom_lerp_clamp () =
+  let m = Geom.lerp (Geom.make 0.0 0.0) (Geom.make 10.0 20.0) 0.5 in
+  check_float "lerp x" 5.0 m.Geom.x;
+  check_float "lerp y" 10.0 m.Geom.y;
+  let c = Geom.clamp_box (Geom.make (-1.0) 15.0) ~xmax:10.0 ~ymax:10.0 in
+  check_float "clamp x" 0.0 c.Geom.x;
+  check_float "clamp y" 10.0 c.Geom.y
+
+let suite =
+  [
+    ("rng determinism", `Quick, test_determinism);
+    ("rng seed sensitivity", `Quick, test_seed_sensitivity);
+    ("rng int bounds", `Quick, test_int_bounds);
+    ("rng int_in bounds", `Quick, test_int_in_bounds);
+    ("rng int covers all values", `Quick, test_int_covers_values);
+    ("rng float bounds", `Quick, test_float_bounds);
+    ("rng bernoulli rate", `Quick, test_bernoulli_rates);
+    ("rng bernoulli extremes", `Quick, test_bernoulli_extremes);
+    ("rng split independence", `Quick, test_split_independence);
+    ("rng copy", `Quick, test_copy_preserves);
+    ("rng gaussian moments", `Quick, test_gaussian_moments);
+    ("rng exponential mean", `Quick, test_exponential_mean);
+    ("rng shuffle permutes", `Quick, test_shuffle_permutes);
+    ("rng permutation", `Quick, test_permutation);
+    ("rng pick", `Quick, test_pick);
+    ("rng invalid args", `Quick, test_invalid_args);
+    ("pqueue ordered drain", `Quick, test_pqueue_order);
+    ("pqueue length/clear", `Quick, test_pqueue_length);
+    ("pqueue peek", `Quick, test_pqueue_peek);
+    ("pqueue pop_exn", `Quick, test_pqueue_pop_exn);
+    ("pqueue to_sorted_list", `Quick, test_pqueue_to_sorted_list);
+    ("pqueue random vs sort", `Quick, test_pqueue_random_vs_sort);
+    ("stats mean", `Quick, test_stats_mean);
+    ("stats stddev", `Quick, test_stats_stddev);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats summary", `Quick, test_stats_summary);
+    ("geom dist", `Quick, test_geom_dist);
+    ("geom algebra", `Quick, test_geom_algebra);
+    ("geom normalize", `Quick, test_geom_normalize);
+    ("geom lerp/clamp", `Quick, test_geom_lerp_clamp);
+  ]

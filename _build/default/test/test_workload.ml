@@ -1,0 +1,42 @@
+(* Smoke tests for the experiment harness: the registry is sound and the
+   fast experiments produce well-formed, populated tables in quick mode
+   (the full campaign runs in bench/main.exe). *)
+
+module Experiments = Dgs_workload.Experiments
+module Table = Dgs_metrics.Table
+
+let check = Alcotest.(check bool)
+
+let test_registry () =
+  check "ten experiments" true (List.length Experiments.all = 10);
+  List.iteri
+    (fun i e ->
+      check "ids ordered" true (e.Experiments.id = Printf.sprintf "e%d" (i + 1)))
+    Experiments.all;
+  check "find hit" true (Experiments.find "e5" <> None);
+  check "find miss" true (Experiments.find "e99" = None)
+
+let run_quick id =
+  match Experiments.find id with
+  | None -> Alcotest.failf "experiment %s missing" id
+  | Some e ->
+      let tables = e.Experiments.run ~quick:true () in
+      check (id ^ " produces tables") true (tables <> []);
+      List.iter
+        (fun t ->
+          check (id ^ " rows") true (Table.row_count t > 0);
+          check (id ^ " renders") true (String.length (Table.render t) > 0);
+          check (id ^ " csv") true (String.length (Table.to_csv t) > 0))
+        tables
+
+let test_e2 () = run_quick "e2"
+let test_e4 () = run_quick "e4"
+let test_e10 () = run_quick "e10"
+
+let suite =
+  [
+    ("registry", `Quick, test_registry);
+    ("e2 quick run", `Slow, test_e2);
+    ("e4 quick run", `Slow, test_e4);
+    ("e10 quick run", `Slow, test_e10);
+  ]
