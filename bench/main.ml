@@ -22,6 +22,7 @@ module P = Dgs_spec.Predicates
 module Harness = Dgs_workload.Harness
 module Experiments = Dgs_workload.Experiments
 module Rng = Dgs_util.Rng
+module Trace = Dgs_trace.Trace
 open Dgs_core
 
 (* --- the subjects --- *)
@@ -57,6 +58,35 @@ let bench_compute =
     (Staged.stage (fun () ->
          List.iter (Grp_node.receive target) msgs;
          Grp_node.compute target))
+
+let bench_compute_traced =
+  (* Tracing overhead on the E3 inner loop: the same compute() subject with
+     an explicit null sink (what an untraced run pays), a counting sink
+     (cheapest real sink) and a ring sink.  docs/OBSERVABILITY.md claims
+     < 5% overhead for the null sink against the untraced baseline above;
+     EXPERIMENTS.md records the measured numbers. *)
+  let subject ~name trace =
+    let config = Config.make ~dmax:3 () in
+    let nodes = List.init 6 (fun i -> Grp_node.create ~config ~trace i) in
+    for _ = 1 to 5 do
+      let msgs = List.map Grp_node.make_message nodes in
+      List.iter (fun n -> List.iter (Grp_node.receive n) msgs) nodes;
+      List.iter (fun n -> ignore (Grp_node.compute n)) nodes
+    done;
+    let target = List.hd nodes in
+    let msgs = List.map Grp_node.make_message (List.tl nodes) in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           List.iter (Grp_node.receive target) msgs;
+           Grp_node.compute target))
+  in
+  [
+    subject ~name:"e3: compute() null trace" Trace.null;
+    subject ~name:"e3: compute() counting trace"
+      (Trace.Counting.sink (Trace.Counting.create ()));
+    subject ~name:"e3: compute() ring trace"
+      (Trace.Ring.sink (Trace.Ring.create ~capacity:4096));
+  ]
 
 let bench_predicates =
   (* E4 inner loop: Ω extraction plus the full legitimacy check. *)
@@ -140,9 +170,9 @@ let bench_maxmin =
 
 let micro_benchmarks () =
   let tests =
-    [
-      bench_ant_merge;
-      bench_compute;
+    [ bench_ant_merge; bench_compute ]
+    @ bench_compute_traced
+    @ [
       bench_predicates;
       bench_diameter;
       bench_round;

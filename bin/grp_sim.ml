@@ -11,9 +11,11 @@ module Gen = Dgs_graph.Gen
 module Rounds = Dgs_sim.Rounds
 module Cfg = Dgs_spec.Configuration
 module P = Dgs_spec.Predicates
+module Monitor = Dgs_spec.Monitor
 module Mobility = Dgs_mobility.Mobility
 module Harness = Dgs_workload.Harness
 module Experiments = Dgs_workload.Experiments
+module Trace = Dgs_trace.Trace
 open Dgs_core
 open Cmdliner
 
@@ -54,6 +56,72 @@ let seed_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-node protocol state.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL event trace of the run to $(docv) (see \
+           docs/OBSERVABILITY.md for the schema).")
+
+(* Validated at parse time so a typo'd kind is a usage error naming the
+   vocabulary, not an uncaught exception mid-run. *)
+let trace_filter_conv =
+  let parse s =
+    let names = List.map String.trim (String.split_on_char ',' s) in
+    match Trace.filter_kinds names Trace.null with
+    | (_ : Trace.t) -> Ok names
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf names -> Format.pp_print_string ppf (String.concat "," names))
+
+let trace_filter_arg =
+  Arg.(
+    value
+    & opt (some trace_filter_conv) None
+    & info [ "trace-filter" ] ~docv:"KINDS"
+        ~doc:
+          "Comma-separated event kinds to keep in the trace file (e.g. \
+           'view_changed,quarantine_admit'); case-insensitive.  Default: all \
+           kinds.")
+
+(* Run [k] with the sink the --trace/--trace-filter options ask for, teeing
+   an unfiltered ring capture of the view changes out of which the
+   convergence timeline is computed. *)
+let with_trace_sink trace_file trace_filter k =
+  let ring = Trace.Ring.create ~capacity:65536 in
+  let views_only = Trace.filter_kinds [ "View_changed" ] (Trace.Ring.sink ring) in
+  let apply_filter sink =
+    match trace_filter with
+    | None -> sink
+    | Some kinds -> Trace.filter_kinds kinds sink
+  in
+  match trace_file with
+  | None -> k Trace.null ring
+  | Some path -> (
+      try
+        Trace.Jsonl.with_file path (fun file_sink ->
+            let r = k (Trace.tee (apply_filter file_sink) views_only) ring in
+            Printf.printf "trace written to %s\n" path;
+            r)
+      with Sys_error msg ->
+        Printf.eprintf "grp_sim: cannot write trace: %s\n" msg;
+        exit 2)
+
+let report_view_stabilization ring =
+  match Monitor.view_stabilization (Trace.Ring.contents ring) with
+  | [] -> ()
+  | per_node ->
+      let last =
+        List.fold_left (fun acc (_, time, _, _) -> max acc time) 0.0 per_node
+      in
+      let changes = List.fold_left (fun acc (_, _, _, n) -> acc + n) 0 per_node in
+      Printf.printf
+        "view stabilization: %d nodes changed views %d times; last change at \
+         round %g\n"
+        (List.length per_node) changes last
+
 let report_config c dmax =
   let groups = Cfg.groups c in
   Printf.printf "groups (%d):\n" (List.length groups);
@@ -71,27 +139,46 @@ let report_config c dmax =
       ("maximality", P.maximality ~dmax);
     ]
 
-let converge_cmd =
-  let run (tname, tf) n dmax seed verbose =
+let converge_term =
+  let run (tname, tf) n dmax seed verbose trace_file trace_filter =
     let g = tf n seed in
     let config = Config.make ~dmax () in
-    let t = Rounds.create ~config g in
-    let rng = Dgs_util.Rng.create seed in
-    let rounds =
-      Rounds.run_until_stable ~jitter:0.1 ~rng ~confirm:(dmax + 5) ~max_rounds:10_000 t
-    in
-    Printf.printf "topology %s, %d nodes, Dmax=%d\n" tname (Dgs_graph.Graph.node_count g)
-      dmax;
-    (match rounds with
-    | Some r -> Printf.printf "stabilized after %d rounds (%d messages)\n" r (Rounds.messages_sent t)
-    | None -> Printf.printf "did not stabilize within the round budget\n");
-    if verbose then
-      List.iter
-        (fun v ->
-          let nd = Rounds.node t v in
-          Format.printf "  %a@." Grp_node.pp nd)
-        (Rounds.node_ids t);
-    report_config (Harness.snapshot t g) dmax
+    with_trace_sink trace_file trace_filter (fun sink ring ->
+        let t = Rounds.create ~config ~trace:sink g in
+        let rng = Dgs_util.Rng.create seed in
+        let monitor = Monitor.create ~dmax in
+        let on_round =
+          (* The per-round predicate sweep behind the convergence timeline
+             is only paid for when a trace was asked for. *)
+          if trace_file = None then None
+          else
+            Some
+              (fun r ->
+                Monitor.observe_at monitor ~time:(float_of_int r)
+                  (Harness.snapshot t g))
+        in
+        let rounds =
+          Rounds.run_until_stable ~jitter:0.1 ~rng ?on_round ~confirm:(dmax + 5)
+            ~max_rounds:10_000 t
+        in
+        Printf.printf "topology %s, %d nodes, Dmax=%d\n" tname
+          (Dgs_graph.Graph.node_count g) dmax;
+        (match rounds with
+        | Some r ->
+            Printf.printf "stabilized after %d rounds (%d messages)\n" r
+              (Rounds.messages_sent t)
+        | None -> Printf.printf "did not stabilize within the round budget\n");
+        if verbose then
+          List.iter
+            (fun v ->
+              let nd = Rounds.node t v in
+              Format.printf "  %a@." Grp_node.pp nd)
+            (Rounds.node_ids t);
+        report_config (Harness.snapshot t g) dmax;
+        if trace_file <> None then begin
+          Format.printf "%a@." Monitor.pp_timeline (Monitor.timeline monitor);
+          report_view_stabilization ring
+        end)
   in
   let topology =
     Arg.(
@@ -99,9 +186,13 @@ let converge_cmd =
       & opt topology_conv (List.nth topologies 6 |> fun (s, f) -> (s, f))
       & info [ "t"; "topology" ] ~docv:"TOPOLOGY" ~doc:"Topology generator.")
   in
-  Cmd.v
-    (Cmd.info "converge" ~doc:"Run GRP on a static topology until quiescent.")
-    Term.(const run $ topology $ nodes_arg $ dmax_arg $ seed_arg $ verbose_arg)
+  Term.(
+    const run $ topology $ nodes_arg $ dmax_arg $ seed_arg $ verbose_arg $ trace_arg
+    $ trace_filter_arg)
+
+let converge_cmd =
+  Cmd.v (Cmd.info "converge" ~doc:"Run GRP on a static topology until quiescent.")
+    converge_term
 
 let mobility_specs speed =
   [
@@ -131,7 +222,7 @@ let mobility_specs speed =
   ]
 
 let mobility_cmd =
-  let run model n dmax seed speed rounds =
+  let run model n dmax seed speed rounds trace_file trace_filter =
     match List.assoc_opt model (mobility_specs speed) with
     | None ->
         Printf.eprintf "unknown mobility model %S (try: highway, waypoint, walk, manhattan)\n"
@@ -140,7 +231,13 @@ let mobility_cmd =
     | Some spec ->
         let config = Config.make ~dmax () in
         let r =
-          Harness.run_mobility ~config ~seed ~spec ~n ~range:2.0 ~dt:1.0 ~rounds ()
+          with_trace_sink trace_file trace_filter (fun sink ring ->
+              let r =
+                Harness.run_mobility ~trace:sink ~config ~seed ~spec ~n ~range:2.0
+                  ~dt:1.0 ~rounds ()
+              in
+              report_view_stabilization ring;
+              r)
         in
         Printf.printf "mobility %s, %d nodes, Dmax=%d, speed %.3f, %d rounds\n" model n
           dmax speed rounds;
@@ -168,7 +265,9 @@ let mobility_cmd =
   in
   Cmd.v
     (Cmd.info "mobility" ~doc:"Run GRP under a mobility model and report continuity.")
-    Term.(const run $ model $ nodes_arg $ dmax_arg $ seed_arg $ speed $ rounds)
+    Term.(
+      const run $ model $ nodes_arg $ dmax_arg $ seed_arg $ speed $ rounds $ trace_arg
+      $ trace_filter_arg)
 
 let experiment_cmd =
   let export dir e tables =
@@ -234,4 +333,10 @@ let list_cmd =
 let () =
   let doc = "Best-effort group service in dynamic networks (GRP) — simulator" in
   let info = Cmd.info "grp_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ converge_cmd; mobility_cmd; experiment_cmd; list_cmd ]))
+  (* With no subcommand, run the quickstart scenario (converge on the
+     default topology) so `grp_sim --trace run.jsonl` traces out of the
+     box. *)
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:converge_term info
+          [ converge_cmd; mobility_cmd; experiment_cmd; list_cmd ]))

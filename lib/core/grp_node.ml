@@ -1,6 +1,9 @@
+module Trace = Dgs_trace.Trace
+
 type t = {
   id : Node_id.t;
   config : Config.t;
+  trace : Trace.t;
   mutable antlist : Antlist.t;
   mutable msg_set : Message.t Node_id.Map.t;
   mutable quarantine : int Node_id.Map.t;
@@ -16,11 +19,12 @@ type step_info = {
   rejected_senders : Node_id.Set.t;
 }
 
-let create ~config id =
+let create ~config ?(trace = Trace.null) id =
   let own_priority = Priority.initial id in
   {
     id;
     config;
+    trace;
     antlist = Antlist.singleton id;
     msg_set = Node_id.Map.empty;
     quarantine = Node_id.Map.singleton id 0;
@@ -196,8 +200,11 @@ let same_group t sender (msg : Message.t) =
              (Node_id.Set.remove sender (Node_id.Set.inter msg.view t.view))))
 
 let check_each_incoming t =
+  let tracing = Trace.enabled t.trace in
   Node_id.Map.mapi
     (fun sender msg ->
+      if tracing && not (Node_id.Set.mem sender t.view) then
+        Trace.emit t.trace (Trace.Merge_attempt { node = t.id; sender });
       (* Admission tests run on the raw list: the sender's marked level-1
          entries are its physical neighbors (in handshake or rejected), and
          that adjacency evidence is what the shortcut subset test needs.
@@ -244,7 +251,11 @@ let check_each_incoming t =
       | Some Mark.Clear | Some Mark.Single ->
           if not (good_list t ~sender raw) then Antlist.singleton_marked sender Mark.Single
           else if incompatible () then Antlist.singleton_marked sender Mark.Double
-          else Antlist.strip_marked ~keep:t.id raw)
+          else begin
+            if tracing && not (Node_id.Set.mem sender t.view) then
+              Trace.emit t.trace (Trace.Merge_accepted { node = t.id; sender });
+            Antlist.strip_marked ~keep:t.id raw
+          end)
     t.msg_set
 
 (* Joint admission: compatibleList only relates each sender to the local
@@ -495,6 +506,51 @@ let update_priorities t lst ~clock =
     Node_id.Map.filter (fun v _ -> Node_id.Set.mem v keep) t.prio_table;
   t.prio_table <- Node_id.Map.add t.id t.own_priority t.prio_table
 
+(* Mark handshake and quarantine transitions, derived by diffing the
+   protocol state across one compute — the list marks and the quarantine
+   table are the canonical handshake state, so diffing them reports exactly
+   the transitions that happened regardless of which code path caused
+   them. *)
+let emit_transitions t ~old_list ~old_q ~new_list =
+  let mark_name = function
+    | Mark.Single -> "single"
+    | Mark.Double -> "double"
+    | Mark.Clear -> "clear"
+  in
+  let old_marks =
+    List.fold_left
+      (fun acc (v, _, m) -> Node_id.Map.add v m acc)
+      Node_id.Map.empty (Antlist.entries old_list)
+  in
+  List.iter
+    (fun (v, _, m) ->
+      if not (Node_id.equal v t.id) then
+        let old_m = Node_id.Map.find_opt v old_marks in
+        match m with
+        | Mark.Clear ->
+            if (match old_m with Some om -> Mark.is_marked om | None -> false) then
+              Trace.emit t.trace (Trace.Mark_cleared { node = t.id; peer = v })
+        | Mark.Single | Mark.Double ->
+            if old_m <> Some m then
+              Trace.emit t.trace
+                (Trace.Mark_set { node = t.id; peer = v; mark = mark_name m }))
+    (Antlist.entries new_list);
+  Node_id.Map.iter
+    (fun v k ->
+      if not (Node_id.equal v t.id) then
+        match Node_id.Map.find_opt v old_q with
+        | None ->
+            if k > 0 then
+              Trace.emit t.trace
+                (Trace.Quarantine_enter { node = t.id; member = v; remaining = k })
+        | Some ko ->
+            if ko > 0 && k = 0 then
+              Trace.emit t.trace (Trace.Quarantine_admit { node = t.id; member = v })
+            else if ko = 0 && k > 0 then
+              Trace.emit t.trace
+                (Trace.Quarantine_enter { node = t.id; member = v; remaining = k }))
+    t.quarantine
+
 let compute t =
   let dmax = t.config.Config.dmax in
   let clock = merge_priority_tables t in
@@ -503,9 +559,23 @@ let compute t =
   let candidate = Antlist.truncate (fold_ant t checked) (dmax + 2) in
   let final_list, too_far_conflict, rejected_senders = resolve_too_far t checked candidate in
   let final_list = Antlist.truncate final_list (dmax + 1) in
+  let old_list = t.antlist in
+  let old_q = t.quarantine in
   update_quarantine t final_list;
   let old_view = t.view in
   let new_view = compute_view t final_list ~evidence in
+  if Trace.enabled t.trace then begin
+    emit_transitions t ~old_list ~old_q ~new_list:final_list;
+    if not (Node_id.Set.equal new_view old_view) then
+      Trace.emit t.trace
+        (Trace.View_changed
+           {
+             node = t.id;
+             added = Node_id.Set.elements (Node_id.Set.diff new_view old_view);
+             removed = Node_id.Set.elements (Node_id.Set.diff old_view new_view);
+             view = Node_id.Set.elements new_view;
+           })
+  end;
   t.antlist <- final_list;
   t.view <- new_view;
   update_priorities t final_list ~clock;

@@ -18,8 +18,13 @@ type step_info = {
   rejected_senders : Node_id.Set.t;  (** senders double-marked this step *)
 }
 
-val create : config:Config.t -> Node_id.t -> t
-(** Fresh node: list [(v)], view [{v}], priority oldness 0. *)
+val create : config:Config.t -> ?trace:Dgs_trace.Trace.t -> Node_id.t -> t
+(** Fresh node: list [(v)], view [{v}], priority oldness 0.  [trace]
+    (default {!Dgs_trace.Trace.null}) receives the node's protocol events
+    — [View_changed], [Quarantine_enter]/[Quarantine_admit],
+    [Mark_set]/[Mark_cleared], [Merge_attempt]/[Merge_accepted] — emitted
+    during {!compute}; timestamps come from whatever clock the driving
+    runtime last set on the sink. *)
 
 val id : t -> Node_id.t
 val config : t -> Config.t

@@ -1,10 +1,16 @@
 module Pqueue = Dgs_util.Pqueue
+module Trace = Dgs_trace.Trace
 
 type event_id = int
 
 type t = {
   agenda : (float * int, event_id * (unit -> unit)) Pqueue.t;
+  (* Ids still on the agenda; [cancelled] is kept a subset of it so that
+     cancelling an id whose event already fired (or cancelling twice) cannot
+     leak an entry that no pop will ever reclaim. *)
+  live : (event_id, unit) Hashtbl.t;
   cancelled : (event_id, unit) Hashtbl.t;
+  trace : Trace.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable next_id : event_id;
@@ -13,16 +19,19 @@ type t = {
 let cmp (t1, s1) (t2, s2) =
   match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
 
-let create ?(start = 0.0) () =
+let create ?(start = 0.0) ?(trace = Trace.null) () =
   {
     agenda = Pqueue.create ~cmp;
+    live = Hashtbl.create 16;
     cancelled = Hashtbl.create 16;
+    trace;
     clock = start;
     next_seq = 0;
     next_id = 0;
   }
 
 let now t = t.clock
+let trace t = t.trace
 
 let schedule_at t time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
@@ -30,24 +39,33 @@ let schedule_at t time f =
   t.next_id <- id + 1;
   Pqueue.add t.agenda (time, t.next_seq) (id, f);
   t.next_seq <- t.next_seq + 1;
+  Hashtbl.replace t.live id ();
+  if Trace.enabled t.trace then
+    Trace.emit t.trace (Trace.Event_scheduled { id; at = time });
   id
 
 let schedule_after t delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t (t.clock +. delay) f
 
-let cancel t id = Hashtbl.replace t.cancelled id ()
+let cancel t id = if Hashtbl.mem t.live id then Hashtbl.replace t.cancelled id ()
+let cancelled_backlog t = Hashtbl.length t.cancelled
 let pending t = Pqueue.length t.agenda
 
 let rec step t =
   match Pqueue.pop t.agenda with
   | None -> false
   | Some ((time, _), (id, f)) ->
+      Hashtbl.remove t.live id;
       if Hashtbl.mem t.cancelled id then (
         Hashtbl.remove t.cancelled id;
         step t)
       else (
         t.clock <- time;
+        if Trace.enabled t.trace then begin
+          Trace.set_time t.trace time;
+          Trace.emit t.trace (Trace.Event_fired { id; at = time })
+        end;
         f ();
         true)
 

@@ -2,25 +2,47 @@
 
     A single agenda of timestamped callbacks; ties are broken by insertion
     order, which keeps runs deterministic for a fixed seed.  Time is a
-    [float] in arbitrary "seconds". *)
+    [float] in arbitrary "seconds".
+
+    When created with a trace sink the engine emits
+    {!Dgs_trace.Trace.Event_scheduled} / [Event_fired] for every callback
+    and, more importantly, advances the sink's clock to the simulation time
+    before each callback runs — so everything a callback emits (deliveries,
+    view changes, ...) is stamped with the correct simulation time. *)
 
 type t
 
 type event_id
 (** Handle for cancellation. *)
 
-val create : ?start:float -> unit -> t
+val create : ?start:float -> ?trace:Dgs_trace.Trace.t -> unit -> t
+(** Fresh engine with an empty agenda; the clock starts at [start]
+    (default [0.0]).  [trace] (default {!Dgs_trace.Trace.null}) receives
+    the engine-level events and has its clock driven by the event loop. *)
 
 val now : t -> float
 (** Current simulation time. *)
+
+val trace : t -> Dgs_trace.Trace.t
+(** The sink the engine was created with ({!Dgs_trace.Trace.null} when
+    tracing is off). *)
 
 val schedule_at : t -> float -> (unit -> unit) -> event_id
 (** Raises [Invalid_argument] when scheduling in the past. *)
 
 val schedule_after : t -> float -> (unit -> unit) -> event_id
+(** Schedule relative to {!now}.  Raises [Invalid_argument] on a negative
+    delay. *)
 
 val cancel : t -> event_id -> unit
-(** Idempotent; cancelled events are skipped when popped. *)
+(** Idempotent; cancelled events are skipped when popped.  Cancelling an
+    id that already fired (or was never scheduled) is a no-op and does not
+    retain any memory. *)
+
+val cancelled_backlog : t -> int
+(** Cancelled events still sitting in the agenda — drops to 0 once they
+    are popped and skipped (diagnostics; the cancel-after-fire leak
+    regression test asserts on it). *)
 
 val pending : t -> int
 (** Events still queued (including cancelled ones not yet skipped). *)

@@ -1,10 +1,15 @@
 module Rng = Dgs_util.Rng
+module Trace = Dgs_trace.Trace
 
 type stats = { broadcasts : int; deliveries : int; losses : int }
+type dest_stats = { dst : int; dst_deliveries : int; dst_losses : int }
+
+type cell = { mutable d : int; mutable l : int }
 
 type 'msg t = {
   engine : Engine.t;
   rng : Rng.t;
+  trace : Trace.t;
   mutable loss : float;
   delay_min : float;
   delay_max : float;
@@ -13,16 +18,18 @@ type 'msg t = {
   mutable broadcasts : int;
   mutable deliveries : int;
   mutable losses : int;
+  by_dest : (int, cell) Hashtbl.t;
 }
 
-let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01) ~audience
-    ~deliver () =
+let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
+    ?(trace = Trace.null) ~audience ~deliver () =
   if loss < 0.0 || loss > 1.0 then invalid_arg "Medium.create: loss out of [0,1]";
   if delay_min < 0.0 || delay_max < delay_min then
     invalid_arg "Medium.create: bad delay bounds";
   {
     engine;
     rng;
+    trace;
     loss;
     delay_min;
     delay_max;
@@ -31,19 +38,44 @@ let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01) ~
     broadcasts = 0;
     deliveries = 0;
     losses = 0;
+    by_dest = Hashtbl.create 64;
   }
+
+let cell_of t dst =
+  match Hashtbl.find_opt t.by_dest dst with
+  | Some c -> c
+  | None ->
+      let c = { d = 0; l = 0 } in
+      Hashtbl.replace t.by_dest dst c;
+      c
 
 let broadcast t ~src msg =
   t.broadcasts <- t.broadcasts + 1;
+  if Trace.enabled t.trace then begin
+    Trace.set_time t.trace (Engine.now t.engine);
+    Trace.emit t.trace (Trace.Msg_sent { src })
+  end;
   List.iter
     (fun dst ->
       if dst <> src then
-        if Rng.bernoulli t.rng t.loss then t.losses <- t.losses + 1
+        if Rng.bernoulli t.rng t.loss then begin
+          t.losses <- t.losses + 1;
+          let c = cell_of t dst in
+          c.l <- c.l + 1;
+          if Trace.enabled t.trace then
+            Trace.emit t.trace (Trace.Msg_lost { src; dst })
+        end
         else begin
           let delay = Rng.float_in t.rng t.delay_min t.delay_max in
           ignore
             (Engine.schedule_after t.engine delay (fun () ->
                  t.deliveries <- t.deliveries + 1;
+                 let c = cell_of t dst in
+                 c.d <- c.d + 1;
+                 if Trace.enabled t.trace then begin
+                   Trace.set_time t.trace (Engine.now t.engine);
+                   Trace.emit t.trace (Trace.Msg_delivered { src; dst })
+                 end;
                  t.deliver ~dst msg))
         end)
     (t.audience src)
@@ -54,7 +86,14 @@ let set_loss t loss =
 
 let stats t = { broadcasts = t.broadcasts; deliveries = t.deliveries; losses = t.losses }
 
+let stats_by_dest t =
+  Hashtbl.fold
+    (fun dst c acc -> { dst; dst_deliveries = c.d; dst_losses = c.l } :: acc)
+    t.by_dest []
+  |> List.sort (fun a b -> compare a.dst b.dst)
+
 let reset_stats t =
   t.broadcasts <- 0;
   t.deliveries <- 0;
-  t.losses <- 0
+  t.losses <- 0;
+  Hashtbl.reset t.by_dest

@@ -8,7 +8,12 @@
 
     The vicinity is queried through a callback at send time, so mobility is
     reflected instantaneously.  Directed (asymmetric) links are supported:
-    the callback returns the set of nodes able to hear [src]. *)
+    the callback returns the set of nodes able to hear [src].
+
+    With a trace sink installed the medium emits
+    {!Dgs_trace.Trace.Msg_sent} per broadcast and [Msg_delivered] /
+    [Msg_lost] per directed copy, stamped with the simulation time of the
+    send (sends, losses) or of the delivery. *)
 
 type 'msg t
 
@@ -18,20 +23,42 @@ type stats = {
   losses : int;  (** per-receiver losses *)
 }
 
+type dest_stats = {
+  dst : int;  (** the receiving node *)
+  dst_deliveries : int;  (** copies that reached [dst] *)
+  dst_losses : int;  (** copies addressed to [dst] the channel dropped *)
+}
+
 val create :
   engine:Engine.t ->
   rng:Dgs_util.Rng.t ->
   ?loss:float ->
   ?delay_min:float ->
   ?delay_max:float ->
+  ?trace:Dgs_trace.Trace.t ->
   audience:(int -> int list) ->
   deliver:(dst:int -> 'msg -> unit) ->
   unit ->
   'msg t
 (** [audience src] lists the nodes in whose vicinity [src] currently is;
-    [deliver] is invoked at the scheduled delivery time. *)
+    [deliver] is invoked at the scheduled delivery time.  [trace]
+    (default {!Dgs_trace.Trace.null}) receives the channel events. *)
 
 val broadcast : 'msg t -> src:int -> 'msg -> unit
+(** Send one message to the current audience of [src] (self-delivery is
+    suppressed); each copy independently subject to loss and delay. *)
+
 val set_loss : 'msg t -> float -> unit
+(** Change the loss probability for subsequent broadcasts.  Raises
+    [Invalid_argument] outside [\[0,1\]]. *)
+
 val stats : 'msg t -> stats
+(** Aggregate counters since creation or the last {!reset_stats}. *)
+
+val stats_by_dest : 'msg t -> dest_stats list
+(** Per-receiver delivery/loss breakdown, sorted by node id — the ground
+    truth the {!Dgs_trace.Trace.Counting} sink's per-node [Msg_delivered]
+    counters are validated against. *)
+
 val reset_stats : 'msg t -> unit
+(** Zero all counters, including the per-destination breakdown. *)

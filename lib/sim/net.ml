@@ -1,5 +1,6 @@
 module Graph = Dgs_graph.Graph
 module Rng = Dgs_util.Rng
+module Trace = Dgs_trace.Trace
 open Dgs_core
 
 type stats = {
@@ -14,6 +15,7 @@ type t = {
   engine : Engine.t;
   rng : Rng.t;
   config : Config.t;
+  trace : Trace.t;
   tau_c : float;
   tau_s : float;
   topology : unit -> Graph.t;
@@ -47,6 +49,8 @@ let rec schedule_compute t v delay =
          if Hashtbl.mem t.nodes v then begin
            if is_active t v then begin
              let n = node t v in
+             if Trace.enabled t.trace then
+               Trace.set_time t.trace (Engine.now t.engine);
              let info = Grp_node.compute n in
              t.computes <- t.computes + 1;
              t.view_additions <-
@@ -72,13 +76,14 @@ let rec schedule_send t v delay =
          end))
 
 let install_node t v =
-  Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config v);
+  Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config ~trace:t.trace v);
   Hashtbl.replace t.active v ();
   schedule_compute t v (Rng.float t.rng t.tau_c);
   schedule_send t v (Rng.float t.rng t.tau_s)
 
 let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
-    ?(corruption = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01) ~topology ~nodes () =
+    ?(corruption = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
+    ?(trace = Trace.null) ~topology ~nodes () =
   if tau_s > tau_c then invalid_arg "Net.create: tau_s must be <= tau_c";
   if corruption < 0.0 || corruption > 1.0 then
     invalid_arg "Net.create: corruption out of [0,1]";
@@ -87,6 +92,7 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
       engine;
       rng;
       config;
+      trace;
       tau_c;
       tau_s;
       topology;
@@ -120,8 +126,8 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
   in
   t.medium <-
     Some
-      (Medium.create ~engine ~rng:(Rng.split rng) ~loss ~delay_min ~delay_max ~audience
-         ~deliver ());
+      (Medium.create ~engine ~rng:(Rng.split rng) ~loss ~delay_min ~delay_max ~trace
+         ~audience ~deliver ());
   List.iter (install_node t) nodes;
   t
 
@@ -131,7 +137,7 @@ let activate t v = if Hashtbl.mem t.nodes v then Hashtbl.replace t.active v ()
 
 let reset_node t v =
   if Hashtbl.mem t.nodes v then
-    Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config v)
+    Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config ~trace:t.trace v)
 
 let add_node t v = if not (Hashtbl.mem t.nodes v) then install_node t v
 let set_loss t loss = Medium.set_loss (medium t) loss

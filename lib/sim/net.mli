@@ -7,16 +7,22 @@
     {!Medium}.  The topology is queried through a callback so mobility is
     reflected immediately; node churn (deactivation, reset, reactivation)
     models the appearing/disappearing nodes of the paper's dynamic
-    system. *)
+    system.
+
+    A trace sink given at {!create} is installed in the medium (channel
+    events) and in every protocol node (view/quarantine/mark/merge
+    events); the runtime stamps it with the engine clock before each
+    compute, so a sink shared with the engine is not required for correct
+    timestamps. *)
 
 type t
 
 type stats = {
-  computes : int;
-  view_additions : int;
+  computes : int;  (** [compute()] invocations across all nodes *)
+  view_additions : int;  (** members entering some view *)
   view_removals : int;  (** evictions — the continuity metric *)
-  too_far_conflicts : int;
-  medium : Medium.stats;
+  too_far_conflicts : int;  (** computes whose [Dmax+2] overflow branch fired *)
+  medium : Medium.stats;  (** channel counters for the same interval *)
 }
 
 val create :
@@ -29,21 +35,29 @@ val create :
   ?corruption:float ->
   ?delay_min:float ->
   ?delay_max:float ->
+  ?trace:Dgs_trace.Trace.t ->
   topology:(unit -> Dgs_graph.Graph.t) ->
   nodes:Dgs_core.Node_id.t list ->
   unit ->
   t
 (** Defaults: [tau_c = 1.0], [tau_s = 0.4], no loss, no frame corruption,
-    delays in [\[0.001, 0.01\]].  Timers start with a uniform phase in
-    their period.  [corruption] is the probability that a delivered frame
-    passes through {!Dgs_core.Wire} with one byte mutated.  Raises
-    [Invalid_argument] on [tau_s > tau_c] or a corruption rate outside
-    [\[0,1\]]. *)
+    delays in [\[0.001, 0.01\]], no tracing.  Timers start with a uniform
+    phase in their period.  [corruption] is the probability that a
+    delivered frame passes through {!Dgs_core.Wire} with one byte mutated.
+    Raises [Invalid_argument] on [tau_s > tau_c] or a corruption rate
+    outside [\[0,1\]]. *)
 
 val engine : t -> Engine.t
+(** The engine driving this runtime's timers. *)
+
 val node : t -> Dgs_core.Node_id.t -> Dgs_core.Grp_node.t
+(** Protocol state of one node.  Raises [Not_found] for unknown ids. *)
+
 val node_ids : t -> Dgs_core.Node_id.t list
+(** Sorted ids of all installed nodes, active or not. *)
+
 val is_active : t -> Dgs_core.Node_id.t -> bool
+(** Whether the node currently sends, receives and computes. *)
 
 val views : t -> Dgs_core.Node_id.Set.t Dgs_core.Node_id.Map.t
 (** Views of the active nodes. *)
@@ -57,6 +71,7 @@ val deactivate : t -> Dgs_core.Node_id.t -> unit
     fault). *)
 
 val activate : t -> Dgs_core.Node_id.t -> unit
+(** Resume a deactivated node (no-op for unknown ids). *)
 
 val reset_node : t -> Dgs_core.Node_id.t -> unit
 (** Replace the protocol state by a fresh one (node reboot). *)
@@ -65,6 +80,7 @@ val add_node : t -> Dgs_core.Node_id.t -> unit
 (** Create and activate a node unknown at {!create} time. *)
 
 val set_loss : t -> float -> unit
+(** Change the channel loss rate mid-run. *)
 
 val on_step :
   t ->
@@ -73,7 +89,10 @@ val on_step :
 (** Observer invoked after every compute (continuity monitoring). *)
 
 val stats : t -> stats
+(** Counters since creation or the last {!reset_stats}. *)
+
 val reset_stats : t -> unit
+(** Zero the runtime and channel counters. *)
 
 val state_signature : t -> string
 (** Digest of all lists, views and quarantines of active nodes; two equal

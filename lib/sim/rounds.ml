@@ -1,20 +1,25 @@
 module Graph = Dgs_graph.Graph
 module Rng = Dgs_util.Rng
+module Trace = Dgs_trace.Trace
 open Dgs_core
 
 type t = {
   config : Config.t;
+  trace : Trace.t;
   mutable graph : Graph.t;
   nodes : (Node_id.t, Grp_node.t) Hashtbl.t;
   mutable sent : int;
+  mutable round_no : int;
 }
 
 let ensure_node t v =
   if not (Hashtbl.mem t.nodes v) then
-    Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config v)
+    Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config ~trace:t.trace v)
 
-let create ~config graph =
-  let t = { config; graph; nodes = Hashtbl.create 64; sent = 0 } in
+let create ~config ?(trace = Trace.null) graph =
+  let t =
+    { config; trace; graph; nodes = Hashtbl.create 64; sent = 0; round_no = 0 }
+  in
   List.iter (ensure_node t) (Graph.nodes graph);
   t
 
@@ -23,7 +28,11 @@ let graph t = t.graph
 
 let set_graph t g =
   t.graph <- g;
-  List.iter (ensure_node t) (Graph.nodes g)
+  List.iter (ensure_node t) (Graph.nodes g);
+  if Trace.enabled t.trace then
+    Trace.emit t.trace
+      (Trace.Topology_change
+         { nodes = Graph.node_count g; edges = Graph.edge_count g })
 
 let node t v = Hashtbl.find t.nodes v
 let node_ids t = Graph.nodes t.graph
@@ -35,6 +44,9 @@ let views t =
 
 let round ?(loss = 0.0) ?(jitter = 0.0) ?(corruption = 0.0) ?(sends = 1) ?rng t =
   if sends < 1 then invalid_arg "Rounds.round: sends must be >= 1";
+  let tracing = Trace.enabled t.trace in
+  t.round_no <- t.round_no + 1;
+  if tracing then Trace.set_time t.trace (float_of_int t.round_no);
   let ids = node_ids t in
   let outgoing = List.map (fun v -> (v, Grp_node.make_message (node t v))) ids in
   let draw what p =
@@ -62,9 +74,16 @@ let round ?(loss = 0.0) ?(jitter = 0.0) ?(corruption = 0.0) ?(sends = 1) ?rng t 
   for _ = 1 to sends do
     List.iter
       (fun (src, msg) ->
+        if tracing then Trace.emit t.trace (Trace.Msg_sent { src });
         Graph.iter_neighbors t.graph src (fun dst ->
             t.sent <- t.sent + 1;
-            if not (draw "loss" loss) then deliver dst msg))
+            if draw "loss" loss then begin
+              if tracing then Trace.emit t.trace (Trace.Msg_lost { src; dst })
+            end
+            else begin
+              if tracing then Trace.emit t.trace (Trace.Msg_delivered { src; dst });
+              deliver dst msg
+            end))
       outgoing
   done;
   List.fold_left
@@ -85,13 +104,14 @@ let state_signature t =
       (v, Grp_node.antlist n, Grp_node.view n, Node_id.Map.bindings (Grp_node.quarantines n)))
     (node_ids t)
 
-let run_until_stable ?loss ?jitter ?corruption ?sends ?rng ?(confirm = 2)
+let run_until_stable ?loss ?jitter ?corruption ?sends ?rng ?on_round ?(confirm = 2)
     ?(max_rounds = 10_000) t =
   let rec go rounds stable_streak previous =
     if stable_streak >= confirm then Some (rounds - stable_streak)
     else if rounds >= max_rounds then None
     else begin
       ignore (round ?loss ?jitter ?corruption ?sends ?rng t);
+      (match on_round with Some f -> f (rounds + 1) | None -> ());
       let sig_now = state_signature t in
       let streak = if Some sig_now = previous then stable_streak + 1 else 0 in
       go (rounds + 1) streak (Some sig_now)

@@ -8,17 +8,24 @@
 
 type t
 
-val create : config:Dgs_core.Config.t -> Dgs_graph.Graph.t -> t
-(** One protocol node per graph node. *)
+val create : config:Dgs_core.Config.t -> ?trace:Dgs_trace.Trace.t -> Dgs_graph.Graph.t -> t
+(** One protocol node per graph node.  [trace] (default
+    {!Dgs_trace.Trace.null}) is installed in every node and receives the
+    channel events of each round; the runner stamps it with the round
+    number as trace time (round 1 is the first round). *)
 
 val config : t -> Dgs_core.Config.t
+(** The protocol configuration the nodes were created with. *)
+
 val graph : t -> Dgs_graph.Graph.t
+(** The current communication topology. *)
 
 val set_graph : t -> Dgs_graph.Graph.t -> unit
 (** Install a new topology (dynamic network).  Nodes present in the new
     graph but unknown to the runner are created fresh; protocol state of
     departed nodes is kept in case they come back (a node that reappears
-    with stale state is exactly a transient fault). *)
+    with stale state is exactly a transient fault).  Emits
+    {!Dgs_trace.Trace.Topology_change} with the new graph's size. *)
 
 val node : t -> Dgs_core.Node_id.t -> Dgs_core.Grp_node.t
 (** Raises [Not_found] for unknown ids. *)
@@ -60,6 +67,7 @@ val run :
   t ->
   int ->
   unit
+(** [run t n] executes [n] rounds, discarding the per-round step infos. *)
 
 val run_until_stable :
   ?loss:float ->
@@ -67,6 +75,7 @@ val run_until_stable :
   ?corruption:float ->
   ?sends:int ->
   ?rng:Dgs_util.Rng.t ->
+  ?on_round:(int -> unit) ->
   ?confirm:int ->
   ?max_rounds:int ->
   t ->
@@ -74,7 +83,9 @@ val run_until_stable :
 (** Rounds executed until every node's list and view stay unchanged for
     [confirm] consecutive rounds (default 2); [None] when [max_rounds]
     (default 10_000) is exhausted first.  The count excludes the
-    confirmation tail. *)
+    confirmation tail.  [on_round] is invoked after each executed round
+    with its 1-based index — the hook the CLI uses to feed the
+    {!Dgs_spec.Monitor} a per-round configuration snapshot. *)
 
 val messages_sent : t -> int
 (** Total directed message deliveries attempted so far. *)

@@ -9,7 +9,26 @@ type report = {
   legitimate_steps : int;
 }
 
-type t = { dmax : int; mutable previous : Configuration.t option; mutable r : report }
+type timeline = {
+  time_to_agreement : float option;
+  time_to_safety : float option;
+  time_to_maximality : float option;
+  time_to_legitimate : float option;
+}
+
+type t = {
+  dmax : int;
+  mutable previous : Configuration.t option;
+  mutable r : report;
+  (* Time since which each predicate has held in every observation; [None]
+     while it is (still) violated.  A sustained-from time, not a
+     first-held time: a predicate that breaks and recovers restarts its
+     clock. *)
+  mutable agreement_since : float option;
+  mutable safety_since : float option;
+  mutable maximality_since : float option;
+  mutable legitimate_since : float option;
+}
 
 let zero =
   {
@@ -23,9 +42,18 @@ let zero =
     legitimate_steps = 0;
   }
 
-let create ~dmax = { dmax; previous = None; r = zero }
+let create ~dmax =
+  {
+    dmax;
+    previous = None;
+    r = zero;
+    agreement_since = None;
+    safety_since = None;
+    maximality_since = None;
+    legitimate_since = None;
+  }
 
-let observe t c =
+let observe_at t ~time c =
   let r = t.r in
   let bump cond n = if cond then n + 1 else n in
   let agreement = Predicates.agreement c <> None in
@@ -50,9 +78,56 @@ let observe t c =
       legitimate_steps =
         bump (not (agreement || safety || maximality)) r.legitimate_steps;
     };
+  let update since violated =
+    if violated then None else match since with None -> Some time | s -> s
+  in
+  t.agreement_since <- update t.agreement_since agreement;
+  t.safety_since <- update t.safety_since safety;
+  t.maximality_since <- update t.maximality_since maximality;
+  t.legitimate_since <-
+    update t.legitimate_since (agreement || safety || maximality);
   t.previous <- Some c
 
+let observe t c = observe_at t ~time:(float_of_int t.r.steps) c
 let report t = t.r
+
+let timeline t =
+  {
+    time_to_agreement = t.agreement_since;
+    time_to_safety = t.safety_since;
+    time_to_maximality = t.maximality_since;
+    time_to_legitimate = t.legitimate_since;
+  }
+
+let view_stabilization events =
+  let last = Hashtbl.create 32 in
+  List.iter
+    (fun (time, ev) ->
+      match ev with
+      | Dgs_trace.Trace.View_changed { node; view; _ } ->
+          let changes =
+            match Hashtbl.find_opt last node with Some (_, _, n) -> n + 1 | None -> 1
+          in
+          Hashtbl.replace last node (time, view, changes)
+      | _ -> ())
+    events;
+  Hashtbl.fold
+    (fun node (time, view, changes) acc -> (node, time, view, changes) :: acc)
+    last []
+  |> List.sort compare
+
+let pp_timeline ppf tl =
+  let cell = function
+    | Some x -> Printf.sprintf "%g" x
+    | None -> "never (or not sustained)"
+  in
+  Format.fprintf ppf
+    "@[<v>time to agreement (ΠA): %s@,\
+     time to safety (ΠS): %s@,\
+     time to maximality (ΠM): %s@,\
+     time to legitimacy (all three): %s@]"
+    (cell tl.time_to_agreement) (cell tl.time_to_safety)
+    (cell tl.time_to_maximality) (cell tl.time_to_legitimate)
 
 let pp_report ppf r =
   Format.fprintf ppf

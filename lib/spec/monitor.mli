@@ -21,10 +21,48 @@ type report = {
   legitimate_steps : int;
 }
 
+type timeline = {
+  time_to_agreement : float option;
+      (** time of the first observation from which ΠA held in every later
+          observation; [None] if it is violated at the end *)
+  time_to_safety : float option;
+  time_to_maximality : float option;
+  time_to_legitimate : float option;
+      (** all three predicates together — the configuration is legitimate *)
+}
+
 val create : dmax:int -> t
+(** A monitor checking against the given diameter bound. *)
 
 val observe : t -> Configuration.t -> unit
-(** Record the next configuration; the first call sets the baseline. *)
+(** Record the next configuration; the first call sets the baseline.
+    Equivalent to {!observe_at} with the observation index as time. *)
+
+val observe_at : t -> time:float -> Configuration.t -> unit
+(** Record a configuration observed at an explicit time (simulation
+    seconds under {!Dgs_sim.Net}, round number under
+    {!Dgs_sim.Rounds}) — the times the {!timeline} reports. *)
 
 val report : t -> report
+(** Accumulated statistics over all observations so far. *)
+
+val timeline : t -> timeline
+(** The convergence timeline: when each predicate started to hold for
+    good.  Sustained-from times, not first-held times — a predicate that
+    breaks and recovers restarts its clock. *)
+
+val view_stabilization :
+  (float * Dgs_trace.Trace.event) list ->
+  (Dgs_core.Node_id.t * float * int list * int) list
+(** Per-node view-change summary derived from a trace:
+    [(node, last_change_time, final_view, changes)] for every node that
+    emitted at least one [View_changed], sorted by node.  On a converged
+    run each node's [final_view] equals its stable view and
+    [last_change_time] is when it got there — the per-node convergence
+    timeline. *)
+
 val pp_report : Format.formatter -> report -> unit
+(** Render a {!report} for humans. *)
+
+val pp_timeline : Format.formatter -> timeline -> unit
+(** Render a {!timeline} for humans. *)

@@ -1,0 +1,473 @@
+type event =
+  | Msg_sent of { src : int }
+  | Msg_delivered of { src : int; dst : int }
+  | Msg_lost of { src : int; dst : int }
+  | View_changed of {
+      node : int;
+      added : int list;
+      removed : int list;
+      view : int list;
+    }
+  | Quarantine_enter of { node : int; member : int; remaining : int }
+  | Quarantine_admit of { node : int; member : int }
+  | Mark_set of { node : int; peer : int; mark : string }
+  | Mark_cleared of { node : int; peer : int }
+  | Merge_attempt of { node : int; sender : int }
+  | Merge_accepted of { node : int; sender : int }
+  | Topology_change of { nodes : int; edges : int }
+  | Event_scheduled of { id : int; at : float }
+  | Event_fired of { id : int; at : float }
+
+let kind = function
+  | Msg_sent _ -> "Msg_sent"
+  | Msg_delivered _ -> "Msg_delivered"
+  | Msg_lost _ -> "Msg_lost"
+  | View_changed _ -> "View_changed"
+  | Quarantine_enter _ -> "Quarantine_enter"
+  | Quarantine_admit _ -> "Quarantine_admit"
+  | Mark_set _ -> "Mark_set"
+  | Mark_cleared _ -> "Mark_cleared"
+  | Merge_attempt _ -> "Merge_attempt"
+  | Merge_accepted _ -> "Merge_accepted"
+  | Topology_change _ -> "Topology_change"
+  | Event_scheduled _ -> "Event_scheduled"
+  | Event_fired _ -> "Event_fired"
+
+let kinds =
+  [
+    "Msg_sent";
+    "Msg_delivered";
+    "Msg_lost";
+    "View_changed";
+    "Quarantine_enter";
+    "Quarantine_admit";
+    "Mark_set";
+    "Mark_cleared";
+    "Merge_attempt";
+    "Merge_accepted";
+    "Topology_change";
+    "Event_scheduled";
+    "Event_fired";
+  ]
+
+let node_of = function
+  | Msg_sent { src } -> Some src
+  | Msg_delivered { dst; _ } | Msg_lost { dst; _ } -> Some dst
+  | View_changed { node; _ }
+  | Quarantine_enter { node; _ }
+  | Quarantine_admit { node; _ }
+  | Mark_set { node; _ }
+  | Mark_cleared { node; _ }
+  | Merge_attempt { node; _ }
+  | Merge_accepted { node; _ } ->
+      Some node
+  | Topology_change _ | Event_scheduled _ | Event_fired _ -> None
+
+let pp_ints ppf ids =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int ids))
+
+let pp_event ppf = function
+  | Msg_sent { src } -> Format.fprintf ppf "Msg_sent(src=%d)" src
+  | Msg_delivered { src; dst } -> Format.fprintf ppf "Msg_delivered(%d->%d)" src dst
+  | Msg_lost { src; dst } -> Format.fprintf ppf "Msg_lost(%d->%d)" src dst
+  | View_changed { node; added; removed; view } ->
+      Format.fprintf ppf "View_changed(node=%d,+%a,-%a,view=%a)" node pp_ints added
+        pp_ints removed pp_ints view
+  | Quarantine_enter { node; member; remaining } ->
+      Format.fprintf ppf "Quarantine_enter(node=%d,member=%d,remaining=%d)" node member
+        remaining
+  | Quarantine_admit { node; member } ->
+      Format.fprintf ppf "Quarantine_admit(node=%d,member=%d)" node member
+  | Mark_set { node; peer; mark } ->
+      Format.fprintf ppf "Mark_set(node=%d,peer=%d,%s)" node peer mark
+  | Mark_cleared { node; peer } ->
+      Format.fprintf ppf "Mark_cleared(node=%d,peer=%d)" node peer
+  | Merge_attempt { node; sender } ->
+      Format.fprintf ppf "Merge_attempt(node=%d,sender=%d)" node sender
+  | Merge_accepted { node; sender } ->
+      Format.fprintf ppf "Merge_accepted(node=%d,sender=%d)" node sender
+  | Topology_change { nodes; edges } ->
+      Format.fprintf ppf "Topology_change(nodes=%d,edges=%d)" nodes edges
+  | Event_scheduled { id; at } -> Format.fprintf ppf "Event_scheduled(id=%d,at=%g)" id at
+  | Event_fired { id; at } -> Format.fprintf ppf "Event_fired(id=%d,at=%g)" id at
+
+(* --- sink handles --- *)
+
+type t = {
+  mutable time : float;
+  enabled : bool;
+  emit_fn : float -> event -> unit;
+}
+
+let null = { time = 0.0; enabled = false; emit_fn = (fun _ _ -> ()) }
+let make f = { time = 0.0; enabled = true; emit_fn = (fun time ev -> f ~time ev) }
+let enabled t = t.enabled
+let set_time t time = t.time <- time
+let now t = t.time
+let emit t ev = if t.enabled then t.emit_fn t.time ev
+
+let tee a b =
+  if not (a.enabled || b.enabled) then null
+  else
+    {
+      time = 0.0;
+      enabled = true;
+      emit_fn =
+        (fun time ev ->
+          if a.enabled then a.emit_fn time ev;
+          if b.enabled then b.emit_fn time ev);
+    }
+
+let filter pred inner =
+  if not inner.enabled then null
+  else
+    {
+      time = 0.0;
+      enabled = true;
+      emit_fn = (fun time ev -> if pred ev then inner.emit_fn time ev);
+    }
+
+let filter_kinds names inner =
+  let norm = String.lowercase_ascii in
+  let known = List.map norm kinds in
+  let names = List.map norm names in
+  List.iter
+    (fun n ->
+      if not (List.mem n known) then
+        invalid_arg
+          (Printf.sprintf "Trace.filter_kinds: unknown event kind %S (try: %s)" n
+             (String.concat ", " kinds)))
+    names;
+  filter (fun ev -> List.mem (norm (kind ev)) names) inner
+
+(* --- ring sink --- *)
+
+module Ring = struct
+
+  type t = {
+    data : (float * event) array;
+    capacity : int;
+    mutable seen : int;
+  }
+
+  let dummy = (0.0, Msg_sent { src = 0 })
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Trace.Ring.create: capacity must be >= 1";
+    { data = Array.make capacity dummy; capacity; seen = 0 }
+
+  let sink r =
+    make (fun ~time ev ->
+        r.data.(r.seen mod r.capacity) <- (time, ev);
+        r.seen <- r.seen + 1)
+
+  let length r = min r.seen r.capacity
+  let seen r = r.seen
+
+  let contents r =
+    let n = length r in
+    let start = if r.seen <= r.capacity then 0 else r.seen mod r.capacity in
+    List.init n (fun i -> r.data.((start + i) mod r.capacity))
+
+  let clear r = r.seen <- 0
+end
+
+(* --- JSONL sink --- *)
+
+module Jsonl = struct
+
+  (* %.12g round-trips every timestamp the simulators produce and never
+     prints the "1." form that is invalid JSON. *)
+  let num x =
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.0f" x
+    else Printf.sprintf "%.12g" x
+
+  let ints ids = "[" ^ String.concat "," (List.map string_of_int ids) ^ "]"
+
+  let fields = function
+    | Msg_sent { src } -> [ ("src", string_of_int src) ]
+    | Msg_delivered { src; dst } | Msg_lost { src; dst } ->
+        [ ("src", string_of_int src); ("dst", string_of_int dst) ]
+    | View_changed { node; added; removed; view } ->
+        [
+          ("node", string_of_int node);
+          ("added", ints added);
+          ("removed", ints removed);
+          ("view", ints view);
+        ]
+    | Quarantine_enter { node; member; remaining } ->
+        [
+          ("node", string_of_int node);
+          ("member", string_of_int member);
+          ("remaining", string_of_int remaining);
+        ]
+    | Quarantine_admit { node; member } ->
+        [ ("node", string_of_int node); ("member", string_of_int member) ]
+    | Mark_set { node; peer; mark } ->
+        [
+          ("node", string_of_int node);
+          ("peer", string_of_int peer);
+          ("mark", "\"" ^ mark ^ "\"");
+        ]
+    | Mark_cleared { node; peer } ->
+        [ ("node", string_of_int node); ("peer", string_of_int peer) ]
+    | Merge_attempt { node; sender } | Merge_accepted { node; sender } ->
+        [ ("node", string_of_int node); ("sender", string_of_int sender) ]
+    | Topology_change { nodes; edges } ->
+        [ ("nodes", string_of_int nodes); ("edges", string_of_int edges) ]
+    | Event_scheduled { id; at } | Event_fired { id; at } ->
+        [ ("id", string_of_int id); ("at", num at) ]
+
+  let to_string time ev =
+    let buf = Buffer.create 96 in
+    Buffer.add_string buf "{\"t\":";
+    Buffer.add_string buf (num time);
+    Buffer.add_string buf ",\"ev\":\"";
+    Buffer.add_string buf (kind ev);
+    Buffer.add_char buf '"';
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf ",\"";
+        Buffer.add_string buf k;
+        Buffer.add_string buf "\":";
+        Buffer.add_string buf v)
+      (fields ev);
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  (* Minimal parser for the flat objects above: string, number and
+     int-array values only. *)
+  type value = Num of float | Str of string | Arr of int list
+
+  exception Bad
+
+  let parse_line s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise Bad in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+        advance ()
+      done
+    in
+    let expect c =
+      skip_ws ();
+      if peek () <> c then raise Bad;
+      advance ()
+    in
+    let parse_string () =
+      expect '"';
+      let start = !pos in
+      while peek () <> '"' do
+        advance ()
+      done;
+      let str = String.sub s start (!pos - start) in
+      advance ();
+      str
+    in
+    let parse_number () =
+      skip_ws ();
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        advance ()
+      done;
+      if !pos = start then raise Bad;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some x -> x
+      | None -> raise Bad
+    in
+    let parse_value () =
+      skip_ws ();
+      match peek () with
+      | '"' -> Str (parse_string ())
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then (
+            advance ();
+            Arr [])
+          else begin
+            let items = ref [] in
+            let continue = ref true in
+            while !continue do
+              items := int_of_float (parse_number ()) :: !items;
+              skip_ws ();
+              match peek () with
+              | ',' -> advance ()
+              | ']' ->
+                  advance ();
+                  continue := false
+              | _ -> raise Bad
+            done;
+            Arr (List.rev !items)
+          end
+      | _ -> Num (parse_number ())
+    in
+    expect '{';
+    let pairs = ref [] in
+    skip_ws ();
+    if peek () = '}' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue do
+        skip_ws ();
+        let key = parse_string () in
+        expect ':';
+        let v = parse_value () in
+        pairs := (key, v) :: !pairs;
+        skip_ws ();
+        match peek () with
+        | ',' -> advance ()
+        | '}' ->
+            advance ();
+            continue := false
+        | _ -> raise Bad
+      done
+    end;
+    !pairs
+
+  let of_string line =
+    match parse_line line with
+    | exception Bad -> None
+    | pairs -> (
+        let num k =
+          match List.assoc_opt k pairs with Some (Num x) -> x | _ -> raise Bad
+        in
+        let int k = int_of_float (num k) in
+        let str k =
+          match List.assoc_opt k pairs with Some (Str x) -> x | _ -> raise Bad
+        in
+        let arr k =
+          match List.assoc_opt k pairs with Some (Arr x) -> x | _ -> raise Bad
+        in
+        match
+          let time = num "t" in
+          let ev =
+            match str "ev" with
+            | "Msg_sent" -> Msg_sent { src = int "src" }
+            | "Msg_delivered" -> Msg_delivered { src = int "src"; dst = int "dst" }
+            | "Msg_lost" -> Msg_lost { src = int "src"; dst = int "dst" }
+            | "View_changed" ->
+                View_changed
+                  {
+                    node = int "node";
+                    added = arr "added";
+                    removed = arr "removed";
+                    view = arr "view";
+                  }
+            | "Quarantine_enter" ->
+                Quarantine_enter
+                  { node = int "node"; member = int "member"; remaining = int "remaining" }
+            | "Quarantine_admit" ->
+                Quarantine_admit { node = int "node"; member = int "member" }
+            | "Mark_set" ->
+                Mark_set { node = int "node"; peer = int "peer"; mark = str "mark" }
+            | "Mark_cleared" -> Mark_cleared { node = int "node"; peer = int "peer" }
+            | "Merge_attempt" -> Merge_attempt { node = int "node"; sender = int "sender" }
+            | "Merge_accepted" ->
+                Merge_accepted { node = int "node"; sender = int "sender" }
+            | "Topology_change" ->
+                Topology_change { nodes = int "nodes"; edges = int "edges" }
+            | "Event_scheduled" -> Event_scheduled { id = int "id"; at = num "at" }
+            | "Event_fired" -> Event_fired { id = int "id"; at = num "at" }
+            | _ -> raise Bad
+          in
+          (time, ev)
+        with
+        | exception Bad -> None
+        | pair -> Some pair)
+
+  let sink oc =
+    make (fun ~time ev ->
+        output_string oc (to_string time ev);
+        output_char oc '\n')
+
+  let with_file path f =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (sink oc))
+
+  let load path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line -> (
+              match of_string line with
+              | Some pair -> go (pair :: acc)
+              | None -> go acc)
+        in
+        go [])
+end
+
+(* --- counting sink --- *)
+
+module Counting = struct
+
+  type t = {
+    counts : (int option * string, int ref) Hashtbl.t;
+    mutable total : int;
+  }
+
+  let create () = { counts = Hashtbl.create 64; total = 0 }
+
+  let bump c key =
+    match Hashtbl.find_opt c.counts key with
+    | Some r -> incr r
+    | None -> Hashtbl.replace c.counts key (ref 1)
+
+  let sink c =
+    make (fun ~time:_ ev ->
+        c.total <- c.total + 1;
+        bump c (node_of ev, kind ev))
+
+  let total c = c.total
+
+  let count c ~kind =
+    Hashtbl.fold
+      (fun (_, k) r acc -> if String.equal k kind then acc + !r else acc)
+      c.counts 0
+
+  let count_for c ~node ~kind =
+    match Hashtbl.find_opt c.counts (Some node, kind) with
+    | Some r -> !r
+    | None -> 0
+
+  let nodes c =
+    Hashtbl.fold
+      (fun (node, _) _ acc ->
+        match node with
+        | Some v when not (List.mem v acc) -> v :: acc
+        | _ -> acc)
+      c.counts []
+    |> List.sort compare
+
+  let table c =
+    let active = List.filter (fun k -> count c ~kind:k > 0) kinds in
+    let t =
+      Dgs_metrics.Table.create ~title:"trace event counts" ~columns:("node" :: active)
+    in
+    List.iter
+      (fun v ->
+        Dgs_metrics.Table.add_row t
+          (string_of_int v
+          :: List.map (fun k -> string_of_int (count_for c ~node:v ~kind:k)) active))
+      (nodes c);
+    Dgs_metrics.Table.add_row t
+      ("total" :: List.map (fun k -> string_of_int (count c ~kind:k)) active);
+    t
+
+  let clear c =
+    Hashtbl.reset c.counts;
+    c.total <- 0
+end

@@ -1,0 +1,213 @@
+(** Structured protocol event tracing ([dgs_trace]).
+
+    A {e trace sink} is a destination for the typed protocol events emitted
+    by the simulation stack (engine, medium, runners, and the GRP node
+    itself).  Every layer takes an optional sink at construction time and
+    defaults to {!null}, whose emissions compile down to a single mutable
+    field read — runs that do not ask for a trace pay (almost) nothing
+    (benchmarked in [bench/main.ml]; see docs/OBSERVABILITY.md).
+
+    Timestamps are supplied by the {e driver} of the run: the discrete-event
+    {!Dgs_sim.Engine} stamps sinks with simulation seconds, the synchronous
+    {!Dgs_sim.Rounds} runner with the round number.  Components that have no
+    clock of their own (notably {!Dgs_core.Grp_node}) emit at whatever time
+    the driver last {!set_time}.
+
+    Three concrete sinks are provided: {!Ring} (bounded in-memory buffer,
+    for tests and post-mortem inspection), {!Jsonl} (newline-delimited JSON
+    to a channel, for offline analysis), and {!Counting} (per-node/per-type
+    counters rendered as a {!Dgs_metrics.Table}).  Sinks compose with
+    {!tee} and {!filter}. *)
+
+(** {1 Event vocabulary}
+
+    Node identifiers are plain [int]s (the runtime representation of
+    {!Dgs_core.Node_id.t}); this library sits below [dgs_core] so that the
+    protocol node itself can emit. *)
+
+type event =
+  | Msg_sent of { src : int }
+      (** A node handed one broadcast to the channel (one per send
+          operation, not per receiver). *)
+  | Msg_delivered of { src : int; dst : int }
+      (** One directed copy of a broadcast reached [dst]. *)
+  | Msg_lost of { src : int; dst : int }
+      (** One directed copy was dropped by the lossy channel. *)
+  | View_changed of {
+      node : int;
+      added : int list;
+      removed : int list;
+      view : int list;
+    }
+      (** [node]'s view changed during a [compute]; [view] is the complete
+          new composition, [added]/[removed] the delta (all sorted). *)
+  | Quarantine_enter of { node : int; member : int; remaining : int }
+      (** [member] became an unmarked list entry at [node] and entered
+          quarantine with [remaining] computes to serve. *)
+  | Quarantine_admit of { node : int; member : int }
+      (** [member]'s quarantine at [node] elapsed: it is now eligible for
+          the view. *)
+  | Mark_set of { node : int; peer : int; mark : string }
+      (** [node] marked [peer] in its list; [mark] is ["single"] (link not
+          known symmetric) or ["double"] (rejected). *)
+  | Mark_cleared of { node : int; peer : int }
+      (** A previously marked [peer] became a clear list entry at [node] —
+          the handshake completed or the rejection was lifted. *)
+  | Merge_attempt of { node : int; sender : int }
+      (** [node] processed a message from [sender], a node outside its
+          view — a potential group extension or merge. *)
+  | Merge_accepted of { node : int; sender : int }
+      (** The attempt passed [goodList], [compatibleList] and joint
+          admission: [sender]'s list enters the ant fold. *)
+  | Topology_change of { nodes : int; edges : int }
+      (** The communication graph was replaced (mobility step, churn);
+          carries the new graph's size. *)
+  | Event_scheduled of { id : int; at : float }
+      (** Engine-level: callback [id] was put on the agenda for time
+          [at]. *)
+  | Event_fired of { id : int; at : float }
+      (** Engine-level: callback [id] executed at time [at]. *)
+
+val kind : event -> string
+(** Constructor name of the event, e.g. ["Msg_delivered"]. *)
+
+val kinds : string list
+(** Every constructor name, in declaration order.  This is the vocabulary
+    docs/OBSERVABILITY.md documents; a unit test diffs the two. *)
+
+val node_of : event -> int option
+(** The node an event is attributed to ([dst] for deliveries and losses,
+    [src] for sends, [node] for protocol events, [None] for engine and
+    topology events) — the row key of the {!Counting} sink. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Sinks} *)
+
+type t
+(** A sink handle.  Handles carry the current trace time (see
+    {!set_time}); emission through a disabled handle is a no-op. *)
+
+val null : t
+(** The disabled sink: {!enabled} is [false], {!emit} does nothing. *)
+
+val make : (time:float -> event -> unit) -> t
+(** A sink from an emission function. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!null}.  Hot paths guard event {e construction}
+    behind this so a disabled sink costs one load and branch. *)
+
+val set_time : t -> float -> unit
+(** Advance the sink's clock; subsequent {!emit}s are stamped with this
+    time.  Drivers call it, instrumented components do not. *)
+
+val now : t -> float
+(** The sink's current clock. *)
+
+val emit : t -> event -> unit
+(** Deliver [event] at the sink's current time (no-op on {!null}). *)
+
+val tee : t -> t -> t
+(** Duplicate emissions to both sinks (each stamped with the tee's own
+    clock). *)
+
+val filter : (event -> bool) -> t -> t
+(** Forward only events satisfying the predicate. *)
+
+val filter_kinds : string list -> t -> t
+(** Forward only events whose {!kind} is listed (case-insensitive).
+    Raises [Invalid_argument] on a name outside {!kinds}. *)
+
+(** {2 Ring sink}
+
+    A bounded in-memory buffer keeping the most recent events — the test
+    and post-mortem sink. *)
+
+module Ring : sig
+  type sink := t
+
+  type t
+  (** A ring buffer of [(time, event)] pairs. *)
+
+  val create : capacity:int -> t
+  (** Raises [Invalid_argument] when [capacity < 1]. *)
+
+  val sink : t -> sink
+  (** The sink writing into the ring. *)
+
+  val contents : t -> (float * event) list
+  (** Buffered events, oldest first; at most [capacity] of them. *)
+
+  val length : t -> int
+  (** Events currently buffered. *)
+
+  val seen : t -> int
+  (** Events ever emitted, including the [seen - length] oldest ones
+      overwritten by wraparound. *)
+
+  val clear : t -> unit
+end
+
+(** {2 JSONL sink}
+
+    One JSON object per line: [{"t":<time>,"ev":"<kind>", ...fields}].
+    The exact schema of every event is documented in
+    docs/OBSERVABILITY.md; {!Jsonl.of_string} parses exactly what
+    {!Jsonl.to_string} prints (round-trip tested). *)
+
+module Jsonl : sig
+  type sink := t
+
+  val to_string : float -> event -> string
+  (** One line, without the trailing newline. *)
+
+  val of_string : string -> (float * event) option
+  (** Parse one line; [None] on malformed input or an unknown [ev]. *)
+
+  val sink : out_channel -> sink
+  (** Write one line per event; the caller owns (flushes, closes) the
+      channel. *)
+
+  val with_file : string -> (sink -> 'a) -> 'a
+  (** [with_file path f] opens [path], runs [f] with a sink writing to it
+      and closes the file, also on exceptions. *)
+
+  val load : string -> (float * event) list
+  (** Read a JSONL trace back; malformed lines are skipped. *)
+end
+
+(** {2 Counting sink}
+
+    Rolls events into per-node/per-kind counters — cheap enough to leave
+    on, and the bridge into the {!Dgs_metrics} reporting used by the
+    experiment tables. *)
+
+module Counting : sig
+  type sink := t
+
+  type t
+
+  val create : unit -> t
+  val sink : t -> sink
+
+  val total : t -> int
+  (** All events counted so far. *)
+
+  val count : t -> kind:string -> int
+  (** Events of one kind, across all nodes (including unattributed
+      ones). *)
+
+  val count_for : t -> node:int -> kind:string -> int
+  (** Events of one kind attributed (per {!node_of}) to one node. *)
+
+  val nodes : t -> int list
+  (** Nodes with at least one attributed event, sorted. *)
+
+  val table : t -> Dgs_metrics.Table.t
+  (** One row per node plus a ["total"] row; one column per event kind
+      that occurred at least once (columns for all-zero kinds are
+      omitted). *)
+
+  val clear : t -> unit
+end

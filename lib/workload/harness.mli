@@ -24,12 +24,14 @@ val converge :
   ?jitter:float ->
   ?loss:float ->
   ?max_rounds:int ->
+  ?trace:Dgs_trace.Trace.t ->
   config:Dgs_core.Config.t ->
   seed:int ->
   Dgs_graph.Graph.t ->
   convergence
 (** Fresh network on the given topology, run to quiescence.  Default
-    jitter 0.1, no loss, budget 5000 rounds. *)
+    jitter 0.1, no loss, budget 5000 rounds.  [trace] is installed in the
+    round runner (and so in every node); times are round numbers. *)
 
 type mobility_run = {
   steps : int;
@@ -61,6 +63,7 @@ val run_mobility :
   ?jitter:float ->
   ?loss:float ->
   ?warmup:int ->
+  ?trace:Dgs_trace.Trace.t ->
   config:Dgs_core.Config.t ->
   seed:int ->
   spec:Dgs_mobility.Mobility.spec ->

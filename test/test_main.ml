@@ -17,4 +17,5 @@ let () =
       ("propositions", Test_propositions.suite);
       ("continuity", Test_continuity.suite);
       ("workload", Test_workload.suite);
+      ("trace", Test_trace.suite);
     ]

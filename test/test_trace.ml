@@ -1,0 +1,306 @@
+(* Unit and integration tests for the dgs_trace event subsystem: sinks
+   (ring, JSONL, counting, null), the engine cancel-backlog regression,
+   agreement between the counting sink and the medium's own per-destination
+   stats, the E1 View_changed stream, and the doc-vocabulary diff that
+   keeps docs/OBSERVABILITY.md in sync with the event type. *)
+
+module Trace = Dgs_trace.Trace
+module Engine = Dgs_sim.Engine
+module Medium = Dgs_sim.Medium
+module Rounds = Dgs_sim.Rounds
+module Monitor = Dgs_spec.Monitor
+module Harness = Dgs_workload.Harness
+module Gen = Dgs_graph.Gen
+module Rng = Dgs_util.Rng
+open Dgs_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* One sample per constructor; the coverage guard below fails the suite if
+   a new constructor is added without extending this list. *)
+let samples : (float * Trace.event) list =
+  [
+    (1.0, Msg_sent { src = 0 });
+    (1.0, Msg_delivered { src = 0; dst = 4 });
+    (2.0, Msg_lost { src = 3; dst = 7 });
+    (3.0, View_changed { node = 4; added = [ 2 ]; removed = []; view = [ 2; 4 ] });
+    (2.0, Quarantine_enter { node = 4; member = 2; remaining = 3 });
+    (5.0, Quarantine_admit { node = 4; member = 2 });
+    (2.0, Mark_set { node = 4; peer = 9; mark = "single" });
+    (4.0, Mark_cleared { node = 4; peer = 9 });
+    (2.0, Merge_attempt { node = 4; sender = 9 });
+    (2.5, Merge_accepted { node = 4; sender = 9 });
+    (12.0, Topology_change { nodes = 30; edges = 71 });
+    (0.42, Event_scheduled { id = 117; at = 1.402 });
+    (1.402, Event_fired { id = 117; at = 1.402 });
+  ]
+
+let test_samples_cover_vocabulary () =
+  Alcotest.(check (list string))
+    "one sample per constructor" Trace.kinds
+    (List.map (fun (_, ev) -> Trace.kind ev) samples)
+
+(* --- null sink --- *)
+
+let test_null_noop () =
+  check "disabled" false (Trace.enabled Trace.null);
+  (* Emission and clock updates through the null sink must be harmless. *)
+  List.iter (fun (t, ev) -> Trace.set_time Trace.null t; Trace.emit Trace.null ev) samples
+
+(* --- ring sink --- *)
+
+let test_ring_wraparound () =
+  let ring = Trace.Ring.create ~capacity:4 in
+  let sink = Trace.Ring.sink ring in
+  check "enabled" true (Trace.enabled sink);
+  for i = 1 to 10 do
+    Trace.set_time sink (float_of_int i);
+    Trace.emit sink (Trace.Msg_sent { src = i })
+  done;
+  check_int "length capped" 4 (Trace.Ring.length ring);
+  check_int "seen counts overwritten" 10 (Trace.Ring.seen ring);
+  Alcotest.(check (list int))
+    "oldest first, most recent kept" [ 7; 8; 9; 10 ]
+    (List.map
+       (fun (_, ev) -> match ev with Trace.Msg_sent { src } -> src | _ -> -1)
+       (Trace.Ring.contents ring));
+  Trace.Ring.clear ring;
+  check_int "clear" 0 (Trace.Ring.length ring)
+
+(* --- filters and tee --- *)
+
+let test_filter_kinds () =
+  let ring = Trace.Ring.create ~capacity:64 in
+  let sink = Trace.filter_kinds [ "view_changed"; "Msg_lost" ] (Trace.Ring.sink ring) in
+  List.iter (fun (t, ev) -> Trace.set_time sink t; Trace.emit sink ev) samples;
+  Alcotest.(check (list string))
+    "case-insensitive subset" [ "Msg_lost"; "View_changed" ]
+    (List.sort compare
+       (List.map (fun (_, ev) -> Trace.kind ev) (Trace.Ring.contents ring)));
+  check "unknown kind rejected" true
+    (match Trace.filter_kinds [ "Msg_teleported" ] Trace.null with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_tee () =
+  let a = Trace.Ring.create ~capacity:64 and b = Trace.Ring.create ~capacity:64 in
+  let sink = Trace.tee (Trace.Ring.sink a) (Trace.Ring.sink b) in
+  List.iter (fun (t, ev) -> Trace.set_time sink t; Trace.emit sink ev) samples;
+  check "both sides" true
+    (Trace.Ring.contents a = Trace.Ring.contents b
+    && Trace.Ring.length a = List.length samples)
+
+(* --- JSONL --- *)
+
+let test_jsonl_roundtrip () =
+  List.iter
+    (fun (t, ev) ->
+      let line = Trace.Jsonl.to_string t ev in
+      match Trace.Jsonl.of_string line with
+      | Some (t', ev') ->
+          check (Trace.kind ev ^ " round-trips") true (t = t' && ev = ev')
+      | None -> Alcotest.failf "unparsable: %s" line)
+    samples
+
+let test_jsonl_file_roundtrip () =
+  let path = Filename.temp_file "dgs_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.Jsonl.with_file path (fun sink ->
+          List.iter (fun (t, ev) -> Trace.set_time sink t; Trace.emit sink ev) samples);
+      check "load returns what was written" true (Trace.Jsonl.load path = samples))
+
+let test_jsonl_load_skips_garbage () =
+  let path = Filename.temp_file "dgs_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Trace.Jsonl.to_string 1.0 (Trace.Msg_sent { src = 3 }));
+      output_string oc "\nnot json at all\n{\"t\":2,\"ev\":\"No_such_event\"}\n";
+      close_out oc;
+      check "malformed lines skipped" true
+        (Trace.Jsonl.load path = [ (1.0, Trace.Msg_sent { src = 3 }) ]))
+
+(* --- counting sink vs. the medium's ground truth --- *)
+
+let test_counting_matches_medium () =
+  let counting = Trace.Counting.create () in
+  let engine = Engine.create () in
+  let medium =
+    Medium.create ~engine ~rng:(Rng.create 11) ~loss:0.4 ~delay_min:0.001
+      ~delay_max:0.01
+      ~trace:(Trace.Counting.sink counting)
+      ~audience:(fun _ -> [ 1; 2; 3 ])
+      ~deliver:(fun ~dst:_ _ -> ())
+      ()
+  in
+  for _ = 1 to 200 do
+    Medium.broadcast medium ~src:0 "x"
+  done;
+  Engine.run_until engine 10.0;
+  let s = Medium.stats medium in
+  check_int "sends" s.Medium.broadcasts (Trace.Counting.count counting ~kind:"Msg_sent");
+  check_int "deliveries" s.Medium.deliveries
+    (Trace.Counting.count counting ~kind:"Msg_delivered");
+  check_int "losses" s.Medium.losses (Trace.Counting.count counting ~kind:"Msg_lost");
+  List.iter
+    (fun d ->
+      check_int
+        (Printf.sprintf "deliveries to %d" d.Medium.dst)
+        d.Medium.dst_deliveries
+        (Trace.Counting.count_for counting ~node:d.Medium.dst ~kind:"Msg_delivered");
+      check_int
+        (Printf.sprintf "losses to %d" d.Medium.dst)
+        d.Medium.dst_losses
+        (Trace.Counting.count_for counting ~node:d.Medium.dst ~kind:"Msg_lost"))
+    (Medium.stats_by_dest medium);
+  check "some of each" true
+    (s.Medium.deliveries > 0 && s.Medium.losses > 0);
+  Trace.Counting.clear counting;
+  check_int "clear" 0 (Trace.Counting.total counting)
+
+(* --- engine cancel backlog (leak regression) --- *)
+
+let test_engine_cancel_backlog () =
+  let e = Engine.create () in
+  let id = Engine.schedule_at e 1.0 (fun () -> ()) in
+  Engine.run_until e 2.0;
+  Engine.cancel e id;
+  check_int "cancel after fire retains nothing" 0 (Engine.cancelled_backlog e);
+  let keep = Engine.schedule_at e 3.0 (fun () -> ()) in
+  let drop = Engine.schedule_at e 3.0 (fun () -> ()) in
+  Engine.cancel e drop;
+  Engine.cancel e drop;
+  ignore keep;
+  check_int "pending cancellation tracked once" 1 (Engine.cancelled_backlog e);
+  Engine.run_until e 4.0;
+  check_int "backlog drains on pop" 0 (Engine.cancelled_backlog e);
+  check_int "agenda empty" 0 (Engine.pending e)
+
+(* --- E1: the View_changed stream pins down convergence --- *)
+
+let test_e1_view_changed_sequence () =
+  let ring = Trace.Ring.create ~capacity:100_000 in
+  let t =
+    Rounds.create
+      ~config:(Config.make ~dmax:3 ())
+      ~trace:(Trace.Ring.sink ring) (Gen.grid 3 3)
+  in
+  (match Rounds.run_until_stable ~jitter:0.1 ~rng:(Rng.create 42) t with
+  | Some _ -> ()
+  | None -> Alcotest.fail "E1 grid did not converge");
+  let stab = Monitor.view_stabilization (Trace.Ring.contents ring) in
+  Alcotest.(check (list int))
+    "every node changed views at least once" (Rounds.node_ids t)
+    (List.map (fun (node, _, _, _) -> node) stab);
+  List.iter
+    (fun (node, _, final_view, changes) ->
+      check (Printf.sprintf "node %d ends in its stable view" node) true
+        (final_view = Node_id.Set.elements (Grp_node.view (Rounds.node t node)));
+      check "at least one change" true (changes >= 1))
+    stab
+
+(* --- monitor timeline --- *)
+
+let test_monitor_timeline () =
+  let g = Gen.line 3 in
+  let t = Rounds.create ~config:(Config.make ~dmax:2 ()) g in
+  let monitor = Monitor.create ~dmax:2 in
+  let on_round r =
+    Monitor.observe_at monitor ~time:(float_of_int r) (Harness.snapshot t g)
+  in
+  match Rounds.run_until_stable ~on_round t with
+  | None -> Alcotest.fail "line of 3 did not converge"
+  | Some rounds ->
+      let tl = Monitor.timeline monitor in
+      let get name = function
+        | Some x -> x
+        | None -> Alcotest.failf "%s never sustained" name
+      in
+      let ta = get "agreement" tl.Monitor.time_to_agreement in
+      let ts = get "safety" tl.Monitor.time_to_safety in
+      let tm = get "maximality" tl.Monitor.time_to_maximality in
+      let tl3 = get "legitimacy" tl.Monitor.time_to_legitimate in
+      check "times within the run" true
+        (List.for_all
+           (fun x -> x >= 1.0 && x <= float_of_int (rounds + 2))
+           [ ta; ts; tm; tl3 ]);
+      check "legitimacy is the last to land" true
+        (tl3 >= ta && tl3 >= ts && tl3 >= tm)
+
+(* --- the doc vocabulary cannot drift from the code --- *)
+
+let doc_path = Filename.concat ".." (Filename.concat "docs" "OBSERVABILITY.md")
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Backticked tokens on a line: the odd-indexed pieces of a split on '`'. *)
+let backticked line =
+  let rec go i = function
+    | [] -> []
+    | x :: rest -> if i mod 2 = 1 then x :: go (i + 1) rest else go (i + 1) rest
+  in
+  go 0 (String.split_on_char '`' line)
+
+(* Constructor-shaped: leading capital, at least one underscore, lowercase
+   tail — matches [Msg_sent] but not [Dmax], [Rounds] or field names. *)
+let is_kind_token s =
+  String.length s > 1
+  && s.[0] >= 'A'
+  && s.[0] <= 'Z'
+  && String.contains s '_'
+  && String.for_all
+       (fun c -> (c >= 'a' && c <= 'z') || c = '_')
+       (String.sub s 1 (String.length s - 1))
+
+let test_doc_vocabulary () =
+  let lines = read_lines doc_path in
+  let in_section = ref false in
+  let section =
+    List.filter
+      (fun line ->
+        if String.trim line = "<!-- trace-kinds:begin -->" then in_section := true
+        else if String.trim line = "<!-- trace-kinds:end -->" then in_section := false;
+        !in_section)
+      lines
+  in
+  check "markers found" true (section <> []);
+  let documented =
+    List.concat_map backticked section
+    |> List.filter is_kind_token
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string))
+    "docs/OBSERVABILITY.md documents exactly the emitted event types"
+    (List.sort compare Trace.kinds)
+    documented
+
+let suite =
+  [
+    ("samples cover the vocabulary", `Quick, test_samples_cover_vocabulary);
+    ("null sink is a no-op", `Quick, test_null_noop);
+    ("ring wraparound", `Quick, test_ring_wraparound);
+    ("filter_kinds", `Quick, test_filter_kinds);
+    ("tee duplicates", `Quick, test_tee);
+    ("jsonl round-trip (every event)", `Quick, test_jsonl_roundtrip);
+    ("jsonl file round-trip", `Quick, test_jsonl_file_roundtrip);
+    ("jsonl load skips garbage", `Quick, test_jsonl_load_skips_garbage);
+    ("counting sink matches medium stats", `Quick, test_counting_matches_medium);
+    ("engine cancel backlog regression", `Quick, test_engine_cancel_backlog);
+    ("E1 View_changed sequence", `Quick, test_e1_view_changed_sequence);
+    ("monitor timeline", `Quick, test_monitor_timeline);
+    ("doc vocabulary", `Quick, test_doc_vocabulary);
+  ]
