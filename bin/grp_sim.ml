@@ -5,6 +5,8 @@
                  report the groups and the specification predicates
      mobility    run a mobility scenario and report the continuity metrics
      experiment  run one of the E1..E10 experiment suites
+     fuzz        random churn/rewiring/loss scenarios against the invariant
+                 oracles, with shrinking and replayable repro files
      list        list available experiments and topologies *)
 
 module Gen = Dgs_graph.Gen
@@ -319,6 +321,79 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run one of the evaluation experiments.")
     Term.(const run $ id $ quick $ csv)
 
+let fuzz_cmd =
+  let run seed runs max_actions replay strict repro_dir =
+    let oracle = { Dgs_check.Oracle.default with strict_continuity = strict } in
+    match replay with
+    | Some path -> (
+        let sc =
+          try Dgs_check.Scenario.load path
+          with Sys_error msg ->
+            Printf.eprintf "grp_sim: %s\n" msg;
+            exit 2
+        in
+        match sc with
+        | None ->
+            Printf.eprintf "grp_sim: %s is not a scenario file\n" path;
+            exit 2
+        | Some sc ->
+            Format.printf "replaying %a@." Dgs_check.Scenario.pp sc;
+            let r = Dgs_check.Fuzz.replay ~oracle sc in
+            Format.printf "%a@." Dgs_check.Oracle.pp_report r;
+            exit (if Dgs_check.Oracle.failed r then 1 else 0))
+    | None ->
+        let s = Dgs_check.Fuzz.campaign ~oracle ~seed ~runs ~max_actions () in
+        Format.printf "%a@." Dgs_check.Fuzz.pp_summary s;
+        (match repro_dir with
+        | Some dir when s.Dgs_check.Fuzz.failures <> [] ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            List.iter
+              (fun f ->
+                Printf.printf "wrote %s\n" (Dgs_check.Fuzz.save_repro ~dir f))
+              s.Dgs_check.Fuzz.failures
+        | _ -> ());
+        exit (if s.Dgs_check.Fuzz.failures = [] then 0 else 1)
+  in
+  let runs =
+    Arg.(
+      value & opt int 100
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of random scenarios to execute.")
+  in
+  let max_actions =
+    Arg.(
+      value & opt int 12
+      & info [ "max-actions" ] ~docv:"N" ~doc:"Maximum schedule length per scenario.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay one scenario file (as written by --repro-dir or printed in \
+             a failure summary) instead of fuzzing.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict-continuity" ]
+          ~doc:"Treat every view eviction as a failure (no calm-window gating).")
+  in
+  let repro_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:"Write each shrunk failing scenario as a replayable file into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the protocol with random churn/rewiring/loss scenarios, checking \
+          the paper's invariants; failures are minimized to a smallest \
+          still-failing script.  Exits non-zero when a violation was found.")
+    Term.(const run $ seed_arg $ runs $ max_actions $ replay $ strict $ repro_dir)
+
 let list_cmd =
   let run () =
     Printf.printf "topologies:\n";
@@ -339,4 +414,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:converge_term info
-          [ converge_cmd; mobility_cmd; experiment_cmd; list_cmd ]))
+          [ converge_cmd; mobility_cmd; experiment_cmd; fuzz_cmd; list_cmd ]))

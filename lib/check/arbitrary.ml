@@ -1,0 +1,59 @@
+module Rng = Dgs_util.Rng
+open Dgs_core
+
+(* Levels are built with explicit loops, not [List.init]: the generators are
+   effectful (each entry draws from the rng) and the draw order must be a
+   fixed function of the seed. *)
+
+let random_mark rng =
+  match Rng.int rng 3 with 0 -> Mark.Clear | 1 -> Mark.Single | _ -> Mark.Double
+
+(* Distinct ids across levels, every level non-empty, marks confined to
+   positions 0 and 1 — exactly the [well_formed] contract. *)
+let well_formed_antlist rng =
+  let depth = Rng.int_in rng 1 5 in
+  let pool = Rng.permutation rng 20 in
+  let next = ref 0 in
+  let take () =
+    let id = pool.(!next) in
+    incr next;
+    id
+  in
+  let levels = ref [] in
+  for pos = 0 to depth - 1 do
+    (* Leave at least one fresh id per remaining level. *)
+    let cap = min 3 (20 - !next - (depth - pos - 1)) in
+    let width = Rng.int_in rng 1 cap in
+    let entries = ref [] in
+    for _ = 1 to width do
+      let mark =
+        if pos <= 1 && Rng.bernoulli rng 0.25 then
+          if Rng.bool rng then Mark.Single else Mark.Double
+        else Mark.Clear
+      in
+      entries := (take (), mark) :: !entries
+    done;
+    levels := List.rev !entries :: !levels
+  done;
+  Antlist.of_levels (List.rev !levels)
+
+(* Anything goes: duplicates, empty interior levels, deep marks. *)
+let antlist rng =
+  let depth = Rng.int_in rng 0 4 in
+  let levels = ref [] in
+  for _ = 1 to depth do
+    let width = Rng.int rng 4 in
+    let entries = ref [] in
+    for _ = 1 to width do
+      entries := (Rng.int rng 10, random_mark rng) :: !entries
+    done;
+    levels := List.rev !entries :: !levels
+  done;
+  Antlist.of_levels (List.rev !levels)
+
+let node_set rng ~max_id =
+  let rec go v acc =
+    if v > max_id then acc
+    else go (v + 1) (if Rng.bool rng then Node_id.Set.add v acc else acc)
+  in
+  go 0 Node_id.Set.empty

@@ -1,0 +1,17 @@
+(** Random protocol-state generators, shared between the fuzzer and the
+    algebraic property tests.
+
+    Everything draws from a {!Dgs_util.Rng.t}, so a test that fails can be
+    replayed from its seed alone. *)
+
+val well_formed_antlist : Dgs_util.Rng.t -> Dgs_core.Antlist.t
+(** A list satisfying {!Dgs_core.Antlist.well_formed}: 1–5 non-empty
+    levels with globally distinct ids, marks only at positions 0 and 1. *)
+
+val antlist : Dgs_util.Rng.t -> Dgs_core.Antlist.t
+(** An arbitrary list (as built by fault injection): duplicate ids across
+    levels, empty interior levels and deep marks are all possible, so
+    {!Dgs_core.Antlist.well_formed} may not hold. *)
+
+val node_set : Dgs_util.Rng.t -> max_id:int -> Dgs_core.Node_id.Set.t
+(** A uniform subset of [0..max_id]. *)

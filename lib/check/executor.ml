@@ -1,0 +1,269 @@
+module Graph = Dgs_graph.Graph
+module Int_set = Dgs_util.Int_set
+module Rng = Dgs_util.Rng
+module Trace = Dgs_trace.Trace
+module Engine = Dgs_sim.Engine
+module Medium = Dgs_sim.Medium
+module Net = Dgs_sim.Net
+module Configuration = Dgs_spec.Configuration
+module Predicates = Dgs_spec.Predicates
+open Dgs_core
+
+let tau_c = 1.0
+let tau_s = 0.4
+let initial_grace = 20.0
+
+type net_stats = Net.stats
+
+let stats_monotone (p : net_stats) (s : net_stats) =
+  s.computes >= p.computes
+  && s.view_additions >= p.view_additions
+  && s.view_removals >= p.view_removals
+  && s.too_far_conflicts >= p.too_far_conflicts
+  && s.medium.Medium.broadcasts >= p.medium.Medium.broadcasts
+  && s.medium.Medium.deliveries >= p.medium.Medium.deliveries
+  && s.medium.Medium.losses >= p.medium.Medium.losses
+  && s.medium.Medium.drops >= p.medium.Medium.drops
+
+let run ?(oracle = Oracle.default) (sc : Scenario.t) : Oracle.report =
+  let cfg = oracle in
+  let counting = Trace.Counting.create () in
+  let engine = Engine.create ~trace:(Trace.Counting.sink counting) () in
+  let rng = Rng.create sc.seed in
+  let graph = Scenario.build sc.topology in
+  let config = Config.make ~dmax:sc.dmax () in
+  let net =
+    Net.create ~engine ~rng ~config ~tau_c ~tau_s ~loss:sc.loss
+      ~corruption:sc.corruption
+      ~topology:(fun () -> graph)
+      ~nodes:(Graph.nodes graph) ()
+  in
+  let violations = ref [] in
+  let nviol = ref 0 in
+  let add check time detail =
+    (* Keep the report bounded: a systematic violation would otherwise
+       fire on every compute of a long run. *)
+    if !nviol < 50 then violations := { Oracle.check; time; detail } :: !violations;
+    incr nviol
+  in
+  (* Continuity calm-window machinery: evictions only count once the
+     channel is clean and [horizon] has elapsed since the last disruption
+     (churn, loss change, ΠT-breaking rewire).  Creation counts as a
+     disruption lasting until [initial_grace] so initial convergence is
+     never judged.  The horizon scales with the node count: a single
+     ΠT-breaking event can trigger a re-pairing cascade that walks the
+     whole network (one admission handshake plus quarantine per hop), so
+     small-diameter topologies legitimately restructure for O(n) compute
+     periods. *)
+  let horizon () =
+    float_of_int ((4 * sc.dmax) + 12 + (4 * Graph.node_count graph)) *. tau_c
+  in
+  let calm_from = ref (initial_grace +. horizon ()) in
+  let disrupt () =
+    calm_from := max !calm_from (Engine.now engine +. horizon ())
+  in
+  let current_loss = ref sc.loss in
+  (* Engine-fire budget, accumulated per activation episode. *)
+  let rate = (1.0 /. tau_c) +. (1.0 /. tau_s) in
+  let budget = ref 8.0 in
+  let episodes = Hashtbl.create 16 in
+  let begin_episode v =
+    if not (Hashtbl.mem episodes v) then
+      Hashtbl.replace episodes v (Engine.now engine)
+  in
+  let end_episode v =
+    match Hashtbl.find_opt episodes v with
+    | Some t0 ->
+        Hashtbl.remove episodes v;
+        budget := !budget +. ((Engine.now engine -. t0) *. rate) +. 4.0
+    | None -> ()
+  in
+  List.iter begin_episode (Graph.nodes graph);
+  let prev_stats = ref None in
+  Net.on_step net (fun ~time node info ->
+      if cfg.Oracle.check_well_formed then begin
+        let l = Grp_node.antlist node in
+        if not (Antlist.well_formed l) then
+          add "well_formed" time
+            (Printf.sprintf "node %d computed ill-formed list %s"
+               (Grp_node.id node) (Antlist.to_string l))
+      end;
+      if cfg.Oracle.check_monotone_stats then begin
+        let s = Net.stats net in
+        (match !prev_stats with
+        | Some p when not (stats_monotone p s) ->
+            add "monotone_stats" time "a runtime counter decreased"
+        | _ -> ());
+        prev_stats := Some s
+      end;
+      let removed = info.Grp_node.view_removed in
+      if cfg.Oracle.check_continuity && not (Node_id.Set.is_empty removed) then begin
+        let calm =
+          !current_loss = 0.0 && sc.corruption = 0.0 && time >= !calm_from
+        in
+        if cfg.Oracle.strict_continuity || calm then
+          add "continuity" time
+            (Format.asprintf "node %d evicted %a%s" (Grp_node.id node)
+               Node_id.pp_set removed
+               (if calm then " in a calm window" else ""))
+      end);
+  let known v = List.exists (Int.equal v) (Net.node_ids net) in
+  let apply = function
+    | Scenario.Pause d ->
+        if d > 0.0 then Net.run_until net (Engine.now engine +. d)
+    | Scenario.Deactivate v ->
+        if Net.is_active net v then begin
+          end_episode v;
+          Net.deactivate net v;
+          disrupt ()
+        end
+    | Scenario.Activate v ->
+        if known v && not (Net.is_active net v) then begin
+          Net.activate net v;
+          begin_episode v;
+          (* Resumes with stale state: its first computes may legitimately
+             evict members that moved on while it was down. *)
+          disrupt ()
+        end
+    | Scenario.Reset v ->
+        if known v then begin
+          Net.reset_node net v;
+          if Net.is_active net v then disrupt ()
+        end
+    | Scenario.Remove v ->
+        if known v then begin
+          if Net.is_active net v then end_episode v;
+          Net.remove_node net v;
+          Graph.remove_node graph v;
+          disrupt ()
+        end
+    | Scenario.Add v ->
+        if not (known v) then begin
+          Graph.add_node graph v;
+          Net.add_node net v;
+          begin_episode v
+          (* A fresh isolated node cannot shrink anyone's view: not a
+             disruption. *)
+        end
+    | Scenario.Set_loss p ->
+        let p = Float.max 0.0 (Float.min 1.0 p) in
+        Net.set_loss net p;
+        if p <> !current_loss then begin
+          current_loss := p;
+          disrupt ()
+        end
+    | Scenario.Add_edge (u, v) ->
+        (* New edges only shrink distances, so ΠT keeps holding and the
+           best-effort theorem says continuity must survive the merge
+           traffic this triggers: deliberately NOT a disruption. *)
+        if u <> v && known u && known v && not (Graph.mem_edge graph u v) then
+          Graph.add_edge graph u v
+    | Scenario.Remove_edge (u, v) ->
+        if Graph.mem_edge graph u v then begin
+          let before = Graph.copy graph in
+          Graph.remove_edge graph u v;
+          let views = Net.views net in
+          let c = Configuration.make ~graph:before ~views in
+          let c' = Configuration.make ~graph ~views in
+          (* ΠT-preserving rewires guarantee ΠC (paper Proposition 14):
+             only a rewire that actually breaks ΠT excuses evictions. *)
+          match Predicates.topology_preserved ~dmax:sc.dmax c c' with
+          | Some _ -> disrupt ()
+          | None -> ()
+        end
+  in
+  List.iter apply sc.actions;
+  (* Quiescence phase: lossless channel, wait for the state signature to
+     hold still for a confirmation window. *)
+  Net.set_loss net 0.0;
+  if !current_loss <> 0.0 then begin
+    current_loss := 0.0;
+    disrupt ()
+  end;
+  let confirm =
+    if cfg.Oracle.confirm_window > 0 then cfg.Oracle.confirm_window
+    else sc.dmax + 5
+  in
+  let deadline = Engine.now engine +. cfg.Oracle.quiescence_budget in
+  let rec wait stable last =
+    if stable >= confirm then Some (Engine.now engine)
+    else if Engine.now engine >= deadline then None
+    else begin
+      Net.run_until net (Engine.now engine +. tau_c);
+      let s = Net.state_signature net in
+      if String.equal s last then wait (stable + 1) s else wait 0 s
+    end
+  in
+  let quiesce_time = wait 0 (Net.state_signature net) in
+  let stabilized = quiesce_time <> None in
+  let t_end = Engine.now engine in
+  (* Judge the final configuration over the active-induced topology. *)
+  let active = List.filter (Net.is_active net) (Net.node_ids net) in
+  let g_active = Graph.induced graph (Int_set.of_list active) in
+  let c = Configuration.make ~graph:g_active ~views:(Net.views net) in
+  let pv v = Format.asprintf "%a" Predicates.pp_violation v in
+  if stabilized then begin
+    if cfg.Oracle.check_agreement then (
+      match Predicates.agreement c with
+      | Some v -> add "agreement" t_end (pv v)
+      | None -> ());
+    if cfg.Oracle.check_safety then (
+      match Predicates.safety ~dmax:sc.dmax c with
+      | Some v -> add "safety" t_end (pv v)
+      | None -> ())
+  end;
+  let maximality_gap =
+    stabilized
+    &&
+    match Predicates.maximality ~dmax:sc.dmax c with
+    | Some v ->
+        if cfg.Oracle.check_maximality then add "maximality" t_end (pv v);
+        true
+    | None -> false
+  in
+  (* Cross-check the medium's aggregate counters against the per-dest
+     breakdown (the two are maintained independently). *)
+  let stats = Net.stats net in
+  let m = stats.Net.medium in
+  if cfg.Oracle.check_monotone_stats then begin
+    let d, l, x =
+      List.fold_left
+        (fun (d, l, x) (ds : Medium.dest_stats) ->
+          (d + ds.Medium.dst_deliveries, l + ds.Medium.dst_losses, x + ds.Medium.dst_drops))
+        (0, 0, 0)
+        (Net.medium_stats_by_dest net)
+    in
+    if (d, l, x) <> (m.Medium.deliveries, m.Medium.losses, m.Medium.drops) then
+      add "stats_consistency" t_end
+        (Printf.sprintf
+           "per-dest sums (%d,%d,%d) != aggregate (deliveries=%d, losses=%d, drops=%d)"
+           d l x m.Medium.deliveries m.Medium.losses m.Medium.drops)
+  end;
+  (* Engine-fire budget: close the still-open episodes, then compare. *)
+  Hashtbl.iter
+    (fun _ t0 -> budget := !budget +. ((t_end -. t0) *. rate) +. 4.0)
+    episodes;
+  let fires = Trace.Counting.count counting ~kind:"Event_fired" in
+  let fire_budget =
+    int_of_float (Float.ceil !budget) + m.Medium.deliveries + m.Medium.drops
+  in
+  if cfg.Oracle.check_engine_budget && fires > fire_budget then
+    add "engine_budget" t_end
+      (Printf.sprintf
+         "engine executed %d callbacks but the schedule only justifies %d — timer leak?"
+         fires fire_budget);
+  {
+    Oracle.violations = List.rev !violations;
+    stabilized;
+    quiesce_time;
+    maximality_gap;
+    groups = List.length (Configuration.groups c);
+    evictions = stats.Net.view_removals;
+    computes = stats.Net.computes;
+    broadcasts = m.Medium.broadcasts;
+    deliveries = m.Medium.deliveries;
+    drops = m.Medium.drops;
+    losses = m.Medium.losses;
+    engine_fires = fires;
+    engine_fire_budget = fire_budget;
+  }

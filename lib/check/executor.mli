@@ -1,0 +1,29 @@
+(** Scenario replay with continuous invariant checking.
+
+    [run] builds a fresh engine/medium/net from the scenario (everything
+    seeded from [scenario.seed], so two runs of the same scenario are
+    bit-identical), applies the action schedule, then grants the network a
+    quiescence phase with the channel made lossless and judges the final
+    configuration.  See {!Oracle} for what is checked when.
+
+    The engine-event budget: every node's timers fire at most
+    [duration * (1/tau_c + 1/tau_s) + 4] events per activation episode
+    (initial phase and one stale post-retirement fire per timer), and the
+    only other engine events are message deliveries and drops.  An engine
+    that executes more callbacks than that is leaking timers — this is the
+    oracle that catches the historical bug where deactivated nodes kept
+    rescheduling forever. *)
+
+val tau_c : float
+(** Compute period used for every fuzzed run (1.0). *)
+
+val tau_s : float
+(** Send period used for every fuzzed run (0.4). *)
+
+val initial_grace : float
+(** Initial convergence is treated as a disruption "ending" at this
+    simulated time: continuity is never enforced before
+    [initial_grace + calm horizon], leaving the protocol room to reach its
+    first legitimate configuration without false eviction alarms. *)
+
+val run : ?oracle:Oracle.config -> Scenario.t -> Oracle.report

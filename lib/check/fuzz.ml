@@ -1,0 +1,92 @@
+module Rng = Dgs_util.Rng
+
+type failure = {
+  run : int;
+  scenario : Scenario.t;
+  shrunk : Scenario.t;
+  first_violation : Oracle.violation;
+  report : Oracle.report;
+}
+
+type summary = {
+  master_seed : int;
+  runs : int;
+  max_actions : int;
+  failures : failure list;
+  stabilized_runs : int;
+  total_evictions : int;
+  maximality_gaps : int;
+}
+
+let replay ?oracle sc = Executor.run ?oracle sc
+
+let campaign ?(oracle = Oracle.default) ?(shrink_attempts = 400) ~seed ~runs
+    ~max_actions ?(on_run = fun _ _ _ -> ()) () =
+  let master = Rng.create seed in
+  let failures = ref [] in
+  let stabilized_runs = ref 0 in
+  let total_evictions = ref 0 in
+  let maximality_gaps = ref 0 in
+  for run = 0 to runs - 1 do
+    (* One split per run: scenario [i] does not depend on how much
+       entropy scenario [i-1] consumed. *)
+    let rng = Rng.split master in
+    let sc = Scenario.generate rng ~max_actions in
+    let report = Executor.run ~oracle sc in
+    on_run run sc report;
+    if report.Oracle.stabilized then incr stabilized_runs;
+    total_evictions := !total_evictions + report.Oracle.evictions;
+    if report.Oracle.maximality_gap then incr maximality_gaps;
+    match report.Oracle.violations with
+    | [] -> ()
+    | v0 :: _ ->
+        let still_fails sc' =
+          let r = Executor.run ~oracle sc' in
+          List.exists
+            (fun v -> String.equal v.Oracle.check v0.Oracle.check)
+            r.Oracle.violations
+        in
+        let shrunk =
+          Shrink.minimize ~max_attempts:shrink_attempts ~still_fails sc
+        in
+        failures :=
+          { run; scenario = sc; shrunk; first_violation = v0; report }
+          :: !failures
+  done;
+  {
+    master_seed = seed;
+    runs;
+    max_actions;
+    failures = List.rev !failures;
+    stabilized_runs = !stabilized_runs;
+    total_evictions = !total_evictions;
+    maximality_gaps = !maximality_gaps;
+  }
+
+let save_repro ~dir f =
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "repro-run%d-%s.json" f.run f.first_violation.Oracle.check)
+  in
+  Scenario.save path f.shrunk;
+  path
+
+let pp_summary ppf s =
+  Format.fprintf ppf "@[<v>fuzz: seed=%d runs=%d max-actions=%d@," s.master_seed
+    s.runs s.max_actions;
+  Format.fprintf ppf
+    "stabilized %d/%d runs, %d evictions total, %d maximality gaps@,"
+    s.stabilized_runs s.runs s.total_evictions s.maximality_gaps;
+  (match s.failures with
+  | [] -> Format.fprintf ppf "no violations"
+  | fs ->
+      Format.fprintf ppf "%d failing run(s):" (List.length fs);
+      List.iter
+        (fun f ->
+          Format.fprintf ppf "@,@[<v2>run %d: %a@,shrunk %d -> %d action(s)@,%s@]"
+            f.run Oracle.pp_violation f.first_violation
+            (List.length f.scenario.Scenario.actions)
+            (List.length f.shrunk.Scenario.actions)
+            (Scenario.to_string f.shrunk))
+        fs);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** Fuzzing campaigns: generate, execute, judge, shrink, summarize.
+
+    [campaign ~seed ~runs ~max_actions ()] derives [runs] scenarios from
+    the single master seed, executes each under the oracle, and minimizes
+    every failure with {!Shrink} (the shrinking predicate demands a
+    violation of the {e same} check as the original failure).  The whole
+    campaign is a pure function of its arguments, so a failing seed
+    reported by CI reproduces exactly on any machine. *)
+
+type failure = {
+  run : int;  (** index of the failing run within the campaign *)
+  scenario : Scenario.t;  (** as generated *)
+  shrunk : Scenario.t;  (** minimized, fails the same check *)
+  first_violation : Oracle.violation;  (** of the original run *)
+  report : Oracle.report;  (** of the original run *)
+}
+
+type summary = {
+  master_seed : int;
+  runs : int;
+  max_actions : int;
+  failures : failure list;  (** in run order *)
+  stabilized_runs : int;
+  total_evictions : int;
+  maximality_gaps : int;  (** informational (see {!Oracle}) *)
+}
+
+val campaign :
+  ?oracle:Oracle.config ->
+  ?shrink_attempts:int ->
+  seed:int ->
+  runs:int ->
+  max_actions:int ->
+  ?on_run:(int -> Scenario.t -> Oracle.report -> unit) ->
+  unit ->
+  summary
+(** [on_run] observes every executed scenario (progress reporting). *)
+
+val replay : ?oracle:Oracle.config -> Scenario.t -> Oracle.report
+(** Execute one scenario (a loaded repro) under the oracle. *)
+
+val save_repro : dir:string -> failure -> string
+(** Write the shrunk scenario of a failure as
+    [dir/repro-run<N>-<check>.json]; returns the path.  The file replays
+    with [grp_sim fuzz --replay]. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Human summary; prints each failure's shrunk script as JSON so it can
+    be copied into a repro file. *)

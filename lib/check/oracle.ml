@@ -1,0 +1,68 @@
+type config = {
+  check_well_formed : bool;
+  check_monotone_stats : bool;
+  check_continuity : bool;
+  strict_continuity : bool;
+  check_engine_budget : bool;
+  check_agreement : bool;
+  check_safety : bool;
+  check_maximality : bool;
+  quiescence_budget : float;
+  confirm_window : int;
+}
+
+let default =
+  {
+    check_well_formed = true;
+    check_monotone_stats = true;
+    check_continuity = true;
+    strict_continuity = false;
+    check_engine_budget = true;
+    check_agreement = true;
+    check_safety = true;
+    check_maximality = false;
+    quiescence_budget = 150.0;
+    confirm_window = 0;
+  }
+
+type violation = { check : string; time : float; detail : string }
+
+type report = {
+  violations : violation list;
+  stabilized : bool;
+  quiesce_time : float option;
+  maximality_gap : bool;
+  groups : int;
+  evictions : int;
+  computes : int;
+  broadcasts : int;
+  deliveries : int;
+  drops : int;
+  losses : int;
+  engine_fires : int;
+  engine_fire_budget : int;
+}
+
+let failed r = r.violations <> []
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<h>[%s] t=%.3f %s@]" v.check v.time v.detail
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: %d violation(s)%a@,\
+     stabilized=%b%a groups=%d evictions=%d maximality_gap=%b@,\
+     computes=%d broadcasts=%d deliveries=%d drops=%d losses=%d@,\
+     engine fires=%d (budget %d)@]"
+    (if failed r then "FAIL" else "ok")
+    (List.length r.violations)
+    (fun ppf -> function
+      | [] -> ()
+      | vs ->
+          List.iter (fun v -> Format.fprintf ppf "@,  %a" pp_violation v) vs)
+    r.violations r.stabilized
+    (fun ppf -> function
+      | None -> ()
+      | Some t -> Format.fprintf ppf " (t=%.1f)" t)
+    r.quiesce_time r.groups r.evictions r.maximality_gap r.computes r.broadcasts
+    r.deliveries r.drops r.losses r.engine_fires r.engine_fire_budget

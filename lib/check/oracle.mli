@@ -1,0 +1,71 @@
+(** The fuzzer's judgment: which invariants to watch and what a run
+    reported.
+
+    Two kinds of checks run over an executed scenario:
+
+    - {e Continuous} checks fire inside {!Dgs_sim.Net.on_step} after every
+      compute: list well-formedness, monotone statistics counters, and
+      (in calm windows, see below) view continuity.
+    - {e Quiescent} checks fire once the network has stabilized with the
+      channel made lossless: the paper's static predicates [ΠA] and [ΠS],
+      plus the engine-event budget that catches timer leaks.
+
+    Continuity ([ΠC]) is only a protocol guarantee while the topology
+    predicate [ΠT] holds, so by default evictions only count as violations
+    in a {e calm window}: the channel is currently lossless and
+    uncorrupted, and enough time has passed since the last disruption
+    (churn, loss episode, or a [ΠT]-breaking rewire) for the protocol to
+    have restabilized.  [strict_continuity] disables the calm-window
+    gating — useful to make any eviction a failure in targeted tests.
+
+    Maximality ([ΠM]) is recorded but does not fail a run by default: the
+    implemented [compatibleList] admission test is deliberately more
+    conservative than the paper's (see DESIGN.md Section 5 and experiment
+    E3), so mergeable groups can legitimately persist on dense
+    topologies.  Set [check_maximality] to make it a hard failure. *)
+
+type config = {
+  check_well_formed : bool;
+  check_monotone_stats : bool;
+  check_continuity : bool;
+  strict_continuity : bool;  (** every eviction fails, calm or not *)
+  check_engine_budget : bool;
+  check_agreement : bool;
+  check_safety : bool;
+  check_maximality : bool;  (** default [false]: recorded, not failing *)
+  quiescence_budget : float;
+      (** simulated seconds granted to reach quiescence after the script *)
+  confirm_window : int;
+      (** consecutive unchanged signatures declaring quiescence;
+          [<= 0] means [dmax + 5] *)
+}
+
+val default : config
+(** Everything on except [strict_continuity] and [check_maximality];
+    [quiescence_budget = 150.0]; adaptive [confirm_window]. *)
+
+type violation = { check : string; time : float; detail : string }
+
+type report = {
+  violations : violation list;  (** in order of detection *)
+  stabilized : bool;  (** quiescence reached within the budget *)
+  quiesce_time : float option;  (** simulation time of stabilization *)
+  maximality_gap : bool;
+      (** mergeable groups remained at quiescence (informational unless
+          [check_maximality]) *)
+  groups : int;  (** distinct groups at the end of the run *)
+  evictions : int;  (** view removals over the whole run *)
+  computes : int;
+  broadcasts : int;
+  deliveries : int;
+  drops : int;
+  losses : int;
+  engine_fires : int;  (** engine callbacks actually executed *)
+  engine_fire_budget : int;  (** analytic upper bound for this schedule *)
+}
+
+val failed : report -> bool
+(** [violations <> []]. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

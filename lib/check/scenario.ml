@@ -1,0 +1,384 @@
+module Graph = Dgs_graph.Graph
+module Gen = Dgs_graph.Gen
+module Rng = Dgs_util.Rng
+
+type topology =
+  | Line of int
+  | Ring of int
+  | Grid of int * int
+  | Star of int
+  | Complete of int
+  | Btree of int
+  | Chain of int * int
+  | Loop of int * int
+  | Er of int * float * int
+
+type action =
+  | Pause of float
+  | Deactivate of int
+  | Activate of int
+  | Reset of int
+  | Remove of int
+  | Add of int
+  | Set_loss of float
+  | Add_edge of int * int
+  | Remove_edge of int * int
+
+type t = {
+  seed : int;
+  dmax : int;
+  loss : float;
+  corruption : float;
+  topology : topology;
+  actions : action list;
+}
+
+let node_count = function
+  | Line n | Ring n | Star n | Complete n | Btree n -> n
+  | Grid (r, c) -> r * c
+  | Chain (g, s) | Loop (g, s) -> g * s
+  | Er (n, _, _) -> n
+
+let build = function
+  | Line n -> Gen.line n
+  | Ring n -> Gen.ring n
+  | Grid (r, c) -> Gen.grid r c
+  | Star n -> Gen.star n
+  | Complete n -> Gen.complete n
+  | Btree n -> Gen.binary_tree n
+  | Chain (g, s) -> Gen.group_chain ~groups:g ~group_size:s
+  | Loop (g, s) -> Gen.group_loop ~groups:g ~group_size:s
+  | Er (n, p, seed) -> Gen.erdos_renyi (Rng.create seed) ~n ~p
+
+let mentioned = function
+  | Deactivate v | Activate v | Reset v | Remove v | Add v -> [ v ]
+  | Add_edge (u, v) | Remove_edge (u, v) -> [ u; v ]
+  | Pause _ | Set_loss _ -> []
+
+let universe sc =
+  let base = List.init (node_count sc.topology) Fun.id in
+  List.sort_uniq compare (base @ List.concat_map mentioned sc.actions)
+
+let duration sc =
+  List.fold_left
+    (fun acc -> function Pause d -> acc +. d | _ -> acc)
+    0.0 sc.actions
+
+let generate rng ~max_actions =
+  let seed = Rng.int rng 1_000_000_000 in
+  let dmax = Rng.int_in rng 1 3 in
+  let topology =
+    match Rng.int rng 9 with
+    | 0 -> Line (Rng.int_in rng 3 8)
+    | 1 -> Ring (Rng.int_in rng 3 8)
+    | 2 -> Grid (Rng.int_in rng 2 3, Rng.int_in rng 2 3)
+    | 3 -> Star (Rng.int_in rng 3 7)
+    | 4 -> Complete (Rng.int_in rng 3 6)
+    | 5 -> Btree (Rng.int_in rng 3 9)
+    | 6 -> Chain (Rng.int_in rng 2 3, Rng.int_in rng 2 3)
+    | 7 -> Loop (3, Rng.int_in rng 2 3)
+    | _ -> Er (Rng.int_in rng 5 9, Rng.float_in rng 0.25 0.6, Rng.int rng 1_000_000)
+  in
+  let loss = if Rng.bernoulli rng 0.3 then Rng.float rng 0.3 else 0.0 in
+  let corruption = if Rng.bernoulli rng 0.15 then Rng.float rng 0.05 else 0.0 in
+  let n = node_count topology in
+  (* A few spare ids beyond the initial range so Add can introduce genuinely
+     new nodes (and churn actions can harmlessly target unknown ids). *)
+  let node () = Rng.int rng (n + 3) in
+  let count = Rng.int_in rng 1 (max 1 max_actions) in
+  let rec make k acc =
+    if k = 0 then List.rev acc
+    else
+      let a =
+        match Rng.int rng 100 with
+        | x when x < 35 -> Pause (Rng.float_in rng 0.5 12.0)
+        | x when x < 45 -> Deactivate (node ())
+        | x when x < 55 -> Activate (node ())
+        | x when x < 60 -> Reset (node ())
+        | x when x < 65 -> Remove (node ())
+        | x when x < 70 -> Add (node ())
+        | x when x < 78 -> Set_loss (if Rng.bool rng then 0.0 else Rng.float rng 0.4)
+        | x when x < 89 -> Add_edge (node (), node ())
+        | _ -> Remove_edge (node (), node ())
+      in
+      make (k - 1) (a :: acc)
+  in
+  { seed; dmax; loss; corruption; topology; actions = make count [] }
+
+(* Numbers are printed so that [float_of_string] recovers them exactly:
+   integers without a fraction, everything else with 17 significant digits
+   (enough to round-trip any binary64). *)
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let topology_to_string = function
+  | Line n -> Printf.sprintf "line %d" n
+  | Ring n -> Printf.sprintf "ring %d" n
+  | Grid (r, c) -> Printf.sprintf "grid %d %d" r c
+  | Star n -> Printf.sprintf "star %d" n
+  | Complete n -> Printf.sprintf "complete %d" n
+  | Btree n -> Printf.sprintf "btree %d" n
+  | Chain (g, s) -> Printf.sprintf "chain %d %d" g s
+  | Loop (g, s) -> Printf.sprintf "loop %d %d" g s
+  | Er (n, p, seed) -> Printf.sprintf "er %d %s %d" n (num p) seed
+
+let topology_of_string s =
+  let int = int_of_string_opt and flt = float_of_string_opt in
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "line"; n ] -> Option.map (fun n -> Line n) (int n)
+  | [ "ring"; n ] -> Option.map (fun n -> Ring n) (int n)
+  | [ "grid"; r; c ] -> (
+      match (int r, int c) with
+      | Some r, Some c -> Some (Grid (r, c))
+      | _ -> None)
+  | [ "star"; n ] -> Option.map (fun n -> Star n) (int n)
+  | [ "complete"; n ] -> Option.map (fun n -> Complete n) (int n)
+  | [ "btree"; n ] -> Option.map (fun n -> Btree n) (int n)
+  | [ "chain"; g; s ] -> (
+      match (int g, int s) with
+      | Some g, Some s -> Some (Chain (g, s))
+      | _ -> None)
+  | [ "loop"; g; s ] -> (
+      match (int g, int s) with
+      | Some g, Some s -> Some (Loop (g, s))
+      | _ -> None)
+  | [ "er"; n; p; seed ] -> (
+      match (int n, flt p, int seed) with
+      | Some n, Some p, Some seed -> Some (Er (n, p, seed))
+      | _ -> None)
+  | _ -> None
+
+let action_to_string = function
+  | Pause d -> Printf.sprintf "pause %s" (num d)
+  | Deactivate v -> Printf.sprintf "deactivate %d" v
+  | Activate v -> Printf.sprintf "activate %d" v
+  | Reset v -> Printf.sprintf "reset %d" v
+  | Remove v -> Printf.sprintf "remove %d" v
+  | Add v -> Printf.sprintf "add %d" v
+  | Set_loss p -> Printf.sprintf "loss %s" (num p)
+  | Add_edge (u, v) -> Printf.sprintf "add-edge %d %d" u v
+  | Remove_edge (u, v) -> Printf.sprintf "remove-edge %d %d" u v
+
+let action_of_string s =
+  let int = int_of_string_opt and flt = float_of_string_opt in
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "pause"; d ] -> Option.map (fun d -> Pause d) (flt d)
+  | [ "deactivate"; v ] -> Option.map (fun v -> Deactivate v) (int v)
+  | [ "activate"; v ] -> Option.map (fun v -> Activate v) (int v)
+  | [ "reset"; v ] -> Option.map (fun v -> Reset v) (int v)
+  | [ "remove"; v ] -> Option.map (fun v -> Remove v) (int v)
+  | [ "add"; v ] -> Option.map (fun v -> Add v) (int v)
+  | [ "loss"; p ] -> Option.map (fun p -> Set_loss p) (flt p)
+  | [ "add-edge"; u; v ] -> (
+      match (int u, int v) with
+      | Some u, Some v -> Some (Add_edge (u, v))
+      | _ -> None)
+  | [ "remove-edge"; u; v ] -> (
+      match (int u, int v) with
+      | Some u, Some v -> Some (Remove_edge (u, v))
+      | _ -> None)
+  | _ -> None
+
+(* Our strings only ever contain [a-z0-9 .+-]; no escaping needed. *)
+let quote s = "\"" ^ s ^ "\""
+
+let to_string sc =
+  Printf.sprintf
+    {|{"seed":%d,"dmax":%d,"loss":%s,"corruption":%s,"topology":%s,"actions":[%s]}|}
+    sc.seed sc.dmax (num sc.loss) (num sc.corruption)
+    (quote (topology_to_string sc.topology))
+    (String.concat "," (List.map (fun a -> quote (action_to_string a)) sc.actions))
+
+(* Minimal parser for the subset of JSON [to_string] emits: one flat object
+   whose values are numbers, strings, or arrays of strings (same spirit as
+   the hand-rolled reader in [Dgs_trace.Trace.Jsonl] — no json dependency). *)
+type value = Num of float | Str of string | Arr of string list
+
+let parse_object (s : string) : (string * value) list option =
+  let n = String.length s in
+  let i = ref 0 in
+  let error = ref false in
+  let skip_ws () =
+    while
+      !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr i
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !i < n && s.[!i] = c then incr i else error := true
+  in
+  let parse_str () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let fin = ref false in
+    while (not !fin) && not !error do
+      if !i >= n then error := true
+      else
+        match s.[!i] with
+        | '"' ->
+            incr i;
+            fin := true
+        | '\\' ->
+            if !i + 1 >= n then error := true
+            else begin
+              (match s.[!i + 1] with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | _ -> error := true);
+              i := !i + 2
+            end
+        | c ->
+            Buffer.add_char b c;
+            incr i
+    done;
+    Buffer.contents b
+  in
+  let parse_num () =
+    skip_ws ();
+    let start = !i in
+    while
+      !i < n
+      && match s.[!i] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false
+    do
+      incr i
+    done;
+    if !i = start then begin
+      error := true;
+      0.0
+    end
+    else
+      match float_of_string_opt (String.sub s start (!i - start)) with
+      | Some f -> f
+      | None ->
+          error := true;
+          0.0
+  in
+  let parse_value () =
+    skip_ws ();
+    if !i >= n then begin
+      error := true;
+      Num 0.0
+    end
+    else
+      match s.[!i] with
+      | '"' -> Str (parse_str ())
+      | '[' ->
+          incr i;
+          skip_ws ();
+          if !i < n && s.[!i] = ']' then begin
+            incr i;
+            Arr []
+          end
+          else begin
+            let items = ref [] in
+            let fin = ref false in
+            while (not !fin) && not !error do
+              items := parse_str () :: !items;
+              skip_ws ();
+              if !i < n && s.[!i] = ',' then incr i
+              else begin
+                expect ']';
+                fin := true
+              end
+            done;
+            Arr (List.rev !items)
+          end
+      | _ -> Num (parse_num ())
+  in
+  expect '{';
+  skip_ws ();
+  let fields = ref [] in
+  if !i < n && s.[!i] = '}' then incr i
+  else begin
+    let fin = ref false in
+    while (not !fin) && not !error do
+      let k = parse_str () in
+      expect ':';
+      let v = parse_value () in
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      if !i < n && s.[!i] = ',' then incr i
+      else begin
+        expect '}';
+        fin := true
+      end
+    done
+  end;
+  skip_ws ();
+  if !error || !i <> n then None else Some (List.rev !fields)
+
+let of_string s =
+  match parse_object (String.trim s) with
+  | None -> None
+  | Some fields -> (
+      let num k =
+        match List.assoc_opt k fields with Some (Num f) -> Some f | _ -> None
+      in
+      let str k =
+        match List.assoc_opt k fields with Some (Str s) -> Some s | _ -> None
+      in
+      let arr k =
+        match List.assoc_opt k fields with Some (Arr l) -> Some l | _ -> None
+      in
+      let all_actions l =
+        List.fold_right
+          (fun s acc ->
+            match (action_of_string s, acc) with
+            | Some a, Some acc -> Some (a :: acc)
+            | _ -> None)
+          l (Some [])
+      in
+      match
+        ( num "seed",
+          num "dmax",
+          num "loss",
+          num "corruption",
+          Option.bind (str "topology") topology_of_string,
+          Option.bind (arr "actions") all_actions )
+      with
+      | Some seed, Some dmax, Some loss, Some corruption, Some topology, Some actions
+        ->
+          Some
+            {
+              seed = int_of_float seed;
+              dmax = int_of_float dmax;
+              loss;
+              corruption;
+              topology;
+              actions;
+            }
+      | _ -> None)
+
+let save path sc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string sc);
+      output_char oc '\n')
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let b = Buffer.create 256 in
+      (try
+         while true do
+           Buffer.add_channel b ic 1
+         done
+       with End_of_file -> ());
+      of_string (Buffer.contents b))
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf sc =
+  Format.fprintf ppf "@[<h>seed=%d dmax=%d loss=%g corr=%g %s [%s]@]" sc.seed
+    sc.dmax sc.loss sc.corruption
+    (topology_to_string sc.topology)
+    (String.concat "; " (List.map action_to_string sc.actions))

@@ -1,0 +1,85 @@
+(** Scenario scripts: the input language of the fuzzer.
+
+    A scenario is a reproducible experiment: an initial topology, channel
+    parameters, and a timed schedule of disruptions (churn, rewiring, loss
+    ramps) interleaved with pauses that let the simulation advance.  The
+    {!Executor} replays a scenario against a fresh {!Dgs_sim.Net} and the
+    {!Oracle} judges the run.
+
+    Everything is derived deterministically from the scenario value itself
+    (the embedded [seed] feeds every random stream), so a scenario written
+    to disk is a complete, replayable bug report.  The JSON encoding keeps
+    the whole script human-readable: the topology and each action are
+    single strings like ["ring 6"] or ["deactivate 3"]. *)
+
+type topology =
+  | Line of int
+  | Ring of int  (** n >= 3 *)
+  | Grid of int * int
+  | Star of int
+  | Complete of int
+  | Btree of int
+  | Chain of int * int  (** [Chain (groups, group_size)] — clique chain (E4) *)
+  | Loop of int * int  (** like [Chain] but closed into a loop *)
+  | Er of int * float * int  (** [Er (n, p, seed)] — G(n,p) from its own seed *)
+
+type action =
+  | Pause of float  (** advance simulation time *)
+  | Deactivate of int  (** node crashes, memory kept *)
+  | Activate of int  (** crashed node resumes with stale state *)
+  | Reset of int  (** node reboots with fresh state *)
+  | Remove of int  (** node leaves for good (also leaves the topology) *)
+  | Add of int  (** a brand-new node appears (isolated until wired) *)
+  | Set_loss of float  (** channel loss rate from now on *)
+  | Add_edge of int * int
+  | Remove_edge of int * int
+
+type t = {
+  seed : int;  (** feeds timer phases, channel and corruption streams *)
+  dmax : int;
+  loss : float;  (** initial channel loss rate *)
+  corruption : float;  (** frame corruption probability *)
+  topology : topology;
+  actions : action list;
+}
+
+val node_count : topology -> int
+(** Nodes of the initial topology (numbered [0 .. node_count-1]). *)
+
+val build : topology -> Dgs_graph.Graph.t
+(** Materialize the initial topology. *)
+
+val universe : t -> int list
+(** All node ids a generated scenario may mention: the initial nodes plus
+    a few spare ids for [Add] actions. *)
+
+val duration : t -> float
+(** Total scheduled pause time — how far the action phase advances. *)
+
+val generate : Dgs_util.Rng.t -> max_actions:int -> t
+(** Sample a random scenario: a topology family, channel parameters and
+    between 1 and [max_actions] actions.  Consumes the given generator;
+    the scenario's own [seed] is drawn from it. *)
+
+(** {2 Encoding} *)
+
+val topology_to_string : topology -> string
+val topology_of_string : string -> topology option
+val action_to_string : action -> string
+val action_of_string : string -> action option
+
+val to_string : t -> string
+(** One-line JSON object, round-tripping exactly through {!of_string}
+    (floats are printed with full precision). *)
+
+val of_string : string -> t option
+
+val save : string -> t -> unit
+(** Write {!to_string} plus a trailing newline to a file. *)
+
+val load : string -> t option
+(** Read a scenario written by {!save}; [None] on parse failure.  Raises
+    [Sys_error] when the file cannot be opened. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

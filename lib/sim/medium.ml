@@ -1,10 +1,16 @@
 module Rng = Dgs_util.Rng
 module Trace = Dgs_trace.Trace
 
-type stats = { broadcasts : int; deliveries : int; losses : int }
-type dest_stats = { dst : int; dst_deliveries : int; dst_losses : int }
+type stats = { broadcasts : int; deliveries : int; losses : int; drops : int }
 
-type cell = { mutable d : int; mutable l : int }
+type dest_stats = {
+  dst : int;
+  dst_deliveries : int;
+  dst_losses : int;
+  dst_drops : int;
+}
+
+type cell = { mutable d : int; mutable l : int; mutable x : int }
 
 type 'msg t = {
   engine : Engine.t;
@@ -14,10 +20,11 @@ type 'msg t = {
   delay_min : float;
   delay_max : float;
   audience : int -> int list;
-  deliver : dst:int -> 'msg -> unit;
+  deliver : dst:int -> 'msg -> bool;
   mutable broadcasts : int;
   mutable deliveries : int;
   mutable losses : int;
+  mutable drops : int;
   by_dest : (int, cell) Hashtbl.t;
 }
 
@@ -38,6 +45,7 @@ let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
     broadcasts = 0;
     deliveries = 0;
     losses = 0;
+    drops = 0;
     by_dest = Hashtbl.create 64;
   }
 
@@ -45,7 +53,7 @@ let cell_of t dst =
   match Hashtbl.find_opt t.by_dest dst with
   | Some c -> c
   | None ->
-      let c = { d = 0; l = 0 } in
+      let c = { d = 0; l = 0; x = 0 } in
       Hashtbl.replace t.by_dest dst c;
       c
 
@@ -69,14 +77,28 @@ let broadcast t ~src msg =
           let delay = Rng.float_in t.rng t.delay_min t.delay_max in
           ignore
             (Engine.schedule_after t.engine delay (fun () ->
-                 t.deliveries <- t.deliveries + 1;
+                 (* The runtime decides at delivery time whether the protocol
+                    actually sees the copy (destination may have deactivated
+                    or been removed in flight, or the frame may be corrupted
+                    out of the grammar); only copies it accepts count as
+                    deliveries, so [deliveries] agrees with what
+                    [Grp_node.receive] saw. *)
+                 let accepted = t.deliver ~dst msg in
                  let c = cell_of t dst in
-                 c.d <- c.d + 1;
+                 if accepted then begin
+                   t.deliveries <- t.deliveries + 1;
+                   c.d <- c.d + 1
+                 end
+                 else begin
+                   t.drops <- t.drops + 1;
+                   c.x <- c.x + 1
+                 end;
                  if Trace.enabled t.trace then begin
                    Trace.set_time t.trace (Engine.now t.engine);
-                   Trace.emit t.trace (Trace.Msg_delivered { src; dst })
-                 end;
-                 t.deliver ~dst msg))
+                   Trace.emit t.trace
+                     (if accepted then Trace.Msg_delivered { src; dst }
+                      else Trace.Msg_dropped { src; dst })
+                 end))
         end)
     (t.audience src)
 
@@ -84,11 +106,18 @@ let set_loss t loss =
   if loss < 0.0 || loss > 1.0 then invalid_arg "Medium.set_loss: loss out of [0,1]";
   t.loss <- loss
 
-let stats t = { broadcasts = t.broadcasts; deliveries = t.deliveries; losses = t.losses }
+let stats t =
+  {
+    broadcasts = t.broadcasts;
+    deliveries = t.deliveries;
+    losses = t.losses;
+    drops = t.drops;
+  }
 
 let stats_by_dest t =
   Hashtbl.fold
-    (fun dst c acc -> { dst; dst_deliveries = c.d; dst_losses = c.l } :: acc)
+    (fun dst c acc ->
+      { dst; dst_deliveries = c.d; dst_losses = c.l; dst_drops = c.x } :: acc)
     t.by_dest []
   |> List.sort (fun a b -> compare a.dst b.dst)
 
@@ -96,4 +125,5 @@ let reset_stats t =
   t.broadcasts <- 0;
   t.deliveries <- 0;
   t.losses <- 0;
+  t.drops <- 0;
   Hashtbl.reset t.by_dest

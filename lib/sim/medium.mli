@@ -10,23 +10,44 @@
     reflected instantaneously.  Directed (asymmetric) links are supported:
     the callback returns the set of nodes able to hear [src].
 
+    Audience, loss and delay are all decided at {e send} time: a copy
+    already in flight is delivered even if the link it rode disappears or
+    the loss rate changes before the delivery event fires.  This is a
+    deliberate model decision — the frame is already in the air — and it
+    keeps the channel's random decisions independent of future topology
+    (DESIGN.md Section 5 item 18).
+
+    Delivery is two-phase: the channel decides loss and delay at send time,
+    and the receiver's runtime decides at delivery time whether the
+    protocol actually consumes the copy (the [deliver] callback returns
+    [false] when the destination deactivated or was removed while the copy
+    was in flight, or when the frame was corrupted out of the wire
+    grammar).  Refused copies are counted as {e drops}, separate from both
+    deliveries and channel losses, so [deliveries] agrees exactly with what
+    {!Dgs_core.Grp_node.receive} saw.
+
     With a trace sink installed the medium emits
     {!Dgs_trace.Trace.Msg_sent} per broadcast and [Msg_delivered] /
-    [Msg_lost] per directed copy, stamped with the simulation time of the
-    send (sends, losses) or of the delivery. *)
+    [Msg_lost] / [Msg_dropped] per directed copy, stamped with the
+    simulation time of the send (sends, losses) or of the delivery
+    (deliveries, drops). *)
 
 type 'msg t
 
 type stats = {
   broadcasts : int;  (** send operations *)
-  deliveries : int;  (** per-receiver successful deliveries *)
-  losses : int;  (** per-receiver losses *)
+  deliveries : int;  (** per-receiver copies the protocol consumed *)
+  losses : int;  (** per-receiver channel losses *)
+  drops : int;
+      (** per-receiver copies refused at delivery time (inactive or removed
+          destination, corrupted frame) *)
 }
 
 type dest_stats = {
   dst : int;  (** the receiving node *)
-  dst_deliveries : int;  (** copies that reached [dst] *)
+  dst_deliveries : int;  (** copies [dst]'s protocol consumed *)
   dst_losses : int;  (** copies addressed to [dst] the channel dropped *)
+  dst_drops : int;  (** copies refused at [dst] at delivery time *)
 }
 
 val create :
@@ -37,11 +58,12 @@ val create :
   ?delay_max:float ->
   ?trace:Dgs_trace.Trace.t ->
   audience:(int -> int list) ->
-  deliver:(dst:int -> 'msg -> unit) ->
+  deliver:(dst:int -> 'msg -> bool) ->
   unit ->
   'msg t
 (** [audience src] lists the nodes in whose vicinity [src] currently is;
-    [deliver] is invoked at the scheduled delivery time.  [trace]
+    [deliver] is invoked at the scheduled delivery time and returns whether
+    the protocol consumed the copy ([false] = counted as a drop).  [trace]
     (default {!Dgs_trace.Trace.null}) receives the channel events. *)
 
 val broadcast : 'msg t -> src:int -> 'msg -> unit

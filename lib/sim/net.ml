@@ -21,6 +21,15 @@ type t = {
   topology : unit -> Graph.t;
   nodes : (Node_id.t, Grp_node.t) Hashtbl.t;
   active : (Node_id.t, unit) Hashtbl.t;
+  (* Liveness generation of each installed node's timers.  A timer callback
+     captures the generation current when it was scheduled and dies silently
+     when the node's generation has moved on — deactivation and removal bump
+     it, so stale timers fire at most once more instead of rescheduling
+     forever (the pre-fix leak: a deactivated node kept burning two engine
+     events per period indefinitely).  Generations are globally unique so a
+     remove/add cycle can never resurrect an old timer. *)
+  gens : (Node_id.t, int) Hashtbl.t;
+  mutable next_gen : int;
   mutable medium : Message.t Medium.t option;
   mutable computes : int;
   mutable view_additions : int;
@@ -43,43 +52,57 @@ let views t =
 
 let medium t = match t.medium with Some m -> m | None -> assert false
 
-let rec schedule_compute t v delay =
+let fresh_gen t =
+  let g = t.next_gen in
+  t.next_gen <- g + 1;
+  g
+
+let gen_live t v gen =
+  match Hashtbl.find_opt t.gens v with Some g -> g = gen | None -> false
+
+(* Timers only run for active nodes: a live generation implies the node has
+   neither been deactivated nor removed since the timer chain was started
+   (both bump the generation), and chains are only started at install and
+   reactivation. *)
+let rec schedule_compute t v gen delay =
   ignore
     (Engine.schedule_after t.engine delay (fun () ->
-         if Hashtbl.mem t.nodes v then begin
-           if is_active t v then begin
-             let n = node t v in
-             if Trace.enabled t.trace then
-               Trace.set_time t.trace (Engine.now t.engine);
-             let info = Grp_node.compute n in
-             t.computes <- t.computes + 1;
-             t.view_additions <-
-               t.view_additions + Node_id.Set.cardinal info.Grp_node.view_added;
-             t.view_removals <-
-               t.view_removals + Node_id.Set.cardinal info.Grp_node.view_removed;
-             if info.Grp_node.too_far_conflict then
-               t.too_far_conflicts <- t.too_far_conflicts + 1;
-             match t.observer with
-             | Some f -> f ~time:(Engine.now t.engine) n info
-             | None -> ()
-           end;
-           schedule_compute t v t.tau_c
+         if gen_live t v gen && is_active t v then begin
+           let n = node t v in
+           if Trace.enabled t.trace then
+             Trace.set_time t.trace (Engine.now t.engine);
+           let info = Grp_node.compute n in
+           t.computes <- t.computes + 1;
+           t.view_additions <-
+             t.view_additions + Node_id.Set.cardinal info.Grp_node.view_added;
+           t.view_removals <-
+             t.view_removals + Node_id.Set.cardinal info.Grp_node.view_removed;
+           if info.Grp_node.too_far_conflict then
+             t.too_far_conflicts <- t.too_far_conflicts + 1;
+           (match t.observer with
+           | Some f -> f ~time:(Engine.now t.engine) n info
+           | None -> ());
+           schedule_compute t v gen t.tau_c
          end))
 
-let rec schedule_send t v delay =
+let rec schedule_send t v gen delay =
   ignore
     (Engine.schedule_after t.engine delay (fun () ->
-         if Hashtbl.mem t.nodes v then begin
-           if is_active t v then
-             Medium.broadcast (medium t) ~src:v (Grp_node.make_message (node t v));
-           schedule_send t v t.tau_s
+         if gen_live t v gen && is_active t v then begin
+           Medium.broadcast (medium t) ~src:v (Grp_node.make_message (node t v));
+           schedule_send t v gen t.tau_s
          end))
+
+let start_timers t v =
+  let gen = fresh_gen t in
+  Hashtbl.replace t.gens v gen;
+  schedule_compute t v gen (Rng.float t.rng t.tau_c);
+  schedule_send t v gen (Rng.float t.rng t.tau_s)
 
 let install_node t v =
   Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config ~trace:t.trace v);
   Hashtbl.replace t.active v ();
-  schedule_compute t v (Rng.float t.rng t.tau_c);
-  schedule_send t v (Rng.float t.rng t.tau_s)
+  start_timers t v
 
 let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
     ?(corruption = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
@@ -98,6 +121,8 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
       topology;
       nodes = Hashtbl.create 64;
       active = Hashtbl.create 64;
+      gens = Hashtbl.create 64;
+      next_gen = 0;
       medium = None;
       computes = 0;
       view_additions = 0;
@@ -108,21 +133,30 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
   in
   let audience src = Graph.Int_set.elements (Graph.neighbors (topology ()) src) in
   let corrupt_rng = Rng.split rng in
+  (* Returns whether the protocol consumed the copy: [false] (a drop, in
+     the medium's accounting) when the destination is deactivated or
+     removed, or when the frame was corrupted out of the wire grammar. *)
   let deliver ~dst msg =
     if is_active t dst then
       match Hashtbl.find_opt t.nodes dst with
       | Some n ->
           (* With frame corruption enabled, every delivery goes through the
-             wire format; a frame mutated out of the grammar is dropped
-             (equivalent to loss), one mutated into validity reaches the
-             protocol and is handled by its own checks. *)
+             wire format; a frame mutated out of the grammar is dropped,
+             one mutated into validity reaches the protocol and is handled
+             by its own checks. *)
           if corruption > 0.0 && Rng.bernoulli corrupt_rng corruption then begin
             match Wire.of_string (Wire.corrupt corrupt_rng (Wire.to_string msg)) with
-            | Some msg' -> Grp_node.receive n msg'
-            | None -> ()
+            | Some msg' ->
+                Grp_node.receive n msg';
+                true
+            | None -> false
           end
-          else Grp_node.receive n msg
-      | None -> ()
+          else begin
+            Grp_node.receive n msg;
+            true
+          end
+      | None -> false
+    else false
   in
   t.medium <-
     Some
@@ -132,14 +166,31 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
   t
 
 let run_until t horizon = Engine.run_until t.engine horizon
-let deactivate t v = Hashtbl.remove t.active v
-let activate t v = if Hashtbl.mem t.nodes v then Hashtbl.replace t.active v ()
+
+let deactivate t v =
+  if Hashtbl.mem t.active v then begin
+    Hashtbl.remove t.active v;
+    (* Bump to a generation no timer carries: the node's pending timers
+       fire at most once more as no-ops and stop rescheduling. *)
+    Hashtbl.replace t.gens v (fresh_gen t)
+  end
+
+let activate t v =
+  if Hashtbl.mem t.nodes v && not (Hashtbl.mem t.active v) then begin
+    Hashtbl.replace t.active v ();
+    start_timers t v
+  end
 
 let reset_node t v =
   if Hashtbl.mem t.nodes v then
     Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config ~trace:t.trace v)
 
 let add_node t v = if not (Hashtbl.mem t.nodes v) then install_node t v
+
+let remove_node t v =
+  Hashtbl.remove t.nodes v;
+  Hashtbl.remove t.active v;
+  Hashtbl.remove t.gens v
 let set_loss t loss = Medium.set_loss (medium t) loss
 let on_step t f = t.observer <- Some f
 
@@ -151,6 +202,8 @@ let stats t =
     too_far_conflicts = t.too_far_conflicts;
     medium = Medium.stats (medium t);
   }
+
+let medium_stats_by_dest t = Medium.stats_by_dest (medium t)
 
 let reset_stats t =
   t.computes <- 0;

@@ -68,16 +68,26 @@ val run_until : t -> float -> unit
 val deactivate : t -> Dgs_core.Node_id.t -> unit
 (** The node stops sending, receiving and computing; its memory is kept
     (so a later {!activate} resumes with stale state — a transient
-    fault). *)
+    fault).  Its timers are retired: each pending timer fires at most once
+    more as a no-op, so a deactivated node consumes no engine events while
+    down.  Copies in flight to it are counted as drops by the
+    {!Medium}. *)
 
 val activate : t -> Dgs_core.Node_id.t -> unit
-(** Resume a deactivated node (no-op for unknown ids). *)
+(** Resume a deactivated node with fresh timer phases (no-op for unknown
+    or already-active ids). *)
 
 val reset_node : t -> Dgs_core.Node_id.t -> unit
 (** Replace the protocol state by a fresh one (node reboot). *)
 
 val add_node : t -> Dgs_core.Node_id.t -> unit
 (** Create and activate a node unknown at {!create} time. *)
+
+val remove_node : t -> Dgs_core.Node_id.t -> unit
+(** Fully retire a node: its protocol state is discarded, its timers are
+    cancelled, and copies in flight to it are counted as drops.  Unlike
+    {!deactivate} the node is forgotten — a later {!add_node} of the same
+    id starts from scratch.  No-op for unknown ids. *)
 
 val set_loss : t -> float -> unit
 (** Change the channel loss rate mid-run. *)
@@ -90,6 +100,10 @@ val on_step :
 
 val stats : t -> stats
 (** Counters since creation or the last {!reset_stats}. *)
+
+val medium_stats_by_dest : t -> Medium.dest_stats list
+(** Per-receiver channel breakdown (see {!Medium.stats_by_dest}) — lets
+    checkers cross-validate the aggregate counters in {!stats}. *)
 
 val reset_stats : t -> unit
 (** Zero the runtime and channel counters. *)

@@ -2,6 +2,7 @@ type event =
   | Msg_sent of { src : int }
   | Msg_delivered of { src : int; dst : int }
   | Msg_lost of { src : int; dst : int }
+  | Msg_dropped of { src : int; dst : int }
   | View_changed of {
       node : int;
       added : int list;
@@ -22,6 +23,7 @@ let kind = function
   | Msg_sent _ -> "Msg_sent"
   | Msg_delivered _ -> "Msg_delivered"
   | Msg_lost _ -> "Msg_lost"
+  | Msg_dropped _ -> "Msg_dropped"
   | View_changed _ -> "View_changed"
   | Quarantine_enter _ -> "Quarantine_enter"
   | Quarantine_admit _ -> "Quarantine_admit"
@@ -38,6 +40,7 @@ let kinds =
     "Msg_sent";
     "Msg_delivered";
     "Msg_lost";
+    "Msg_dropped";
     "View_changed";
     "Quarantine_enter";
     "Quarantine_admit";
@@ -52,7 +55,7 @@ let kinds =
 
 let node_of = function
   | Msg_sent { src } -> Some src
-  | Msg_delivered { dst; _ } | Msg_lost { dst; _ } -> Some dst
+  | Msg_delivered { dst; _ } | Msg_lost { dst; _ } | Msg_dropped { dst; _ } -> Some dst
   | View_changed { node; _ }
   | Quarantine_enter { node; _ }
   | Quarantine_admit { node; _ }
@@ -70,6 +73,7 @@ let pp_event ppf = function
   | Msg_sent { src } -> Format.fprintf ppf "Msg_sent(src=%d)" src
   | Msg_delivered { src; dst } -> Format.fprintf ppf "Msg_delivered(%d->%d)" src dst
   | Msg_lost { src; dst } -> Format.fprintf ppf "Msg_lost(%d->%d)" src dst
+  | Msg_dropped { src; dst } -> Format.fprintf ppf "Msg_dropped(%d->%d)" src dst
   | View_changed { node; added; removed; view } ->
       Format.fprintf ppf "View_changed(node=%d,+%a,-%a,view=%a)" node pp_ints added
         pp_ints removed pp_ints view
@@ -187,7 +191,7 @@ module Jsonl = struct
 
   let fields = function
     | Msg_sent { src } -> [ ("src", string_of_int src) ]
-    | Msg_delivered { src; dst } | Msg_lost { src; dst } ->
+    | Msg_delivered { src; dst } | Msg_lost { src; dst } | Msg_dropped { src; dst } ->
         [ ("src", string_of_int src); ("dst", string_of_int dst) ]
     | View_changed { node; added; removed; view } ->
         [
@@ -355,6 +359,7 @@ module Jsonl = struct
             | "Msg_sent" -> Msg_sent { src = int "src" }
             | "Msg_delivered" -> Msg_delivered { src = int "src"; dst = int "dst" }
             | "Msg_lost" -> Msg_lost { src = int "src"; dst = int "dst" }
+            | "Msg_dropped" -> Msg_dropped { src = int "src"; dst = int "dst" }
             | "View_changed" ->
                 View_changed
                   {

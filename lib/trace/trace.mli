@@ -33,6 +33,14 @@ type event =
       (** One directed copy of a broadcast reached [dst]. *)
   | Msg_lost of { src : int; dst : int }
       (** One directed copy was dropped by the lossy channel. *)
+  | Msg_dropped of { src : int; dst : int }
+      (** One directed copy survived the channel and reached [dst]'s
+          runtime at its scheduled delivery time, but was refused before
+          the protocol saw it: the destination was deactivated or removed
+          in flight, or the frame was corrupted out of the wire grammar.
+          Unlike {!Msg_lost} the copy did consume channel resources; unlike
+          {!Msg_delivered} it never reached
+          {!Dgs_core.Grp_node.receive}. *)
   | View_changed of {
       node : int;
       added : int list;

@@ -238,6 +238,111 @@ let qcheck_suite =
       prop_shift_increments;
     ]
 
+(* --- algebra laws over the fuzzer's generators --- *)
+
+(* [Dgs_check.Arbitrary] drives everything from one [Rng] seed, and covers
+   what [gen_antlist] above deliberately does not: marked entries, and (via
+   [Arbitrary.antlist]) ill-formed lists with duplicate ids, interior empty
+   levels and deep marks — the shapes fault injection produces.  A failure
+   reports the seed, which replays the exact inputs. *)
+
+module Arbitrary = Dgs_check.Arbitrary
+module Rng = Dgs_util.Rng
+
+let for_all_seeds name prop =
+  for seed = 0 to 499 do
+    if not (prop (Rng.create seed)) then
+      Alcotest.failf "%s: fails for Rng seed %d" name seed
+  done
+
+let test_arb_merge_well_formed () =
+  for_all_seeds "merge of well-formed is well-formed" (fun rng ->
+      let a = Arbitrary.well_formed_antlist rng in
+      let b = Arbitrary.well_formed_antlist rng in
+      Antlist.well_formed (Antlist.merge a b))
+
+let test_arb_merge_commutative () =
+  for_all_seeds "merge commutes on well-formed inputs" (fun rng ->
+      let a = Arbitrary.well_formed_antlist rng in
+      let b = Arbitrary.well_formed_antlist rng in
+      Antlist.equal (Antlist.merge a b) (Antlist.merge b a))
+
+let test_arb_merge_idempotent_exact () =
+  for_all_seeds "l ⊕ l = l on well-formed l" (fun rng ->
+      let l = Arbitrary.well_formed_antlist rng in
+      Antlist.equal (Antlist.merge l l) l)
+
+let test_arb_truncate_well_formed () =
+  for_all_seeds "truncate preserves well-formedness" (fun rng ->
+      let l = Arbitrary.well_formed_antlist rng in
+      let k = Rng.int rng (Antlist.size l + 2) in
+      Antlist.well_formed (Antlist.truncate l k))
+
+let test_arb_restrict_clear_well_formed () =
+  for_all_seeds "restrict_clear preserves well-formedness" (fun rng ->
+      let l = Arbitrary.well_formed_antlist rng in
+      Antlist.well_formed (Antlist.restrict_clear l))
+
+let test_arb_ant_well_formed () =
+  (* The r-operator itself moves the neighbor's link-local marks to
+     position 2, so [ant] only preserves well-formedness once the receiver
+     has stripped them — which is exactly what the protocol does before
+     folding. *)
+  for_all_seeds "ant over a stripped neighbor list is well-formed" (fun rng ->
+      let a = Arbitrary.well_formed_antlist rng in
+      let b = Arbitrary.well_formed_antlist rng in
+      Antlist.well_formed (Antlist.ant a (Antlist.restrict_clear b)))
+
+let test_arb_strip_marked_claims () =
+  (* strip_marked does NOT promise well-formedness (it keeps interior empty
+     levels so goodList can reject the result); the accurate contract is
+     about which entries survive. *)
+  for_all_seeds "strip_marked keeps clear entries and only [keep]'s marks"
+    (fun rng ->
+      let l = Arbitrary.antlist rng in
+      let keep = Rng.int rng 10 in
+      let s = Antlist.strip_marked ~keep l in
+      Node_id.Set.subset (Antlist.ids s) (Antlist.ids l)
+      && Node_id.Set.subset (Antlist.clear_ids l) (Antlist.ids s)
+      && List.for_all
+           (fun (id, _, mark) -> mark = Mark.Clear || id = keep)
+           (Antlist.entries s))
+
+let test_arb_merge_dedup_on_junk () =
+  (* Even on ill-formed inputs, ⊕ deduplicates: unique ids, each no farther
+     than its best occurrence in either input. *)
+  for_all_seeds "merge dedups arbitrary (ill-formed) inputs" (fun rng ->
+      let a = Arbitrary.antlist rng in
+      let b = Arbitrary.antlist rng in
+      let m = Antlist.merge a b in
+      let all = Antlist.entries m in
+      List.length all
+      = Node_id.Set.cardinal
+          (Node_id.Set.of_list (List.map (fun (id, _, _) -> id) all))
+      && List.for_all
+           (fun (id, pos, _) ->
+             let best =
+               match (Antlist.find a id, Antlist.find b id) with
+               | Some (pa, _), Some (pb, _) -> min pa pb
+               | Some (pa, _), None -> pa
+               | None, Some (pb, _) -> pb
+               | None, None -> max_int
+             in
+             pos >= best)
+           all)
+
+let arbitrary_suite =
+  [
+    ("arb: merge well-formed", `Quick, test_arb_merge_well_formed);
+    ("arb: merge commutative", `Quick, test_arb_merge_commutative);
+    ("arb: merge idempotent", `Quick, test_arb_merge_idempotent_exact);
+    ("arb: truncate well-formed", `Quick, test_arb_truncate_well_formed);
+    ("arb: restrict_clear well-formed", `Quick, test_arb_restrict_clear_well_formed);
+    ("arb: ant well-formed after strip", `Quick, test_arb_ant_well_formed);
+    ("arb: strip_marked contract", `Quick, test_arb_strip_marked_claims);
+    ("arb: merge dedups junk", `Quick, test_arb_merge_dedup_on_junk);
+  ]
+
 let suite =
   [
     ("singleton", `Quick, test_singleton);
@@ -258,4 +363,4 @@ let suite =
     ("restrict_clear", `Quick, test_restrict_clear);
     ("compare/equal", `Quick, test_compare_equal);
   ]
-  @ qcheck_suite
+  @ qcheck_suite @ arbitrary_suite

@@ -1,0 +1,290 @@
+(* Tests for the dgs_check scenario fuzzer: codec round-trips, determinism,
+   oracle soundness (including the engine-event budget that pins the timer
+   leak), end-to-end shrinking, the pinned known-issue repros, and the CI
+   fuzz smoke. *)
+
+module Scenario = Dgs_check.Scenario
+module Oracle = Dgs_check.Oracle
+module Executor = Dgs_check.Executor
+module Shrink = Dgs_check.Shrink
+module Fuzz = Dgs_check.Fuzz
+module Rng = Dgs_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let scenario =
+  Alcotest.testable
+    (fun ppf sc -> Format.pp_print_string ppf (Scenario.to_string sc))
+    Scenario.equal
+
+(* --- scenario codec --- *)
+
+let test_roundtrip_generated () =
+  for seed = 0 to 199 do
+    let sc = Scenario.generate (Rng.create seed) ~max_actions:12 in
+    match Scenario.of_string (Scenario.to_string sc) with
+    | Some sc' -> Alcotest.check scenario "JSON round-trip" sc sc'
+    | None ->
+        Alcotest.failf "unparseable own output: %s" (Scenario.to_string sc)
+  done
+
+let test_roundtrip_strings () =
+  List.iter
+    (fun t ->
+      check "topology round-trip" true
+        (Scenario.topology_of_string (Scenario.topology_to_string t) = Some t))
+    [
+      Scenario.Line 4;
+      Scenario.Ring 5;
+      Scenario.Grid (2, 3);
+      Scenario.Star 6;
+      Scenario.Complete 3;
+      Scenario.Btree 7;
+      Scenario.Chain (2, 3);
+      Scenario.Loop (3, 2);
+      Scenario.Er (8, 0.35, 12345);
+    ];
+  List.iter
+    (fun a ->
+      check "action round-trip" true
+        (Scenario.action_of_string (Scenario.action_to_string a) = Some a))
+    [
+      Scenario.Pause 2.5;
+      Scenario.Pause 0.1234567890123456;
+      Scenario.Deactivate 3;
+      Scenario.Activate 3;
+      Scenario.Reset 0;
+      Scenario.Remove 7;
+      Scenario.Add 9;
+      Scenario.Set_loss 0.25;
+      Scenario.Add_edge (1, 4);
+      Scenario.Remove_edge (0, 2);
+    ]
+
+let test_parse_rejects_junk () =
+  List.iter
+    (fun s -> check "rejected" true (Scenario.of_string s = None))
+    [
+      "";
+      "{}";
+      "not json";
+      {|{"seed":1}|};
+      {|{"seed":1,"dmax":2,"loss":0,"corruption":0,"topology":"mobius 4","actions":[]}|};
+      {|{"seed":1,"dmax":2,"loss":0,"corruption":0,"topology":"ring 5","actions":["explode 3"]}|};
+      {|{"seed":1,"dmax":2,"loss":0,"corruption":0,"topology":"ring 5","actions":[]} trailing|};
+    ]
+
+let test_save_load () =
+  let sc = Scenario.generate (Rng.create 77) ~max_actions:8 in
+  let path = Filename.temp_file "dgs_check" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Scenario.save path sc;
+      match Scenario.load path with
+      | Some sc' -> Alcotest.check scenario "save/load" sc sc'
+      | None -> Alcotest.fail "load failed")
+
+let test_generate_deterministic () =
+  let a = Scenario.generate (Rng.create 5) ~max_actions:10 in
+  let b = Scenario.generate (Rng.create 5) ~max_actions:10 in
+  Alcotest.check scenario "same seed, same scenario" a b;
+  let c = Scenario.generate (Rng.create 6) ~max_actions:10 in
+  check "different seed, different scenario" false (Scenario.equal a c)
+
+(* --- executor --- *)
+
+let benign =
+  {
+    Scenario.seed = 123;
+    dmax = 2;
+    loss = 0.0;
+    corruption = 0.0;
+    topology = Scenario.Line 5;
+    actions = [ Scenario.Pause 5.0 ];
+  }
+
+let test_executor_smoke () =
+  let r = Executor.run benign in
+  check "no violations" true (r.Oracle.violations = []);
+  check "stabilized" true r.Oracle.stabilized;
+  check_int "two groups on a 5-line with dmax 2" 2 r.Oracle.groups;
+  check "fires within budget" true
+    (r.Oracle.engine_fires <= r.Oracle.engine_fire_budget)
+
+let test_executor_deterministic () =
+  let a = Executor.run benign and b = Executor.run benign in
+  check "identical reports" true
+    (a.Oracle.engine_fires = b.Oracle.engine_fires
+    && a.Oracle.computes = b.Oracle.computes
+    && a.Oracle.deliveries = b.Oracle.deliveries
+    && a.Oracle.quiesce_time = b.Oracle.quiesce_time
+    && List.length a.Oracle.violations = List.length b.Oracle.violations)
+
+(* The engine-event budget oracle is what pins the historical timer leak:
+   deactivating most of the network and then running for a long time keeps
+   the observed fire count far below what leaked timers would burn.  With
+   the pre-fix behavior (retired timers rescheduling forever) the three
+   deactivated nodes would add ~3 × 55 s × 3.5 ≈ 577 extra fires — more
+   than the whole budget slack — so [run] would report an engine_budget
+   violation. *)
+let test_timer_leak_budget () =
+  let sc =
+    {
+      Scenario.seed = 321;
+      dmax = 2;
+      loss = 0.0;
+      corruption = 0.0;
+      topology = Scenario.Complete 5;
+      actions =
+        [
+          Scenario.Pause 2.0;
+          Scenario.Deactivate 1;
+          Scenario.Deactivate 2;
+          Scenario.Deactivate 3;
+          Scenario.Pause 55.0;
+        ];
+    }
+  in
+  let r = Executor.run sc in
+  check "no violations post-fix" true (r.Oracle.violations = []);
+  check "fires within budget" true
+    (r.Oracle.engine_fires <= r.Oracle.engine_fire_budget);
+  (* The budget is tight enough to convict a leak: the slack left is far
+     below the extra fires the pre-fix behavior would have produced. *)
+  check "budget slack below the leak signature" true
+    (r.Oracle.engine_fire_budget - r.Oracle.engine_fires < 500)
+
+(* --- shrinking, end to end --- *)
+
+(* A seeded known-bad scenario under the strict-continuity oracle: a
+   converged line group is split by an edge removal, so evictions are
+   certain.  The schedule is padded with no-ops and redundancy; the
+   shrinker must cut it down to a handful of actions that still evict. *)
+let test_strict_eviction_shrinks () =
+  let noisy =
+    {
+      Scenario.seed = 99;
+      dmax = 3;
+      loss = 0.0;
+      corruption = 0.0;
+      topology = Scenario.Line 4;
+      actions =
+        [
+          Scenario.Activate 0 (* no-op: already active *);
+          Scenario.Pause 30.0 (* converge *);
+          Scenario.Reset 17 (* no-op: unknown id *);
+          Scenario.Add_edge (0, 0) (* no-op: self-loop *);
+          Scenario.Remove_edge (1, 2) (* splits the group *);
+          Scenario.Pause 30.0 (* let the evictions land *);
+          Scenario.Remove 42 (* no-op: unknown id *);
+          Scenario.Pause 2.0;
+          Scenario.Set_loss 0.0 (* no-op: already lossless *);
+          Scenario.Deactivate 55 (* no-op: unknown id *);
+          Scenario.Pause 1.0;
+          Scenario.Add (-1) (* harmless spare id *);
+        ];
+    }
+  in
+  let oracle = { Oracle.default with Oracle.strict_continuity = true } in
+  let r = Executor.run ~oracle noisy in
+  check "oracle catches the eviction" true
+    (List.exists (fun v -> v.Oracle.check = "continuity") r.Oracle.violations);
+  let still_fails sc =
+    let r = Executor.run ~oracle sc in
+    List.exists (fun v -> v.Oracle.check = "continuity") r.Oracle.violations
+  in
+  let shrunk = Shrink.minimize ~still_fails noisy in
+  check "shrunk still fails" true (still_fails shrunk);
+  let n = List.length shrunk.Scenario.actions in
+  check "shrinks to at most 10 actions" true (n <= 10);
+  check "shrinks below the original" true
+    (n < List.length noisy.Scenario.actions);
+  check "the split survives shrinking" true
+    (List.mem (Scenario.Remove_edge (1, 2)) shrunk.Scenario.actions)
+
+(* --- pinned known-issue repros (docs/repros/) --- *)
+
+(* These scripts were found by the fuzzer and expose open protocol-core
+   issues (see docs/repros/README.md).  The tests assert the oracle still
+   DETECTS them; when a protocol change fixes one, this test fails and the
+   repro file plus its ROADMAP entry should be retired together. *)
+
+let load_repro name =
+  match Scenario.load (Filename.concat "../docs/repros" name) with
+  | Some sc -> sc
+  | None -> Alcotest.failf "cannot load docs/repros/%s" name
+
+let test_known_issue_one_sided_membership () =
+  let sc = load_repro "complete4-one-sided-membership.json" in
+  let r = Executor.run sc in
+  check "stabilizes into disagreement" true r.Oracle.stabilized;
+  check "agreement violation detected" true
+    (List.exists (fun v -> v.Oracle.check = "agreement") r.Oracle.violations)
+
+let test_known_issue_eviction_livelock () =
+  let sc = load_repro "ring7-eviction-livelock.json" in
+  let r = Executor.run sc in
+  check "never stabilizes" false r.Oracle.stabilized;
+  check "calm-window evictions detected" true
+    (List.exists (fun v -> v.Oracle.check = "continuity") r.Oracle.violations)
+
+(* --- campaigns --- *)
+
+let summary_fingerprint (s : Fuzz.summary) =
+  ( s.Fuzz.stabilized_runs,
+    s.Fuzz.total_evictions,
+    s.Fuzz.maximality_gaps,
+    List.map
+      (fun f ->
+        (f.Fuzz.run, f.Fuzz.first_violation.Oracle.check,
+         Scenario.to_string f.Fuzz.shrunk))
+      s.Fuzz.failures )
+
+let test_campaign_deterministic () =
+  let run () = Fuzz.campaign ~seed:17 ~runs:25 ~max_actions:8 () in
+  check "identical campaigns" true
+    (summary_fingerprint (run ()) = summary_fingerprint (run ()))
+
+(* CI fuzz smoke: 300 scenarios on fixed seeds must report nothing.  The
+   master seeds are chosen to avoid the two pinned known issues above —
+   this is a regression net for the protocol AND the fuzzer, not a hunt.
+   On failure every shrunk script is printed, ready for
+   `grp_sim fuzz --replay`. *)
+let test_fuzz_smoke () =
+  List.iter
+    (fun seed ->
+      let s = Fuzz.campaign ~seed ~runs:100 ~max_actions:10 () in
+      check_int
+        (Printf.sprintf "seed %d: all runs stabilize" seed)
+        s.Fuzz.runs s.Fuzz.stabilized_runs;
+      match s.Fuzz.failures with
+      | [] -> ()
+      | fs ->
+          List.iter
+            (fun f ->
+              Printf.printf "repro (seed %d, run %d, %s): %s\n" seed f.Fuzz.run
+                f.Fuzz.first_violation.Oracle.check
+                (Scenario.to_string f.Fuzz.shrunk))
+            fs;
+          Alcotest.failf "fuzz smoke: %d failing run(s) under master seed %d"
+            (List.length fs) seed)
+    [ 2; 3; 5 ]
+
+let suite =
+  [
+    ("scenario JSON round-trip", `Quick, test_roundtrip_generated);
+    ("topology/action string round-trip", `Quick, test_roundtrip_strings);
+    ("parser rejects junk", `Quick, test_parse_rejects_junk);
+    ("scenario save/load", `Quick, test_save_load);
+    ("generator is deterministic", `Quick, test_generate_deterministic);
+    ("executor smoke", `Quick, test_executor_smoke);
+    ("executor is deterministic", `Quick, test_executor_deterministic);
+    ("engine budget pins the timer leak", `Quick, test_timer_leak_budget);
+    ("strict eviction shrinks end-to-end", `Quick, test_strict_eviction_shrinks);
+    ("known issue: one-sided membership", `Quick, test_known_issue_one_sided_membership);
+    ("known issue: eviction livelock", `Quick, test_known_issue_eviction_livelock);
+    ("campaign is deterministic", `Quick, test_campaign_deterministic);
+    ("fuzz smoke (300 scenarios)", `Quick, test_fuzz_smoke);
+  ]

@@ -18,4 +18,5 @@ let () =
       ("continuity", Test_continuity.suite);
       ("workload", Test_workload.suite);
       ("trace", Test_trace.suite);
+      ("check", Test_check.suite);
     ]

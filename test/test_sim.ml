@@ -8,6 +8,7 @@ module Net = Dgs_sim.Net
 module Gen = Dgs_graph.Gen
 module Graph = Dgs_graph.Graph
 module Rng = Dgs_util.Rng
+module Trace = Dgs_trace.Trace
 open Dgs_core
 
 let check = Alcotest.(check bool)
@@ -88,7 +89,9 @@ let make_medium ?(loss = 0.0) ~audience () =
   let medium =
     Medium.create ~engine ~rng:(Rng.create 1) ~loss ~delay_min:0.001 ~delay_max:0.01
       ~audience
-      ~deliver:(fun ~dst msg -> received := (dst, msg) :: !received)
+      ~deliver:(fun ~dst msg ->
+        received := (dst, msg) :: !received;
+        true)
       ()
   in
   (engine, medium, received)
@@ -319,6 +322,129 @@ let test_net_deterministic () =
   in
   check "same seed, same event-driven execution" true (String.equal (run ()) (run ()))
 
+(* --- net lifecycle regressions (the timer-leak bug) --- *)
+
+(* Deactivated nodes must stop consuming engine events: each retired timer
+   fires at most once more as a no-op.  Before the generation-counter fix,
+   every deactivated node kept rescheduling both its timers forever —
+   3 nodes over the 100 s below would have burned ~1050 extra engine
+   callbacks; the post-fix tail is a handful of stale fires plus in-flight
+   deliveries. *)
+let test_net_deactivate_retires_timers () =
+  let graph = Gen.line 3 in
+  let counting = Trace.Counting.create () in
+  let engine = Engine.create ~trace:(Trace.Counting.sink counting) () in
+  let net =
+    Net.create ~engine ~rng:(Rng.create 11)
+      ~config:(Config.make ~dmax:2 ())
+      ~topology:(fun () -> graph)
+      ~nodes:(Graph.nodes graph) ()
+  in
+  Net.run_until net 10.0;
+  Net.deactivate net 0;
+  Net.deactivate net 1;
+  Net.deactivate net 2;
+  let fired_before = Trace.Counting.count counting ~kind:"Event_fired" in
+  let computes_before = (Net.stats net).Net.computes in
+  Net.run_until net 110.0;
+  let extra = Trace.Counting.count counting ~kind:"Event_fired" - fired_before in
+  check "retired timers stop firing" true (extra <= 20);
+  check_int "no computes while everyone is down" computes_before
+    (Net.stats net).Net.computes
+
+(* Sustained deactivate/activate churn must keep the engine-event count
+   within the analytic budget: active time × per-node rate, plus a
+   constant per activation episode, plus one event per in-flight copy.
+   The pre-fix leak made the count grow with the number of churn cycles
+   times the remaining run time. *)
+let test_net_churn_event_budget () =
+  let graph = Gen.line 3 in
+  let counting = Trace.Counting.create () in
+  let engine = Engine.create ~trace:(Trace.Counting.sink counting) () in
+  let net =
+    Net.create ~engine ~rng:(Rng.create 12)
+      ~config:(Config.make ~dmax:2 ())
+      ~topology:(fun () -> graph)
+      ~nodes:(Graph.nodes graph) ()
+  in
+  let episodes = ref 3 in
+  for _ = 1 to 20 do
+    Net.run_until net (Engine.now engine +. 1.0);
+    Net.deactivate net 1;
+    Net.run_until net (Engine.now engine +. 1.0);
+    Net.activate net 1;
+    incr episodes
+  done;
+  Net.run_until net 60.0;
+  let fires = Trace.Counting.count counting ~kind:"Event_fired" in
+  let m = (Net.stats net).Net.medium in
+  let rate = (1.0 /. 1.0) +. (1.0 /. 0.4) in
+  let budget =
+    int_of_float (3.0 *. 60.0 *. rate)
+    + (4 * !episodes)
+    + m.Medium.deliveries + m.Medium.drops + 30
+  in
+  check "engine fires within churn budget" true (fires <= budget)
+
+let test_net_remove_node () =
+  let graph = Gen.line 3 in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~rng:(Rng.create 13)
+      ~config:(Config.make ~dmax:2 ())
+      ~topology:(fun () -> graph)
+      ~nodes:(Graph.nodes graph) ()
+  in
+  Net.run_until net 40.0;
+  Net.remove_node net 1;
+  Graph.remove_node graph 1;
+  Alcotest.(check (list int)) "node forgotten" [ 0; 2 ] (Net.node_ids net);
+  check "not active" false (Net.is_active net 1);
+  check "state discarded" true
+    (match Net.node net 1 with _ -> false | exception Not_found -> true);
+  Net.remove_node net 99 (* unknown ids are a no-op *);
+  Net.run_until net 90.0;
+  check "survivors fall back to singletons" true
+    (Node_id.Set.equal (Grp_node.view (Net.node net 0)) (Node_id.Set.singleton 0));
+  (* Re-adding the same id starts from scratch, not from the old state. *)
+  Graph.add_node graph 1;
+  Graph.add_edge graph 0 1;
+  Graph.add_edge graph 1 2;
+  Net.add_node net 1;
+  Net.run_until net 140.0;
+  check "re-added node regroups" true
+    (Node_id.Set.equal
+       (Grp_node.view (Net.node net 0))
+       (Node_id.set_of_list [ 0; 1; 2 ]))
+
+(* Copies in flight to a node that deactivated are refused by the runtime
+   and must surface as medium drops (with Msg_dropped emitted), never as
+   deliveries. *)
+let test_net_inflight_drop_accounting () =
+  let graph = Gen.line 2 in
+  let counting = Trace.Counting.create () in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~rng:(Rng.create 14)
+      ~config:(Config.make ~dmax:2 ())
+      ~trace:(Trace.Counting.sink counting)
+      ~topology:(fun () -> graph)
+      ~nodes:(Graph.nodes graph) ()
+  in
+  Net.run_until net 20.0;
+  Net.deactivate net 1;
+  let before = (Net.stats net).Net.medium in
+  Net.run_until net 40.0;
+  let after = (Net.stats net).Net.medium in
+  check "no deliveries to a deactivated node" true
+    (after.Medium.deliveries <= before.Medium.deliveries + 1);
+  check "refused copies counted as drops" true
+    (after.Medium.drops > before.Medium.drops);
+  check "Msg_dropped emitted" true
+    (Trace.Counting.count counting ~kind:"Msg_dropped" > 0);
+  check "trace agrees with the medium's drop counter" true
+    (Trace.Counting.count counting ~kind:"Msg_dropped" = after.Medium.drops)
+
 let suite =
   [
     ("engine time order", `Quick, test_engine_order);
@@ -346,6 +472,10 @@ let suite =
     ("net stats", `Quick, test_net_stats);
     ("net observer", `Quick, test_net_observer);
     ("net tau validation", `Quick, test_net_tau_validation);
+    ("net deactivate retires timers", `Quick, test_net_deactivate_retires_timers);
+    ("net churn event budget", `Quick, test_net_churn_event_budget);
+    ("net remove node", `Quick, test_net_remove_node);
+    ("net in-flight drop accounting", `Quick, test_net_inflight_drop_accounting);
     ("rounds runner is deterministic", `Quick, test_rounds_deterministic);
     ("net runtime is deterministic", `Quick, test_net_deterministic);
   ]

@@ -24,6 +24,7 @@ let samples : (float * Trace.event) list =
     (1.0, Msg_sent { src = 0 });
     (1.0, Msg_delivered { src = 0; dst = 4 });
     (2.0, Msg_lost { src = 3; dst = 7 });
+    (1.5, Msg_dropped { src = 0; dst = 2 });
     (3.0, View_changed { node = 4; added = [ 2 ]; removed = []; view = [ 2; 4 ] });
     (2.0, Quarantine_enter { node = 4; member = 2; remaining = 3 });
     (5.0, Quarantine_admit { node = 4; member = 2 });
@@ -134,7 +135,7 @@ let test_counting_matches_medium () =
       ~delay_max:0.01
       ~trace:(Trace.Counting.sink counting)
       ~audience:(fun _ -> [ 1; 2; 3 ])
-      ~deliver:(fun ~dst:_ _ -> ())
+      ~deliver:(fun ~dst _ -> dst <> 3)
       ()
   in
   for _ = 1 to 200 do
@@ -146,6 +147,7 @@ let test_counting_matches_medium () =
   check_int "deliveries" s.Medium.deliveries
     (Trace.Counting.count counting ~kind:"Msg_delivered");
   check_int "losses" s.Medium.losses (Trace.Counting.count counting ~kind:"Msg_lost");
+  check_int "drops" s.Medium.drops (Trace.Counting.count counting ~kind:"Msg_dropped");
   List.iter
     (fun d ->
       check_int
@@ -155,10 +157,17 @@ let test_counting_matches_medium () =
       check_int
         (Printf.sprintf "losses to %d" d.Medium.dst)
         d.Medium.dst_losses
-        (Trace.Counting.count_for counting ~node:d.Medium.dst ~kind:"Msg_lost"))
+        (Trace.Counting.count_for counting ~node:d.Medium.dst ~kind:"Msg_lost");
+      check_int
+        (Printf.sprintf "drops at %d" d.Medium.dst)
+        d.Medium.dst_drops
+        (Trace.Counting.count_for counting ~node:d.Medium.dst ~kind:"Msg_dropped"))
     (Medium.stats_by_dest medium);
   check "some of each" true
-    (s.Medium.deliveries > 0 && s.Medium.losses > 0);
+    (s.Medium.deliveries > 0 && s.Medium.losses > 0 && s.Medium.drops > 0);
+  check_int "node 3 consumed nothing"
+    0
+    (Trace.Counting.count_for counting ~node:3 ~kind:"Msg_delivered");
   Trace.Counting.clear counting;
   check_int "clear" 0 (Trace.Counting.total counting)
 
