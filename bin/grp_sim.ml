@@ -340,7 +340,10 @@ let fuzz_cmd =
             Format.printf "replaying %a@." Dgs_check.Scenario.pp sc;
             let r = Dgs_check.Fuzz.replay ~oracle sc in
             Format.printf "%a@." Dgs_check.Oracle.pp_report r;
-            exit (if Dgs_check.Oracle.failed r then 1 else 0))
+            (* Non-stabilization (e.g. a livelock) is a failure even when
+               no predicate fired: a repro that no longer quiesces has not
+               been fixed. *)
+            exit (if Dgs_check.Oracle.failed r || not r.Dgs_check.Oracle.stabilized then 1 else 0))
     | None ->
         let s = Dgs_check.Fuzz.campaign ~oracle ~seed ~runs ~max_actions () in
         Format.printf "%a@." Dgs_check.Fuzz.pp_summary s;
@@ -371,7 +374,8 @@ let fuzz_cmd =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:
             "Replay one scenario file (as written by --repro-dir or printed in \
-             a failure summary) instead of fuzzing.")
+             a failure summary) instead of fuzzing.  Exits non-zero on any \
+             oracle violation or when the run fails to stabilize.")
   in
   let strict =
     Arg.(

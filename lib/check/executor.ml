@@ -25,13 +25,14 @@ let stats_monotone (p : net_stats) (s : net_stats) =
   && s.medium.Medium.losses >= p.medium.Medium.losses
   && s.medium.Medium.drops >= p.medium.Medium.drops
 
-let run ?(oracle = Oracle.default) (sc : Scenario.t) : Oracle.report =
+let run ?(oracle = Oracle.default) ?(protocol = Fun.id) (sc : Scenario.t) :
+    Oracle.report =
   let cfg = oracle in
   let counting = Trace.Counting.create () in
   let engine = Engine.create ~trace:(Trace.Counting.sink counting) () in
   let rng = Rng.create sc.seed in
   let graph = Scenario.build sc.topology in
-  let config = Config.make ~dmax:sc.dmax () in
+  let config = protocol (Config.make ~dmax:sc.dmax ()) in
   let net =
     Net.create ~engine ~rng ~config ~tau_c ~tau_s ~loss:sc.loss
       ~corruption:sc.corruption
@@ -185,18 +186,60 @@ let run ?(oracle = Oracle.default) (sc : Scenario.t) : Oracle.report =
     else sc.dmax + 5
   in
   let deadline = Engine.now engine +. cfg.Oracle.quiescence_budget in
+  (* Most recent signature first; only consulted if the budget runs out. *)
+  let history = ref [ Net.state_signature net ] in
   let rec wait stable last =
     if stable >= confirm then Some (Engine.now engine)
     else if Engine.now engine >= deadline then None
     else begin
       Net.run_until net (Engine.now engine +. tau_c);
       let s = Net.state_signature net in
+      history := s :: !history;
       if String.equal s last then wait (stable + 1) s else wait 0 s
     end
   in
   let quiesce_time = wait 0 (Net.state_signature net) in
   let stabilized = quiesce_time <> None in
   let t_end = Engine.now engine in
+  (* Livelock: a non-quiescent run whose recent signatures provably repeat
+     with some period p >= 2 (p = 1 over a confirm window would have been
+     quiescence).  Each candidate period must hold over max(2p, confirm)
+     consecutive polls ending at the deadline. *)
+  let livelock_period =
+    if stabilized || not cfg.Oracle.check_livelock then None
+    else begin
+      let arr = Array.of_list !history in
+      let n = Array.length arr in
+      let holds p =
+        let window = max (2 * p) confirm in
+        window + p <= n
+        &&
+        let rec go i =
+          i >= window || (String.equal arr.(i) arr.(i + p) && go (i + 1))
+        in
+        go 0
+      in
+      let rec find p = if 2 * p > n then None else if holds p then Some p else find (p + 1) in
+      find 2
+    end
+  in
+  (match livelock_period with
+  | Some p ->
+      (* Bypass the 50-violation cap: this is a one-shot terminal verdict,
+         and a livelocking run typically saturates the cap with per-compute
+         violations long before the deadline. *)
+      violations :=
+        {
+          Oracle.check = "livelock";
+          time = t_end;
+          detail =
+            Printf.sprintf
+              "state signature repeats with period %d polls (%.1f s) without quiescing"
+              p
+              (float_of_int p *. tau_c);
+        }
+        :: !violations
+  | None -> ());
   (* Judge the final configuration over the active-induced topology. *)
   let active = List.filter (Net.is_active net) (Net.node_ids net) in
   let g_active = Graph.induced graph (Int_set.of_list active) in
@@ -256,6 +299,7 @@ let run ?(oracle = Oracle.default) (sc : Scenario.t) : Oracle.report =
     Oracle.violations = List.rev !violations;
     stabilized;
     quiesce_time;
+    livelock_period;
     maximality_gap;
     groups = List.length (Configuration.groups c);
     evictions = stats.Net.view_removals;

@@ -26,4 +26,13 @@ val initial_grace : float
     [initial_grace + calm horizon], leaving the protocol room to reach its
     first legitimate configuration without false eviction alarms. *)
 
-val run : ?oracle:Oracle.config -> Scenario.t -> Oracle.report
+val run :
+  ?oracle:Oracle.config ->
+  ?protocol:(Dgs_core.Config.t -> Dgs_core.Config.t) ->
+  Scenario.t ->
+  Oracle.report
+(** [protocol] post-processes the protocol configuration built from the
+    scenario (default: identity).  Used by ablation tests to replay a
+    pinned scenario with a protocol mechanism switched off — e.g. proving
+    that a regression script livelocks again without the contest
+    cooldown.  It must not change [dmax], which the scenario owns. *)

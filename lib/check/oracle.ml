@@ -7,6 +7,7 @@ type config = {
   check_agreement : bool;
   check_safety : bool;
   check_maximality : bool;
+  check_livelock : bool;
   quiescence_budget : float;
   confirm_window : int;
 }
@@ -21,6 +22,7 @@ let default =
     check_agreement = true;
     check_safety = true;
     check_maximality = false;
+    check_livelock = true;
     quiescence_budget = 150.0;
     confirm_window = 0;
   }
@@ -31,6 +33,7 @@ type report = {
   violations : violation list;
   stabilized : bool;
   quiesce_time : float option;
+  livelock_period : int option;
   maximality_gap : bool;
   groups : int;
   evictions : int;
@@ -51,7 +54,7 @@ let pp_violation ppf v =
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>%s: %d violation(s)%a@,\
-     stabilized=%b%a groups=%d evictions=%d maximality_gap=%b@,\
+     stabilized=%b%a%a groups=%d evictions=%d maximality_gap=%b@,\
      computes=%d broadcasts=%d deliveries=%d drops=%d losses=%d@,\
      engine fires=%d (budget %d)@]"
     (if failed r then "FAIL" else "ok")
@@ -64,5 +67,9 @@ let pp_report ppf r =
     (fun ppf -> function
       | None -> ()
       | Some t -> Format.fprintf ppf " (t=%.1f)" t)
-    r.quiesce_time r.groups r.evictions r.maximality_gap r.computes r.broadcasts
+    r.quiesce_time
+    (fun ppf -> function
+      | None -> ()
+      | Some p -> Format.fprintf ppf " livelock_period=%d" p)
+    r.livelock_period r.groups r.evictions r.maximality_gap r.computes r.broadcasts
     r.deliveries r.drops r.losses r.engine_fires r.engine_fire_budget

@@ -33,6 +33,10 @@ type config = {
   check_agreement : bool;
   check_safety : bool;
   check_maximality : bool;  (** default [false]: recorded, not failing *)
+  check_livelock : bool;
+      (** when a run exhausts its quiescence budget, scan the polled state
+          signatures for a period [p >= 2] confirmed over
+          [max 2p confirm_window] polls; a hit is a "livelock" violation *)
   quiescence_budget : float;
       (** simulated seconds granted to reach quiescence after the script *)
   confirm_window : int;
@@ -42,7 +46,8 @@ type config = {
 
 val default : config
 (** Everything on except [strict_continuity] and [check_maximality];
-    [quiescence_budget = 150.0]; adaptive [confirm_window]. *)
+    [check_livelock] on; [quiescence_budget = 150.0]; adaptive
+    [confirm_window]. *)
 
 type violation = { check : string; time : float; detail : string }
 
@@ -50,6 +55,10 @@ type report = {
   violations : violation list;  (** in order of detection *)
   stabilized : bool;  (** quiescence reached within the budget *)
   quiesce_time : float option;  (** simulation time of stabilization *)
+  livelock_period : int option;
+      (** when the run never stabilized: the shortest period [p >= 2] at
+          which the final state signatures provably repeat, if any — a
+          periodic non-quiescent run is a livelock, not mere slowness *)
   maximality_gap : bool;
       (** mergeable groups remained at quiescence (informational unless
           [check_maximality]) *)

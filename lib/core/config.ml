@@ -6,12 +6,13 @@ type t = {
   compat_shortcut_enabled : bool;
   joint_admission_enabled : bool;
   admission_gate_enabled : bool;
+  contest_cooldown_enabled : bool;
   priority_mode : priority_mode;
 }
 
 let make ?(quarantine_enabled = true) ?(compat_shortcut_enabled = true)
-    ?(joint_admission_enabled = true) ?(admission_gate_enabled = false)
-    ?(priority_mode = Oldness) ~dmax () =
+    ?(joint_admission_enabled = true) ?(admission_gate_enabled = true)
+    ?(contest_cooldown_enabled = true) ?(priority_mode = Oldness) ~dmax () =
   if dmax < 1 then invalid_arg "Config.make: dmax must be >= 1";
   {
     dmax;
@@ -19,11 +20,13 @@ let make ?(quarantine_enabled = true) ?(compat_shortcut_enabled = true)
     compat_shortcut_enabled;
     joint_admission_enabled;
     admission_gate_enabled;
+    contest_cooldown_enabled;
     priority_mode;
   }
 
 let pp ppf t =
-  Format.fprintf ppf "{dmax=%d; quarantine=%b; shortcut=%b; joint=%b; gate=%b; prio=%s}"
+  Format.fprintf ppf
+    "{dmax=%d; quarantine=%b; shortcut=%b; joint=%b; gate=%b; cooldown=%b; prio=%s}"
     t.dmax t.quarantine_enabled t.compat_shortcut_enabled t.joint_admission_enabled
-    t.admission_gate_enabled
+    t.admission_gate_enabled t.contest_cooldown_enabled
     (match t.priority_mode with Oldness -> "oldness" | Lowest_id -> "lowest-id")

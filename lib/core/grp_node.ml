@@ -10,6 +10,20 @@ type t = {
   mutable view : Node_id.Set.t;
   mutable prio_table : Priority.t Node_id.Map.t;
   mutable own_priority : Priority.t;
+  (* Membership re-validation testimony: sender -> (consecutive exclusion
+     reports, computes since the last one).  See [update_conflicts]. *)
+  mutable conflict : (int * int) Node_id.Map.t;
+  (* Membership re-validation, absence side: view member -> consecutive
+     computes without admission evidence.  See [compute]. *)
+  mutable starve : int Node_id.Map.t;
+  (* Too-far contest cooldown: far node -> (computes remaining, providers
+     its last win here cut).  While held, the far node may keep winning
+     against the same providers but not displace a disjoint pairing.  See
+     [resolve_too_far]. *)
+  mutable contest_hold : (int * Node_id.Set.t) Node_id.Map.t;
+  (* Computes during which the own oldness is frozen after this node's
+     priority defended a pairing in a too-far contest. *)
+  mutable oldness_hold : int;
 }
 
 type step_info = {
@@ -17,6 +31,7 @@ type step_info = {
   view_removed : Node_id.Set.t;
   too_far_conflict : bool;
   rejected_senders : Node_id.Set.t;
+  contest_wins : (Node_id.t * Node_id.Set.t) list;
 }
 
 let create ~config ?(trace = Trace.null) id =
@@ -31,6 +46,10 @@ let create ~config ?(trace = Trace.null) id =
     view = Node_id.Set.singleton id;
     prio_table = Node_id.Map.singleton id own_priority;
     own_priority;
+    conflict = Node_id.Map.empty;
+    starve = Node_id.Map.empty;
+    contest_hold = Node_id.Map.empty;
+    oldness_hold = 0;
   }
 
 let id t = t.id
@@ -57,22 +76,39 @@ let receive t msg =
   if not (Node_id.equal msg.Message.sender t.id) then
     t.msg_set <- Node_id.Map.add msg.Message.sender msg t.msg_set
 
-(* A priority report is fresher when its oldness is larger: oldness only
-   grows over a node's lifetime (it freezes, never decreases, in groups).
-   Returns the largest oldness heard, which is the Lamport clock the node
-   syncs its own counter to while solo. *)
+(* The priority table is rebuilt from scratch out of the current round's
+   reports: among gossiped entries the larger oldness wins (oldness only
+   grows over a node's uncorrupted lifetime, so larger means fresher), but
+   a report of a node by itself is authoritative and overrides gossip
+   outright.  Keeping the table across rounds — or trusting the oldness
+   order unconditionally — is not self-stabilizing: after a reset (or an
+   arbitrary initial state) the node restarts at oldness 0 and every
+   neighbor's remembered pre-reset entry looks fresher forever, while
+   gossip loops re-infect any node that corrects itself.  A rebuilt table
+   with authoritative origins flushes stale entries within a network
+   radius of rounds.  Returns the largest oldness heard, which is the
+   Lamport clock the node syncs its own counter to while solo. *)
 let merge_priority_tables t =
   let clock = ref 0 in
+  let table = ref (Node_id.Map.singleton t.id t.own_priority) in
   Node_id.Map.iter
     (fun _ msg ->
       Node_id.Map.iter
         (fun v p ->
           if p.Priority.oldness > !clock then clock := p.Priority.oldness;
-          match Node_id.Map.find_opt v t.prio_table with
-          | Some q when q.Priority.oldness >= p.Priority.oldness -> ()
-          | _ -> t.prio_table <- Node_id.Map.add v p t.prio_table)
+          if not (Node_id.equal v t.id) then
+            match Node_id.Map.find_opt v !table with
+            | Some q when q.Priority.oldness >= p.Priority.oldness -> ()
+            | _ -> table := Node_id.Map.add v p !table)
         msg.Message.priorities)
     t.msg_set;
+  Node_id.Map.iter
+    (fun sender msg ->
+      match Node_id.Map.find_opt sender msg.Message.priorities with
+      | Some p -> table := Node_id.Map.add sender p !table
+      | None -> ())
+    t.msg_set;
+  t.prio_table <- !table;
   !clock
 
 let clear_level_ids lst i =
@@ -267,11 +303,22 @@ let check_each_incoming t =
    never rejected here — they are the group compatibleList protects — and
    among new senders the oldest group is kept (DESIGN.md Section 5). *)
 let cross_check t checked =
-  let my_ids = Node_id.Set.add t.id (Antlist.clear_ids t.antlist) in
+  let my_ids = Node_id.Set.add t.id t.view in
   (* The foreign group a sender brings: the clear members of its own view,
-     minus what we already hold — the established nodes the merge would pull
-     in.  Speculative list entries outside the sender's view are ignored
+     minus the established members we already hold.  "Hold" means the
+     view, not the whole clear list: after a collapsed merge the list
+     still spans the entire neighborhood (everything really is within
+     Dmax+1 hops of a bridge node), and measuring foreignness against it
+     leaves no foreign part at all — blinding the extent test exactly
+     when the next admission race begins (the 6-path bridge livelock).
+     Speculative list entries outside the sender's view are ignored
      here; individual checks and the too-far contest police those. *)
+  let my_level v =
+    List.find_map
+      (fun (u, pos, mark) ->
+        if Node_id.equal u v && mark <> Mark.Double then Some pos else None)
+      (Antlist.entries t.antlist)
+  in
   let foreign_part sender =
     match Node_id.Map.find_opt sender t.msg_set with
     | None -> None
@@ -289,7 +336,30 @@ let cross_check t checked =
               mark <> Mark.Double && not (Node_id.Set.mem v my_ids))
             (Antlist.entries msg.Message.antlist)
         in
-        let reach = Node_id.Set.of_list (List.map (fun (v, _, _) -> v) foreign) in
+        (* Split horizon for the overlap test: an entry whose depth in the
+           sender's list is explainable as a route through me (the
+           sender's level of me plus my own level of the entry) may be
+           nothing but the echo of my previous advertisement — after a
+           failed bridge, the two sides would keep "meeting" through such
+           ghosts for a round and bypass the joint extent check forever
+           (the lockstep grid3x3 cycle).  Genuinely off-board meetings are
+           strictly shorter than the me-route and survive the filter. *)
+        let sender_level_of_me =
+          List.find_map
+            (fun (v, pos, _) -> if Node_id.equal v t.id then Some pos else None)
+            (Antlist.entries msg.Message.antlist)
+        in
+        let echo (v, pos, _) =
+          match (sender_level_of_me, my_level v) with
+          | Some mp, Some lv -> pos >= mp + lv
+          | _ -> false
+        in
+        let reach =
+          Node_id.Set.of_list
+            (List.filter_map
+               (fun e -> if echo e then None else Some (let v, _, _ = e in v))
+               foreign)
+        in
         let view_positions =
           List.filter_map
             (fun (v, pos, mark) ->
@@ -360,34 +430,68 @@ let check_incoming t =
 let fold_ant t lists =
   Node_id.Map.fold (fun _ lst acc -> Antlist.ant acc lst) lists (Antlist.singleton t.id)
 
-(* Priority contest against the too-far node w: the node priorities of the
-   two endpoints are compared.  The paper refines the cross-group case with
-   group priorities, but a group's priority is only well defined once the
-   groups have stabilized; during convergence the only estimate available
-   (the provider's group priority) degenerates to the local group's own
-   priority and the contest livelocks on symmetric topologies.  Endpoint
-   node priorities give the same totally ordered, eventually stable
-   resolution (the contested far endpoint is the group's oldest member in
-   the stable-merge scenarios of Proposition 11), so the loser is still the
-   latest-entered side, as Section 4.1 intends.  See DESIGN.md Section 5. *)
-let too_far_priority t ~w =
+(* Priority contest against the too-far node w: w's node priority against
+   the priority of the local group — the strongest (minimal) priority
+   among my current view members, mine included.  The challenger side
+   stays a node priority: the paper's cross-group refinement would want
+   w's group priority, but that is only well defined once the groups have
+   stabilized; during convergence the only estimate available (the
+   provider's advertised group priority) degenerates to the local group's
+   own priority and the contest livelocks on symmetric topologies.  The
+   DEFENDER side, by contrast, has a locally well-defined group priority,
+   and using it is what makes the repair of a concurrent double merge
+   asymmetric: on the 6-path race both ends used to cut their bridge
+   (each end's own priority lost to the opposite end's node priority),
+   re-symmetrizing the race forever — with the group minimum, the side
+   holding the globally oldest member defends successfully and keeps its
+   bridge, so exactly one side dissolves.
+
+   The group defense only applies when every provider of w is FOREIGN
+   (none is a member of my own view).  When a group-mate vouches for w,
+   the contest is an intra-group disagreement about admitting w — if the
+   whole group's strength could overrule the vouching member forever, a
+   split view (one member mutually holds w, the rest reject it) would
+   freeze into a stable Pi-A violation.  There the defender falls back
+   to its own node priority, which keeps such disagreements churning
+   until they dissolve one way or the other.  See DESIGN.md Section 5. *)
+let defense_priority t ~providers =
+  if Node_id.Set.disjoint providers t.view then group_priority t
+  else t.own_priority
+
+let too_far_priority t ~w ~providers =
   let pw =
     match Node_id.Map.find_opt w t.prio_table with
     | Some p -> p
     | None -> Priority.lowest
   in
-  (pw, t.own_priority)
+  (pw, defense_priority t ~providers)
 
 (* Lines 14-29: resolve the Dmax+2 overflow.  Providers of a winning too-far
    node are double-marked and the list is recomputed without them; remaining
-   too-far nodes (which lost the contest) are truncated away. *)
+   too-far nodes (which lost the contest) are truncated away.
+
+   Contest cooldown (DESIGN.md Section 5, item 14): when the local
+   priority defends the pairing (the far node loses), the own oldness
+   freezes for [Priority.cooldown_window] computes — the winner of a
+   contest may not re-age into a contestable priority right away.
+   Without the hold, sparse topologies livelock: the lone loser ages,
+   wins the next contest, displaces a paired node, and the new lone node
+   repeats the cycle (the ring7 repro).  Symmetrically, a far node that
+   wins here may, within the same window, keep winning against the same
+   providers — persistent rejection is how a geometrically infeasible
+   straddle gets and stays cut — but not against a disjoint provider set:
+   displacing a second, freshly formed pairing right after the first is
+   the rotation signature, and those claims are silently truncated. *)
 let resolve_too_far t checked candidate =
   let dmax = t.config.Config.dmax in
-  if Antlist.clear_size candidate < dmax + 2 then (candidate, false, Node_id.Set.empty)
+  if Antlist.clear_size candidate < dmax + 2 then
+    (candidate, false, Node_id.Set.empty, [])
   else begin
+    let cooldown = t.config.Config.contest_cooldown_enabled in
     let too_far = clear_level_ids candidate (dmax + 1) in
     let checked = ref checked in
     let rejected = ref Node_id.Set.empty in
+    let wins = ref [] in
     Node_id.Set.iter
       (fun w ->
         (* Only providers that advertise w as an established member of
@@ -411,19 +515,37 @@ let resolve_too_far t checked candidate =
             !checked []
         in
         if providers <> [] then begin
-          let pw, pv = too_far_priority t ~w in
-          if Priority.beats ~window:(dmax + 2) pw pv then
-            List.iter
-              (fun sender ->
-                checked :=
-                  Node_id.Map.add sender (Antlist.singleton_marked sender Mark.Double)
-                    !checked;
-                rejected := Node_id.Set.add sender !rejected)
-              providers
+          let provider_set = Node_id.Set.of_list providers in
+          let held =
+            cooldown
+            && match Node_id.Map.find_opt w t.contest_hold with
+               | Some (_, cut) -> Node_id.Set.disjoint provider_set cut
+               | None -> false
+          in
+          if not held then begin
+            let pw, pv = too_far_priority t ~w ~providers:provider_set in
+            if Priority.beats ~window:(Priority.contest_window ~dmax) pw pv then begin
+              List.iter
+                (fun sender ->
+                  checked :=
+                    Node_id.Map.add sender (Antlist.singleton_marked sender Mark.Double)
+                      !checked;
+                  rejected := Node_id.Set.add sender !rejected)
+                providers;
+              wins := (w, provider_set) :: !wins;
+              if cooldown then
+                t.contest_hold <-
+                  Node_id.Map.add w
+                    (Priority.cooldown_window ~dmax, provider_set)
+                    t.contest_hold
+            end
+            else if cooldown then
+              t.oldness_hold <- max t.oldness_hold (Priority.cooldown_window ~dmax)
+          end
         end)
       too_far;
     let lst = Antlist.truncate (fold_ant t !checked) (dmax + 1) in
-    (lst, true, !rejected)
+    (lst, true, !rejected, !wins)
   end
 
 (* Line 30: a quarantine counts the computes since the entry became (and
@@ -470,7 +592,88 @@ let admission_evidence t =
       else acc)
     t.msg_set Node_id.Set.empty
 
-let compute_view t lst ~evidence =
+(* Continuous membership re-validation (DESIGN.md Section 5, item 15; part
+   of the admission gate).  The counter-evidence is strictly firsthand
+   mutuality: a direct sender that could be (or is) my group partner —
+   an established mate, or a clear, unquarantined candidate settled in a
+   group of its own — keeps reporting a view that excludes me.
+   [Priority.cooldown_window] consecutive exclusions convict the sender:
+   it becomes inadmissible, for retention and admission alike, until the
+   testimony stops.  An affirmation (its view names me again) clears the
+   count at once, and a count that goes unrefreshed for a window expires,
+   so stale counter-evidence cannot permanently block a later legitimate
+   merge.  Without the window, the transient view skew of an ordinary
+   merge (one quarantine plus one propagation round per hop) would evict
+   freshly admitted members.
+
+   A solo candidate's view excludes everybody — vacuous; counting it
+   would deadlock every pair of adjacent solo nodes symmetrically.
+
+   Deliberately NO secondhand (mate-about-third-party) testimony: a mate
+   excluding v is indistinguishable from a mate whose admission cascade
+   for v has not completed — or whose own conviction of v is what blocks
+   it — and counting it lets convictions sustain each other in frozen
+   cycles, or starve the too-far contest of the provider whose
+   advertisement it needs.  Secondhand disagreement is left to the
+   machinery the paper already has: marks at the entry edges, ghost
+   entries aging out of the lists, the too-far contest, and the
+   starvation rule below. *)
+let update_conflicts t =
+  let window = Priority.cooldown_window ~dmax:t.config.Config.dmax in
+  t.conflict <-
+    Node_id.Map.filter_map
+      (fun _ (n, age) -> if age >= window then None else Some (n, age + 1))
+      t.conflict;
+  let clear_ids = Antlist.clear_ids t.antlist in
+  let eligible v =
+    Node_id.Set.mem v clear_ids
+    && match Node_id.Map.find_opt v t.quarantine with Some 0 -> true | _ -> false
+  in
+  Node_id.Map.iter
+    (fun u (msg : Message.t) ->
+      if Node_id.Set.mem t.id msg.Message.view then
+        t.conflict <- Node_id.Map.remove u t.conflict
+      else if
+        Node_id.Set.mem u t.view
+        || (eligible u && Node_id.Set.cardinal msg.Message.view >= 2)
+      then
+        let n =
+          match Node_id.Map.find_opt u t.conflict with Some (n, _) -> n | None -> 0
+        in
+        t.conflict <- Node_id.Map.add u (n + 1, 0) t.conflict)
+    t.msg_set
+
+(* Senders that have persistently excluded me for a full window. *)
+let conflicted_set t =
+  let window = Priority.cooldown_window ~dmax:t.config.Config.dmax in
+  Node_id.Map.fold
+    (fun v (n, _) acc -> if n >= window then Node_id.Set.add v acc else acc)
+    t.conflict Node_id.Set.empty
+
+(* Absence side of the re-validation: an established member no view-mate
+   has advertised (and that has not reported directly) for a full window
+   has silently fallen out of the group — exclusion testimony cannot reach
+   me when the member sits several hops away and the mates that used to
+   relay it are gone.  Ages the starvation counters against the current
+   evidence and returns the members to drop. *)
+let starved_set t ~evidence =
+  let window = Priority.cooldown_window ~dmax:t.config.Config.dmax in
+  t.starve <-
+    Node_id.Set.fold
+      (fun v acc ->
+        if Node_id.equal v t.id then acc
+        else if Node_id.Set.mem v evidence then acc
+        else
+          let age =
+            match Node_id.Map.find_opt v t.starve with Some a -> a | None -> 0
+          in
+          Node_id.Map.add v (age + 1) acc)
+      t.view Node_id.Map.empty;
+  Node_id.Map.fold
+    (fun v age acc -> if age >= window then Node_id.Set.add v acc else acc)
+    t.starve Node_id.Set.empty
+
+let compute_view t lst ~evidence ~conflicted =
   List.fold_left
     (fun acc (v, _, mark) ->
       let quarantined =
@@ -478,9 +681,9 @@ let compute_view t lst ~evidence =
       in
       let admissible =
         Node_id.equal v t.id
-        || Node_id.Set.mem v t.view
         || (not t.config.Config.admission_gate_enabled)
-        || Node_id.Set.mem v evidence
+        || (Node_id.Set.mem v t.view || Node_id.Set.mem v evidence)
+           && not (Node_id.Set.mem v conflicted)
       in
       if mark = Mark.Clear && (not quarantined) && admissible then Node_id.Set.add v acc
       else acc)
@@ -498,7 +701,11 @@ let update_priorities t lst ~clock =
   let merging = Node_id.Set.cardinal (Antlist.clear_ids lst) >= 2 in
   (match t.config.Config.priority_mode with
   | Config.Oldness ->
-      if not (in_group || merging) then
+      (* A contest winner additionally holds through [oldness_hold]
+         (resolve_too_far): re-aging right after displacing a rival would
+         hand the rival the next contest and rotate the pairing forever. *)
+      if t.oldness_hold > 0 then t.oldness_hold <- t.oldness_hold - 1
+      else if not (in_group || merging) then
         t.own_priority <- Priority.bump (Priority.sync t.own_priority clock)
   | Config.Lowest_id -> ());
   let keep = Node_id.Set.add t.id (Antlist.ids lst) in
@@ -554,16 +761,29 @@ let emit_transitions t ~old_list ~old_q ~new_list =
 let compute t =
   let dmax = t.config.Config.dmax in
   let clock = merge_priority_tables t in
+  t.contest_hold <-
+    Node_id.Map.filter_map
+      (fun _ (k, cut) -> if k > 1 then Some (k - 1, cut) else None)
+      t.contest_hold;
   let evidence = admission_evidence t in
+  let conflicted =
+    if t.config.Config.admission_gate_enabled then begin
+      update_conflicts t;
+      Node_id.Set.union (conflicted_set t) (starved_set t ~evidence)
+    end
+    else Node_id.Set.empty
+  in
   let checked = check_incoming t in
   let candidate = Antlist.truncate (fold_ant t checked) (dmax + 2) in
-  let final_list, too_far_conflict, rejected_senders = resolve_too_far t checked candidate in
+  let final_list, too_far_conflict, rejected_senders, contest_wins =
+    resolve_too_far t checked candidate
+  in
   let final_list = Antlist.truncate final_list (dmax + 1) in
   let old_list = t.antlist in
   let old_q = t.quarantine in
   update_quarantine t final_list;
   let old_view = t.view in
-  let new_view = compute_view t final_list ~evidence in
+  let new_view = compute_view t final_list ~evidence ~conflicted in
   if Trace.enabled t.trace then begin
     emit_transitions t ~old_list ~old_q ~new_list:final_list;
     if not (Node_id.Set.equal new_view old_view) then
@@ -585,6 +805,7 @@ let compute t =
     view_removed = Node_id.Set.diff old_view new_view;
     too_far_conflict;
     rejected_senders;
+    contest_wins;
   }
 
 let make_message t =
@@ -598,6 +819,8 @@ let make_message t =
   in
   Message.make ~sender:t.id ~antlist:t.antlist ~priorities
     ~group_priority:(group_priority t) ~view:t.view
+
+let convictions t = conflicted_set t
 
 let corrupt_list t lst = t.antlist <- lst
 let corrupt_view t v = t.view <- v

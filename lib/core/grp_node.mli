@@ -16,6 +16,12 @@ type step_info = {
   view_removed : Node_id.Set.t;  (** non-empty only on evictions — the continuity metric *)
   too_far_conflict : bool;  (** the Dmax+2 overflow branch fired *)
   rejected_senders : Node_id.Set.t;  (** senders double-marked this step *)
+  contest_wins : (Node_id.t * Node_id.Set.t) list;
+      (** too-far contests the far node won this step, with the providers
+          that were cut — within [Priority.cooldown_window] computes of a
+          win the far node may keep winning against overlapping provider
+          sets but not against a disjoint pairing
+          ([Config.contest_cooldown_enabled]) *)
 }
 
 val create : config:Config.t -> ?trace:Dgs_trace.Trace.t -> Node_id.t -> t
@@ -78,6 +84,13 @@ val compatible_list : t -> sender_view:Node_id.Set.t -> Antlist.t -> bool
     {e both} bounds [p-i+1+q <= Dmax] and [i/2+q+1 <= Dmax]; the paper's
     "either ... or" would let a lone node join a diameter-[Dmax] group,
     which its own proof of Proposition 13 excludes. *)
+
+val convictions : t -> Node_id.Set.t
+(** Nodes currently inadmissible under the membership re-validation of the
+    admission gate: the node itself has advertised a view excluding me for
+    a full [Priority.cooldown_window] of consecutive reports, or has
+    starved its retention of all admission evidence for that long
+    (white-box inspection; empty when the gate is off). *)
 
 (** {2 Fault injection} (self-stabilization tests start from arbitrary
     states) *)

@@ -12,6 +12,9 @@ let min a b = if compare a b <= 0 then a else b
 let bump t = { t with oldness = t.oldness + 1 }
 let sync t clock = if clock > t.oldness then { t with oldness = clock } else t
 
+let contest_window ~dmax = dmax + 2
+let cooldown_window ~dmax = (2 * dmax) + 2
+
 let beats ~window pw pv =
   let diff = if pw.oldness >= pv.oldness then pw.oldness - pv.oldness else pv.oldness - pw.oldness in
   if diff <= window then Node_id.compare pw.id pv.id < 0 else pw.oldness < pv.oldness

@@ -33,6 +33,21 @@ val sync : t -> int -> t
     step with the largest oldness it hears, so a freshly (re)started node
     cannot masquerade as older than long-frozen group members. *)
 
+val contest_window : dmax:int -> int
+(** [dmax + 2]: the staleness window of the too-far contest — remote
+    priority reports are up to [Dmax+2] computes behind, so oldness
+    differences within it are propagation noise (see {!beats}). *)
+
+val cooldown_window : dmax:int -> int
+(** [2*dmax + 2]: the protocol's shared persistence horizon, in computes.
+    Counter-evidence against a view member must persist this long before
+    it evicts (membership re-validation), a too-far contest winner may not
+    win again at the same node within it, and a node that just defended a
+    pairing holds its oldness for it.  It exceeds the worst-case admission
+    skew of a legitimate merge (one quarantine plus one propagation round
+    per hop across the group), so transient disagreement during a merge
+    never crosses it. *)
+
 val beats : window:int -> t -> t -> bool
 (** [beats ~window pw pv]: does [pw] win a too-far contest against [pv]?
     Oldness values that differ by at most [window] are treated as equal

@@ -15,8 +15,10 @@ let variants =
       fun dmax -> Config.make ~joint_admission_enabled:false ~dmax () );
     ( "lowest-id priority",
       fun dmax -> Config.make ~priority_mode:Config.Lowest_id ~dmax () );
-    ( "+admission-gate",
-      fun dmax -> Config.make ~admission_gate_enabled:true ~dmax () );
+    ( "no-admission-gate",
+      fun dmax -> Config.make ~admission_gate_enabled:false ~dmax () );
+    ( "no-contest-cooldown",
+      fun dmax -> Config.make ~contest_cooldown_enabled:false ~dmax () );
   ]
 
 (* grid4x4 under a perfectly synchronous (jitter-free) schedule is the

@@ -239,6 +239,9 @@ let test_message_contents () =
 let test_step_info_reports_changes () =
   let a = Grp_node.create ~config:(config ~dmax:1 ()) 0 in
   let b = Grp_node.create ~config:(config ~dmax:1 ()) 1 in
+  (* Two warmup rounds: the admission gate needs one exchange of evidence
+     before the pairing forms, so the addition lands on round three. *)
+  ignore (clique_round [ a; b ]);
   ignore (clique_round [ a; b ]);
   let infos = clique_round [ a; b ] in
   let _, ia = List.hd infos in
@@ -364,6 +367,78 @@ let test_too_far_contest_truncates_for_winner () =
   let v0 = List.nth views 0 in
   check "node 0 grouped" true (Node_id.Set.cardinal v0 >= 2)
 
+(* Table-driven membership re-validation (DESIGN.md Section 5, item 15).
+   Phase 1 forms a real triangle {0,1,2}; phase 2 replaces b's and c's
+   traffic with crafted messages and watches whether a retains member 2
+   over a full re-validation window.  W = 2·Dmax+2 is the conviction /
+   starvation window, so W+2 rounds decide every case. *)
+let revalidation_cases =
+  [
+    (* Mate b still advertises 2 in its view: evidence refreshes every
+       round and the member is kept even though 2 itself fell silent. *)
+    ("mate still advertises: kept", true, [ 0; 1; 2 ], false, true);
+    (* 2 vanished from b's view (though b's list still carries it, so
+       presence-based retention alone would keep it): no admission
+       evidence for a full window starves the membership out. *)
+    ("vanished from all mates: dropped", true, [ 0; 1 ], false, false);
+    (* Same starvation setup with the gate off: retention is presence
+       based and the stale one-sided membership persists — the Pi-A
+       failure mode the gate exists to close. *)
+    ("gate off: stale membership persists", false, [ 0; 1 ], false, true);
+    (* 2 keeps reporting directly but its view excludes me: firsthand
+       exclusion convicts it within the window, overriding b's
+       (secondhand) advertisement. *)
+    ("firsthand exclusion: dropped", true, [ 0; 1; 2 ], true, false);
+  ]
+
+let test_membership_revalidation () =
+  let dmax = 2 in
+  let window = Priority.cooldown_window ~dmax in
+  let prios ids =
+    List.fold_left
+      (fun acc v -> Node_id.Map.add v (Priority.initial v) acc)
+      Node_id.Map.empty ids
+  in
+  List.iter
+    (fun (name, gate, b_view, c_sends, expect_kept) ->
+      let cfg = Config.make ~admission_gate_enabled:gate ~dmax () in
+      let a = Grp_node.create ~config:cfg 0 in
+      let b = Grp_node.create ~config:cfg 1 in
+      let c = Grp_node.create ~config:cfg 2 in
+      for _ = 1 to 10 do
+        ignore (clique_round [ a; b; c ])
+      done;
+      let everyone = Node_id.set_of_list [ 0; 1; 2 ] in
+      Alcotest.check ids (name ^ ": triangle formed") everyone (Grp_node.view a);
+      for _ = 1 to window + 2 do
+        (* b: a's group-mate; its list still lists 2 as clear, its view is
+           the per-case testimony. *)
+        Grp_node.receive a
+          (Message.make ~sender:1
+             ~antlist:
+               (Antlist.of_levels
+                  [ [ (1, Mark.Clear) ]; [ (0, Mark.Clear); (2, Mark.Clear) ] ])
+             ~priorities:(prios [ 1; 0; 2 ])
+             ~group_priority:(Priority.initial 0)
+             ~view:(Node_id.set_of_list b_view));
+        if c_sends then
+          (* c: still a direct neighbor acknowledging the link, but its
+             view has moved on without me. *)
+          Grp_node.receive a
+            (Message.make ~sender:2
+               ~antlist:
+                 (Antlist.of_levels
+                    [ [ (2, Mark.Clear) ]; [ (0, Mark.Clear); (1, Mark.Clear) ] ])
+               ~priorities:(prios [ 2; 0; 1 ])
+               ~group_priority:(Priority.initial 2)
+               ~view:(Node_id.Set.singleton 2));
+        ignore (Grp_node.compute a)
+      done;
+      check (name ^ ": member 2 retention") expect_kept
+        (Node_id.Set.mem 2 (Grp_node.view a));
+      check (name ^ ": mate 1 always kept") true (Node_id.Set.mem 1 (Grp_node.view a)))
+    revalidation_cases
+
 let test_rounds_corruption_smoke () =
   let t =
     Dgs_sim.Rounds.create ~config:(config ~dmax:2 ()) (Dgs_graph.Gen.line 3)
@@ -380,6 +455,69 @@ let test_rounds_corruption_smoke () =
       check "list bounded under corruption" true
         (Antlist.size (Grp_node.antlist n) <= 3))
     (Dgs_sim.Rounds.node_ids t)
+
+(* Enforced contest-cooldown invariant (DESIGN.md Section 5, item 14): when
+   the same far node w wins two too-far contests at the same node within a
+   cooldown window, the wins must share a provider.  Winning repeatedly
+   through the SAME cut is legitimate persistence (a geometrically
+   infeasible straddle stays cut); displacing a disjoint, freshly formed
+   pairing right away is the rotation signature, and [resolve_too_far]
+   suppresses it.  Windows are counted in computes at the observing node
+   (jitter skips computes, and the hold only decrements on compute). *)
+let check_cooldown_invariant graph ~dmax ~seed ~jitter ~rounds =
+  let t = Dgs_sim.Rounds.create ~config:(Config.make ~dmax ()) graph in
+  let rng = Dgs_util.Rng.create seed in
+  let window = Priority.cooldown_window ~dmax in
+  (* (node, w) -> (compute index of last win, providers it cut) *)
+  let last_win = Hashtbl.create 32 in
+  let computes = Hashtbl.create 32 in
+  let total = ref 0 in
+  let ok = ref true in
+  for _ = 1 to rounds do
+    let infos = Dgs_sim.Rounds.round ~jitter ~rng t in
+    Node_id.Map.iter
+      (fun v (i : Grp_node.step_info) ->
+        let k = 1 + Option.value ~default:0 (Hashtbl.find_opt computes v) in
+        Hashtbl.replace computes v k;
+        List.iter
+          (fun (w, providers) ->
+            incr total;
+            (match Hashtbl.find_opt last_win (v, w) with
+            | Some (k', providers')
+              when k - k' < window && Node_id.Set.disjoint providers providers' ->
+                ok := false
+            | _ -> ());
+            Hashtbl.replace last_win (v, w) (k, providers))
+          i.Grp_node.contest_wins)
+      infos
+  done;
+  (!ok, !total)
+
+let test_cooldown_shares_provider =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"contest wins within a cooldown window share a provider" ~count:40
+       QCheck.(triple (int_range 0 3) (int_range 1 1000) (int_range 2 3))
+       (fun (topo, seed, dmax) ->
+         let graph =
+           match topo with
+           | 0 -> Dgs_graph.Gen.group_loop ~groups:4 ~group_size:3
+           | 1 -> Dgs_graph.Gen.grid 4 4
+           | 2 -> Dgs_graph.Gen.ring (7 + (seed mod 4))
+           | _ -> Dgs_graph.Gen.line (6 + (seed mod 5))
+         in
+         let ok, _ = check_cooldown_invariant graph ~dmax ~seed ~jitter:0.25 ~rounds:80 in
+         ok))
+
+let test_cooldown_invariant_not_vacuous () =
+  (* Pin one configuration known to produce contests so the property above
+     cannot silently pass on zero wins. *)
+  let ok, total =
+    check_cooldown_invariant (Dgs_graph.Gen.grid 4 4) ~dmax:2 ~seed:1 ~jitter:0.25
+      ~rounds:80
+  in
+  check "invariant holds" true ok;
+  check "contest wins observed" true (total > 0)
 
 let test_list_size_invariant =
   QCheck_alcotest.to_alcotest
@@ -441,7 +579,10 @@ let suite =
     ("admission gate (optional)", `Quick, test_admission_gate);
     ("asymmetric link never groups", `Quick, test_asymmetric_link_never_groups);
     ("too-far contest on a line", `Quick, test_too_far_contest_truncates_for_winner);
+    ("membership re-validation table", `Quick, test_membership_revalidation);
     ("rounds under heavy corruption", `Quick, test_rounds_corruption_smoke);
     test_list_size_invariant;
     test_view_subset_of_clear_list;
+    test_cooldown_shares_provider;
+    ("cooldown invariant is not vacuous", `Quick, test_cooldown_invariant_not_vacuous);
   ]
