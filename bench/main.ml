@@ -7,10 +7,18 @@
       experiment's inner loop (ant merge for E1/E2, a full compute step for
       E3, predicate checking for E4, a mobility round for E5/E6, a lossy
       round for E7, an ablated compute for E8).
-   2. The experiment tables E1..E10 themselves (the evaluation the paper
+   2. The experiment tables E1..E11 themselves (the evaluation the paper
       refers to; EXPERIMENTS.md records the measured outcomes).
 
-   Usage: dune exec bench/main.exe [-- --quick | --micro-only | --tables-only]. *)
+   Usage:
+     dune exec bench/main.exe -- [--quick] [--micro-only | --tables-only]
+                                 [--jobs N] [--json PATH]
+
+   --jobs N spreads the experiments' independent repetitions over N domains
+   (output is identical to --jobs 1; see Dgs_parallel.Pool).  --json PATH
+   additionally writes a machine-readable snapshot of the micro ns/op
+   numbers and a timed fuzz-campaign section — BENCH_<date>.json files in
+   the repo root are committed snapshots of exactly this output. *)
 
 open Bechamel
 open Toolkit
@@ -168,7 +176,7 @@ let bench_maxmin =
   Test.make ~name:"e6 baseline: maxmin(d=2, 30 nodes)"
     (Staged.stage (fun () -> Dgs_baselines.Maxmin.run ~d:2 g))
 
-let micro_benchmarks () =
+let micro_benchmarks ~quick () =
   let tests =
     [ bench_ant_merge; bench_compute ]
     @ bench_compute_traced
@@ -183,27 +191,100 @@ let micro_benchmarks () =
       bench_maxmin;
     ]
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let quota = Time.second (if quick then 0.05 else 0.5) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 100) () in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   Printf.printf "== micro-benchmarks (ns per run) ==\n%!";
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let m = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
           let est = Analyze.one ols Instance.monotonic_clock m in
           let ns =
             match Analyze.OLS.estimates est with Some [ x ] -> x | _ -> nan
           in
-          Printf.printf "%-45s %12.0f ns/run\n%!" (Test.Elt.name elt) ns)
+          Printf.printf "%-45s %12.0f ns/run\n%!" (Test.Elt.name elt) ns;
+          (Test.Elt.name elt, ns))
         (Test.elements test))
     tests
+
+(* Timed fuzz campaign for the JSON snapshot: the same fixed workload at
+   jobs=1 and jobs=4, so committed baselines track end-to-end campaign
+   throughput alongside the micro numbers. *)
+let campaign_timings ~quick () =
+  let runs = if quick then 50 else 500 in
+  let max_actions = 10 in
+  List.map
+    (fun jobs ->
+      let t0 = Unix.gettimeofday () in
+      let s = Dgs_check.Fuzz.campaign ~jobs ~seed:42 ~runs ~max_actions () in
+      let wall = Unix.gettimeofday () -. t0 in
+      (jobs, runs, max_actions, wall, List.length s.Dgs_check.Fuzz.failures))
+    [ 1; 4 ]
+
+let write_json path ~micro ~campaigns =
+  let b = Buffer.create 2048 in
+  let tm = Unix.gmtime (Unix.time ()) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\n  \"schema\": 1,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+       (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+       tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec);
+  Buffer.add_string b
+    (Printf.sprintf "  \"cores\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string b "  \"micro_ns_per_op\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string b
+        (Printf.sprintf "    %S: %.1f%s\n" name ns
+           (if i = List.length micro - 1 then "" else ",")))
+    micro;
+  Buffer.add_string b "  },\n  \"fuzz_campaign\": [\n";
+  List.iteri
+    (fun i (jobs, runs, max_actions, wall, failures) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"jobs\": %d, \"runs\": %d, \"max_actions\": %d, \"wall_s\": \
+            %.3f, \"scenarios_per_s\": %.1f, \"failures\": %d}%s\n"
+           jobs runs max_actions wall
+           (float_of_int runs /. wall)
+           failures
+           (if i = List.length campaigns - 1 then "" else ",")))
+    campaigns;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "benchmark snapshot written to %s\n%!" path
 
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let tables_only = List.mem "--tables-only" args in
   let micro_only = List.mem "--micro-only" args in
-  if not tables_only then micro_benchmarks ();
+  let rec flag_value = function
+    | f :: v :: _ when f = "--json" -> Some v
+    | _ :: rest -> flag_value rest
+    | [] -> None
+  in
+  let json_path = flag_value args in
+  let rec jobs_value = function
+    | f :: v :: _ when f = "--jobs" -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> if n = 0 then Dgs_parallel.Pool.default_jobs () else n
+        | _ ->
+            prerr_endline "bench: --jobs expects a non-negative integer";
+            exit 2)
+    | _ :: rest -> jobs_value rest
+    | [] -> 1
+  in
+  let jobs = jobs_value args in
+  let micro = if tables_only then [] else micro_benchmarks ~quick () in
   if not micro_only then
-    List.iter (Experiments.run_and_print ~quick) Experiments.all
+    List.iter (Experiments.run_and_print ~quick ~jobs) Experiments.all;
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let campaigns = campaign_timings ~quick () in
+      write_json path ~micro ~campaigns

@@ -58,6 +58,25 @@ let seed_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-node protocol state.")
 
+(* --jobs 0 means "auto": one worker per available core.  The resolved
+   value only affects wall clock — campaign and experiment output is
+   byte-identical for every jobs value (see Dgs_parallel.Pool). *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Number of worker domains for independent runs (0 = one per core). \
+           Results are identical for every value; only wall clock changes.")
+
+let resolve_jobs jobs =
+  if jobs < 0 then begin
+    Printf.eprintf "grp_sim: --jobs must be >= 0\n";
+    exit 2
+  end
+  else if jobs = 0 then Dgs_parallel.Pool.default_jobs ()
+  else jobs
+
 let trace_arg =
   Arg.(
     value
@@ -288,25 +307,26 @@ let experiment_cmd =
             Printf.printf "wrote %s\n" path)
           tables
   in
-  let run_one quick csv e =
+  let run_one quick jobs csv e =
     Printf.printf "\n### %s — %s ###\n" (String.uppercase_ascii e.Experiments.id)
       e.Experiments.title;
-    let tables = e.Experiments.run ~quick () in
+    let tables = e.Experiments.run ~quick ~jobs () in
     List.iter Dgs_metrics.Table.print tables;
     export csv e tables
   in
-  let run id quick csv =
+  let run id quick jobs csv =
+    let jobs = resolve_jobs jobs in
     match id with
-    | "all" -> List.iter (run_one quick csv) Experiments.all
+    | "all" -> List.iter (run_one quick jobs csv) Experiments.all
     | _ -> (
         match Experiments.find id with
-        | Some e -> run_one quick csv e
+        | Some e -> run_one quick jobs csv e
         | None ->
-            Printf.eprintf "unknown experiment %S (e1..e10 or all)\n" id;
+            Printf.eprintf "unknown experiment %S (e1..e11 or all)\n" id;
             exit 1)
   in
   let id =
-    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (e1..e10, all).")
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (e1..e11, all).")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sizes and fewer repetitions.")
@@ -319,10 +339,11 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the evaluation experiments.")
-    Term.(const run $ id $ quick $ csv)
+    Term.(const run $ id $ quick $ jobs_arg $ csv)
 
 let fuzz_cmd =
-  let run seed runs max_actions replay strict repro_dir =
+  let run seed runs max_actions jobs replay strict repro_dir =
+    let jobs = resolve_jobs jobs in
     let oracle = { Dgs_check.Oracle.default with strict_continuity = strict } in
     match replay with
     | Some path -> (
@@ -345,7 +366,7 @@ let fuzz_cmd =
                been fixed. *)
             exit (if Dgs_check.Oracle.failed r || not r.Dgs_check.Oracle.stabilized then 1 else 0))
     | None ->
-        let s = Dgs_check.Fuzz.campaign ~oracle ~seed ~runs ~max_actions () in
+        let s = Dgs_check.Fuzz.campaign ~oracle ~jobs ~seed ~runs ~max_actions () in
         Format.printf "%a@." Dgs_check.Fuzz.pp_summary s;
         (match repro_dir with
         | Some dir when s.Dgs_check.Fuzz.failures <> [] ->
@@ -396,7 +417,9 @@ let fuzz_cmd =
          "Fuzz the protocol with random churn/rewiring/loss scenarios, checking \
           the paper's invariants; failures are minimized to a smallest \
           still-failing script.  Exits non-zero when a violation was found.")
-    Term.(const run $ seed_arg $ runs $ max_actions $ replay $ strict $ repro_dir)
+    Term.(
+      const run $ seed_arg $ runs $ max_actions $ jobs_arg $ replay $ strict
+      $ repro_dir)
 
 let list_cmd =
   let run () =

@@ -1,4 +1,5 @@
 module Rng = Dgs_util.Rng
+module Pool = Dgs_parallel.Pool
 
 type failure = {
   run : int;
@@ -20,25 +21,20 @@ type summary = {
 
 let replay ?oracle sc = Executor.run ?oracle sc
 
-let campaign ?(oracle = Oracle.default) ?(shrink_attempts = 400) ~seed ~runs
-    ~max_actions ?(on_run = fun _ _ _ -> ()) () =
-  let master = Rng.create seed in
-  let failures = ref [] in
-  let stabilized_runs = ref 0 in
-  let total_evictions = ref 0 in
-  let maximality_gaps = ref 0 in
-  for run = 0 to runs - 1 do
-    (* One split per run: scenario [i] does not depend on how much
-       entropy scenario [i-1] consumed. *)
-    let rng = Rng.split master in
-    let sc = Scenario.generate rng ~max_actions in
-    let report = Executor.run ~oracle sc in
-    on_run run sc report;
-    if report.Oracle.stabilized then incr stabilized_runs;
-    total_evictions := !total_evictions + report.Oracle.evictions;
-    if report.Oracle.maximality_gap then incr maximality_gaps;
+(* One whole task: generate, execute, judge, and (on failure) shrink.
+   A pure function of [(master state, run index)] — per-run randomness is
+   derived with [Rng.split_at], which matches what the historical
+   sequential loop drew with [Rng.split], but is independent of execution
+   order, so a work pool may run the tasks in any interleaving.  Shrinking
+   happens inside the task (it is deterministic given the scenario), so
+   parallel campaigns scale over the expensive part too. *)
+let run_one ~oracle ~shrink_attempts ~max_actions ~master run =
+  let rng = Rng.split_at master run in
+  let sc = Scenario.generate rng ~max_actions in
+  let report = Executor.run ~oracle sc in
+  let failure =
     match report.Oracle.violations with
-    | [] -> ()
+    | [] -> None
     | v0 :: _ ->
         let still_fails sc' =
           let r = Executor.run ~oracle sc' in
@@ -49,10 +45,30 @@ let campaign ?(oracle = Oracle.default) ?(shrink_attempts = 400) ~seed ~runs
         let shrunk =
           Shrink.minimize ~max_attempts:shrink_attempts ~still_fails sc
         in
-        failures :=
-          { run; scenario = sc; shrunk; first_violation = v0; report }
-          :: !failures
-  done;
+        Some { run; scenario = sc; shrunk; first_violation = v0; report }
+  in
+  (sc, report, failure)
+
+let campaign ?(oracle = Oracle.default) ?(shrink_attempts = 400) ?(jobs = 1)
+    ~seed ~runs ~max_actions ?(on_run = fun _ _ _ -> ()) () =
+  let master = Rng.create seed in
+  let results =
+    Pool.map ~jobs runs (run_one ~oracle ~shrink_attempts ~max_actions ~master)
+  in
+  (* Aggregation walks the ordered results in the caller, so the summary
+     (and every [on_run] observation) is byte-identical for every [jobs]. *)
+  let failures = ref [] in
+  let stabilized_runs = ref 0 in
+  let total_evictions = ref 0 in
+  let maximality_gaps = ref 0 in
+  List.iteri
+    (fun run (sc, report, failure) ->
+      on_run run sc report;
+      if report.Oracle.stabilized then incr stabilized_runs;
+      total_evictions := !total_evictions + report.Oracle.evictions;
+      if report.Oracle.maximality_gap then incr maximality_gaps;
+      match failure with None -> () | Some f -> failures := f :: !failures)
+    results;
   {
     master_seed = seed;
     runs;

@@ -5,7 +5,15 @@
     every failure with {!Shrink} (the shrinking predicate demands a
     violation of the {e same} check as the original failure).  The whole
     campaign is a pure function of its arguments, so a failing seed
-    reported by CI reproduces exactly on any machine. *)
+    reported by CI reproduces exactly on any machine.
+
+    With [jobs > 1] the runs execute on a {!Dgs_parallel.Pool} of that
+    many domains.  Each run is a self-contained task (own scenario, own
+    network, own trace sinks) whose randomness is derived order-
+    independently with {!Dgs_util.Rng.split_at}, and results are
+    aggregated in run order after the pool joins — so the summary, every
+    per-run report, and the exit status are byte-identical to a [jobs = 1]
+    campaign (which in turn reproduces the historical sequential loop). *)
 
 type failure = {
   run : int;  (** index of the failing run within the campaign *)
@@ -28,13 +36,16 @@ type summary = {
 val campaign :
   ?oracle:Oracle.config ->
   ?shrink_attempts:int ->
+  ?jobs:int ->
   seed:int ->
   runs:int ->
   max_actions:int ->
   ?on_run:(int -> Scenario.t -> Oracle.report -> unit) ->
   unit ->
   summary
-(** [on_run] observes every executed scenario (progress reporting). *)
+(** [on_run] observes every executed scenario (progress reporting); it is
+    always invoked in run order from the calling domain, after the runs
+    themselves completed when [jobs > 1].  [jobs] defaults to [1]. *)
 
 val replay : ?oracle:Oracle.config -> Scenario.t -> Oracle.report
 (** Execute one scenario (a loaded repro) under the oracle. *)

@@ -48,6 +48,45 @@ type report = {
 
 let failed r = r.violations <> []
 
+(* Machine-readable report encoding: every field, every violation, fixed
+   key order, deterministic number formatting — two reports are equal iff
+   their JSON strings are byte-equal, which is what the jobs=N vs jobs=1
+   determinism tests compare. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_num f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let report_to_json r =
+  let violation v =
+    Printf.sprintf {|{"check":"%s","time":%s,"detail":"%s"}|}
+      (json_escape v.check) (json_num v.time) (json_escape v.detail)
+  in
+  let opt to_s = function None -> "null" | Some v -> to_s v in
+  Printf.sprintf
+    {|{"violations":[%s],"stabilized":%b,"quiesce_time":%s,"livelock_period":%s,"maximality_gap":%b,"groups":%d,"evictions":%d,"computes":%d,"broadcasts":%d,"deliveries":%d,"drops":%d,"losses":%d,"engine_fires":%d,"engine_fire_budget":%d}|}
+    (String.concat "," (List.map violation r.violations))
+    r.stabilized
+    (opt json_num r.quiesce_time)
+    (opt string_of_int r.livelock_period)
+    r.maximality_gap r.groups r.evictions r.computes r.broadcasts r.deliveries
+    r.drops r.losses r.engine_fires r.engine_fire_budget
+
 let pp_violation ppf v =
   Format.fprintf ppf "@[<h>[%s] t=%.3f %s@]" v.check v.time v.detail
 

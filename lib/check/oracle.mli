@@ -76,5 +76,12 @@ type report = {
 val failed : report -> bool
 (** [violations <> []]. *)
 
+val report_to_json : report -> string
+(** One-line JSON object covering every field of the report (violations
+    included), with fixed key order and deterministic number formatting:
+    two reports are equal iff their encodings are byte-equal.  The
+    [--jobs N] determinism guarantee is stated — and tested — as byte
+    equality of these strings against the sequential campaign. *)
+
 val pp_violation : Format.formatter -> violation -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -1,142 +1,385 @@
 type entry = { id : Node_id.t; mark : Mark.t }
 
-(* Levels in distance order; invariant of this representation: each level is
-   sorted by id with unique ids (across-level uniqueness is only guaranteed
-   for values built by [merge]/[ant], see [well_formed]). *)
-type t = entry list list
+(* Levels in distance order, each level a sorted-by-id array with unique ids
+   within the level (across-level uniqueness is only guaranteed for values
+   built by [merge]/[ant], see [well_formed]).  Level arrays are never
+   mutated after construction, so suffixes and untouched levels are shared
+   freely between values ([merge]/[truncate]/[strip_marked] reuse input
+   arrays whenever a pass changes nothing — which is the common case once
+   the protocol has stabilized, and what makes the steady-state equality
+   checks in [Grp_node]'s fold cache O(1) physical comparisons).
 
-let empty = []
-let singleton id = [ [ { id; mark = Mark.Clear } ] ]
-let singleton_marked id mark = [ [ { id; mark } ] ]
+   Queries that historically rescanned the levels ([find]/[mem], [ids],
+   [clear_ids], [entries]) answer from per-value memo caches built on first
+   use.  A value is logically immutable, so the caches are write-once
+   derived data; values are domain-confined (each simulation task builds its
+   own nets and lists), so the caches need no synchronization. *)
+type cache = {
+  mutable index : (Node_id.t, int * Mark.t) Hashtbl.t option;
+      (* id -> (position, mark) of the FIRST (closest) occurrence *)
+  mutable entries_l : (Node_id.t * int * Mark.t) list option;
+  mutable ids_s : Node_id.Set.t option;
+  mutable clear_ids_s : Node_id.Set.t option;
+}
 
+type t = { lvls : entry array array; cache : cache }
+
+let mk lvls =
+  { lvls; cache = { index = None; entries_l = None; ids_s = None; clear_ids_s = None } }
+
+(* [empty] is the one [t] shared between domains (every other value is
+   built inside the task that uses it), so its memo cache is populated
+   eagerly here: no domain ever writes to it. *)
+let empty =
+  let t = mk [||] in
+  t.cache.index <- Some (Hashtbl.create 1);
+  t.cache.entries_l <- Some [];
+  t.cache.ids_s <- Some Node_id.Set.empty;
+  t.cache.clear_ids_s <- Some Node_id.Set.empty;
+  t
+let singleton id = mk [| [| { id; mark = Mark.Clear } |] |]
+let singleton_marked id mark = mk [| [| { id; mark } |] |]
+
+(* Sort a raw level by id and merge duplicate ids (most severe mark wins). *)
 let normalize_level es =
-  let sorted = List.sort (fun a b -> Node_id.compare a.id b.id) es in
-  let rec dedup = function
-    | a :: b :: rest when Node_id.equal a.id b.id ->
-        dedup ({ id = a.id; mark = Mark.max a.mark b.mark } :: rest)
-    | a :: rest -> a :: dedup rest
-    | [] -> []
-  in
-  dedup sorted
+  let a = Array.of_list es in
+  Array.sort (fun x y -> Node_id.compare x.id y.id) a;
+  let n = Array.length a in
+  let rec dups i = i < n - 1 && (Node_id.equal a.(i).id a.(i + 1).id || dups (i + 1)) in
+  if not (dups 0) then a
+  else begin
+    let out = Array.make n a.(0) in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if !k > 0 && Node_id.equal out.(!k - 1).id a.(i).id then
+        out.(!k - 1) <- { id = a.(i).id; mark = Mark.max out.(!k - 1).mark a.(i).mark }
+      else begin
+        out.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    Array.sub out 0 !k
+  end
 
 let of_levels lvls =
-  List.map (fun l -> normalize_level (List.map (fun (id, mark) -> { id; mark }) l)) lvls
+  mk
+    (Array.of_list
+       (List.map
+          (fun l -> normalize_level (List.map (fun (id, mark) -> { id; mark }) l))
+          lvls))
 
-let levels t = t
-let size = List.length
+let levels t = Array.to_list (Array.map Array.to_list t.lvls)
+let size t = Array.length t.lvls
+let is_empty t = Array.length t.lvls = 0
 
 let clear_size t =
-  let rec last_clear i best = function
-    | [] -> best
-    | l :: rest ->
-        let best = if List.exists (fun e -> e.mark = Mark.Clear) l then i + 1 else best in
-        last_clear (i + 1) best rest
-  in
-  last_clear 0 0 t
+  let best = ref 0 in
+  Array.iteri
+    (fun i l -> if Array.exists (fun e -> e.mark = Mark.Clear) l then best := i + 1)
+    t.lvls;
+  !best
 
-let is_empty t = t = []
-let level t i = match List.nth_opt t i with None -> [] | Some l -> l
+let level t i =
+  if i < 0 || i >= Array.length t.lvls then [] else Array.to_list t.lvls.(i)
 
 let level_ids t i =
-  List.fold_left (fun acc e -> Node_id.Set.add e.id acc) Node_id.Set.empty (level t i)
+  if i < 0 || i >= Array.length t.lvls then Node_id.Set.empty
+  else
+    Array.fold_left
+      (fun acc e -> Node_id.Set.add e.id acc)
+      Node_id.Set.empty t.lvls.(i)
 
-let find t id =
-  let rec go i = function
-    | [] -> None
-    | l :: rest -> (
-        match List.find_opt (fun e -> Node_id.equal e.id id) l with
-        | Some e -> Some (i, e.mark)
-        | None -> go (i + 1) rest)
-  in
-  go 0 t
+let total_entries t = Array.fold_left (fun acc l -> acc + Array.length l) 0 t.lvls
 
-let mem t id = find t id <> None
+let index t =
+  match t.cache.index with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create (max 8 (total_entries t)) in
+      Array.iteri
+        (fun pos l ->
+          Array.iter
+            (fun e -> if not (Hashtbl.mem h e.id) then Hashtbl.add h e.id (pos, e.mark))
+            l)
+        t.lvls;
+      t.cache.index <- Some h;
+      h
+
+let find t id = Hashtbl.find_opt (index t) id
+let mem t id = Hashtbl.mem (index t) id
 
 let fold_entries t ~init ~f =
-  let _, acc =
-    List.fold_left
-      (fun (i, acc) l -> (i + 1, List.fold_left (fun acc e -> f acc e.id i e.mark) acc l))
-      (0, init) t
-  in
-  acc
+  let acc = ref init in
+  Array.iteri
+    (fun pos l -> Array.iter (fun e -> acc := f !acc e.id pos e.mark) l)
+    t.lvls;
+  !acc
 
-let ids t = fold_entries t ~init:Node_id.Set.empty ~f:(fun acc id _ _ -> Node_id.Set.add id acc)
+let ids t =
+  match t.cache.ids_s with
+  | Some s -> s
+  | None ->
+      let s =
+        fold_entries t ~init:Node_id.Set.empty ~f:(fun acc id _ _ ->
+            Node_id.Set.add id acc)
+      in
+      t.cache.ids_s <- Some s;
+      s
 
 let clear_ids t =
-  fold_entries t ~init:Node_id.Set.empty ~f:(fun acc id _ mark ->
-      if mark = Mark.Clear then Node_id.Set.add id acc else acc)
+  match t.cache.clear_ids_s with
+  | Some s -> s
+  | None ->
+      let s =
+        fold_entries t ~init:Node_id.Set.empty ~f:(fun acc id _ mark ->
+            if mark = Mark.Clear then Node_id.Set.add id acc else acc)
+      in
+      t.cache.clear_ids_s <- Some s;
+      s
 
 let entries t =
-  List.rev (fold_entries t ~init:[] ~f:(fun acc id pos mark -> (id, pos, mark) :: acc))
+  match t.cache.entries_l with
+  | Some l -> l
+  | None ->
+      let l =
+        List.rev
+          (fold_entries t ~init:[] ~f:(fun acc id pos mark -> (id, pos, mark) :: acc))
+      in
+      t.cache.entries_l <- Some l;
+      l
 
-let trim_trailing_empty t =
-  let rec go = function
-    | [] -> []
-    | l :: rest -> (
-        match go rest with [] when l = [] -> [] | rest' -> l :: rest')
-  in
-  go t
+(* Filter a level in one pass, sharing the input array when nothing is
+   dropped. *)
+let filter_level p l =
+  let n = Array.length l in
+  let kept = ref 0 in
+  let keep = Array.make n false in
+  for j = 0 to n - 1 do
+    if p l.(j) then begin
+      keep.(j) <- true;
+      incr kept
+    end
+  done;
+  if !kept = n then l
+  else if !kept = 0 then [||]
+  else begin
+    let out = Array.make !kept l.(0) in
+    let k = ref 0 in
+    for j = 0 to n - 1 do
+      if keep.(j) then begin
+        out.(!k) <- l.(j);
+        incr k
+      end
+    done;
+    out
+  end
 
 let strip_marked ~keep t =
-  t
-  |> List.map (List.filter (fun e -> e.mark = Mark.Clear || Node_id.equal e.id keep))
-  |> trim_trailing_empty
-
-let has_empty_level t = List.exists (fun l -> l = []) t
-
-let compact t = List.filter (fun l -> l <> []) t
-
-(* Positionwise union of levels. *)
-let rec union_levels a b =
-  match (a, b) with
-  | [], rest | rest, [] -> rest
-  | la :: ra, lb :: rb -> normalize_level (la @ lb) :: union_levels ra rb
-
-(* Keep only the first occurrence of every id, walking levels in distance
-   order.  A level emptied by the deduplication means every node that
-   supported it is in fact closer, so the distance claims of the deeper
-   levels are unreliable: the list is truncated at the gap (they re-derive
-   from better-placed information on later computes).  Compacting the gap
-   instead would understate distances and leak nodes across rejected
-   boundaries (DESIGN.md Section 5). *)
-let dedup_first t =
-  let seen = Hashtbl.create 16 in
-  let keep_level l =
-    List.filter
-      (fun e ->
-        if Hashtbl.mem seen e.id then false
-        else (
-          Hashtbl.replace seen e.id ();
-          true))
-      l
+  let lvls' =
+    Array.map
+      (filter_level (fun e -> e.mark = Mark.Clear || Node_id.equal e.id keep))
+      t.lvls
   in
-  let rec walk = function
-    | [] -> []
-    | l :: rest -> (
-        match keep_level l with [] -> [] | l' -> l' :: walk rest)
-  in
-  walk t
+  let n = ref (Array.length lvls') in
+  while !n > 0 && Array.length lvls'.(!n - 1) = 0 do
+    decr n
+  done;
+  let unchanged = ref (!n = Array.length t.lvls) in
+  if !unchanged then
+    Array.iteri (fun i l -> if l != t.lvls.(i) then unchanged := false) lvls';
+  if !unchanged then t else mk (Array.sub lvls' 0 !n)
 
-let merge a b = dedup_first (union_levels a b)
-let shift t = if t = [] then [] else [] :: t
-let ant l1 l2 = merge l1 (shift l2)
+let has_empty_level t = Array.exists (fun l -> Array.length l = 0) t.lvls
+
+(* Positionwise union of two sorted-unique levels: a linear two-pointer
+   merge; duplicate ids take the most severe mark. *)
+let union_level a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let out = Array.make (na + nb) a.(0) in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < na && !j < nb do
+      let ea = a.(!i) and eb = b.(!j) in
+      let c = Node_id.compare ea.id eb.id in
+      if c < 0 then begin
+        out.(!k) <- ea;
+        incr i
+      end
+      else if c > 0 then begin
+        out.(!k) <- eb;
+        incr j
+      end
+      else begin
+        out.(!k) <- { id = ea.id; mark = Mark.max ea.mark eb.mark };
+        incr i;
+        incr j
+      end;
+      incr k
+    done;
+    while !i < na do
+      out.(!k) <- a.(!i);
+      incr i;
+      incr k
+    done;
+    while !j < nb do
+      out.(!k) <- b.(!j);
+      incr j;
+      incr k
+    done;
+    if !k = na + nb then out else Array.sub out 0 !k
+  end
+
+(* The [⊕] operator: union the levels positionwise, then keep only the
+   first occurrence of every id, walking levels in distance order.  A level
+   emptied by the deduplication means every node that supported it is in
+   fact closer, so the distance claims of the deeper levels are unreliable:
+   the list is truncated at the gap (they re-derive from better-placed
+   information on later computes).  Compacting the gap instead would
+   understate distances and leak nodes across rejected boundaries
+   (DESIGN.md Section 5).
+
+   [off] shifts [b]'s levels [off] positions deeper without materializing
+   the shift: [merge_off 1 a b] is [a ⊕ r(b)], the [ant] fold step, minus
+   one array copy per application.
+
+   The first-occurrence set is a flat linear-scan buffer for the list
+   sizes the protocol actually produces (a handful of levels of a handful
+   of entries), falling back to a hashtable for the large lists the
+   scalability workloads build — allocating and hashing dominated the old
+   implementation on the common small case. *)
+let merge_off off a b =
+  let la = a.lvls and lb = b.lvls in
+  let na = Array.length la and nb = Array.length lb in
+  let n = max na (if nb = 0 then 0 else nb + off) in
+  let total = total_entries a + total_entries b in
+  let fresh =
+    if total > 48 then begin
+      let tbl = Hashtbl.create total in
+      fun id ->
+        if Hashtbl.mem tbl id then false
+        else begin
+          Hashtbl.replace tbl id ();
+          true
+        end
+    end
+    else begin
+      let buf = Array.make (max total 1) 0 in
+      let cnt = ref 0 in
+      fun id ->
+        let rec dup i = i < !cnt && (buf.(i) = id || dup (i + 1)) in
+        if dup 0 then false
+        else begin
+          buf.(!cnt) <- id;
+          incr cnt;
+          true
+        end
+    end
+  in
+  let pred e = fresh e.id in
+  let out = ref [] in
+  let levels_out = ref 0 in
+  (try
+     for i = 0 to n - 1 do
+       let bi = i - off in
+       let l =
+         if i >= na then if bi >= 0 && bi < nb then lb.(bi) else [||]
+         else if bi < 0 || bi >= nb then la.(i)
+         else union_level la.(i) lb.(bi)
+       in
+       let l' = filter_level pred l in
+       if Array.length l' = 0 then raise Exit;
+       out := l' :: !out;
+       incr levels_out
+     done
+   with Exit -> ());
+  let arr = Array.make !levels_out [||] in
+  List.iteri (fun i l -> arr.(!levels_out - 1 - i) <- l) !out;
+  mk arr
+
+let merge a b = merge_off 0 a b
+
+let shift t =
+  if Array.length t.lvls = 0 then t else mk (Array.append [| [||] |] t.lvls)
+
+let ant l1 l2 = merge_off 1 l1 l2
 
 let truncate t k =
-  let rec take k = function [] -> [] | l :: rest -> if k = 0 then [] else l :: take (k - 1) rest in
-  take k t
+  let n = Array.length t.lvls in
+  if k = 0 then empty else if k < 0 || k >= n then t else mk (Array.sub t.lvls 0 k)
 
-let restrict_clear t = compact (List.map (List.filter (fun e -> e.mark = Mark.Clear)) t)
+(* Drop all marked entries AND compact every level that ends up (or was)
+   empty, in one fused pass — the historical implementation filtered each
+   level and then traversed again to compact, allocating a closure per
+   call. *)
+let restrict_clear t =
+  let out = ref [] in
+  let kept_levels = ref 0 in
+  let changed = ref false in
+  Array.iter
+    (fun l ->
+      let l' = filter_level (fun e -> e.mark = Mark.Clear) l in
+      if l' != l then changed := true;
+      if Array.length l' = 0 then changed := true
+      else begin
+        out := l' :: !out;
+        incr kept_levels
+      end)
+    t.lvls;
+  if not !changed then t
+  else begin
+    let arr = Array.make !kept_levels [||] in
+    List.iteri (fun i l -> arr.(!kept_levels - 1 - i) <- l) !out;
+    mk arr
+  end
 
+(* Single pass over the cached index instead of the historical
+   entries + [List.sort_uniq] rescan: ids are distinct iff the first-
+   occurrence index covers every entry. *)
 let well_formed t =
   (not (has_empty_level t))
-  && (let all = entries t in
-      let distinct = List.sort_uniq Node_id.compare (List.map (fun (id, _, _) -> id) all) in
-      List.length distinct = List.length all)
-  && List.for_all (fun (_, pos, mark) -> mark = Mark.Clear || pos <= 1) (entries t)
+  && Hashtbl.length (index t) = total_entries t
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun pos l ->
+           if pos > 1 then
+             Array.iter (fun e -> if e.mark <> Mark.Clear then ok := false) l)
+         t.lvls;
+       !ok
+     end
 
+(* Same order as [Stdlib.compare] over the historical
+   list-of-levels-of-(id, mark) key: levels lexicographically, entries
+   within a level lexicographically, a missing level/entry sorting first. *)
 let compare a b =
-  let key t = List.map (List.map (fun e -> (e.id, e.mark))) t in
-  Stdlib.compare (key a) (key b)
+  if a == b then 0
+  else begin
+    let la = a.lvls and lb = b.lvls in
+    let na = Array.length la and nb = Array.length lb in
+    let rec go_level i =
+      if i >= na && i >= nb then 0
+      else if i >= na then -1
+      else if i >= nb then 1
+      else begin
+        let l1 = la.(i) and l2 = lb.(i) in
+        let m1 = Array.length l1 and m2 = Array.length l2 in
+        let rec go_entry j =
+          if j >= m1 && j >= m2 then go_level (i + 1)
+          else if j >= m1 then -1
+          else if j >= m2 then 1
+          else begin
+            let e1 = l1.(j) and e2 = l2.(j) in
+            let c = Stdlib.compare (e1.id, e1.mark) (e2.id, e2.mark) in
+            if c <> 0 then c else go_entry (j + 1)
+          end
+        in
+        go_entry 0
+      end
+    in
+    go_level 0
+  end
 
 let equal a b = compare a b = 0
 
@@ -149,6 +392,6 @@ let pp ppf t =
   in
   Format.fprintf ppf "(%a)"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp_level)
-    t
+    (levels t)
 
 let to_string t = Format.asprintf "%a" pp t

@@ -21,7 +21,13 @@
 type entry = { id : Node_id.t; mark : Mark.t }
 
 type t
-(** Immutable. *)
+(** Logically immutable.  Internally each level is a sorted array and the
+    membership queries ({!find}, {!mem}, {!ids}, {!clear_ids}, {!entries})
+    answer from per-value memo caches built on first use; unchanged levels
+    are shared structurally between values, so steady-state equality checks
+    degenerate to physical comparisons.  Values are domain-confined: build
+    and query a list within one domain (hand results across domains only
+    after a join), as the memo caches are unsynchronized. *)
 
 val empty : t
 (** The list with no levels (never sent; useful as a fold seed in tests). *)
@@ -94,8 +100,9 @@ val truncate : t -> int -> t
 (** Keep the first [k] levels (paper line 28). *)
 
 val restrict_clear : t -> t
-(** Drop all marked entries (no [keep] exception), compacting; used to
-    reason about the group skeleton in checkers and tests. *)
+(** Drop all marked entries (no [keep] exception), compacting empty levels
+    away, in a single fused pass; used to reason about the group skeleton
+    in checkers and tests. *)
 
 val well_formed : t -> bool
 (** Invariant of lists produced by [compute]: no duplicate ids across

@@ -1,0 +1,51 @@
+(* Work-stealing-free deterministic pool: a shared atomic next-task counter
+   and one result slot per task.  Writes to distinct slots from distinct
+   domains do not race, and [Domain.join] publishes them to the caller. *)
+
+type 'a slot = Empty | Value of 'a | Error of exn * Printexc.raw_backtrace
+
+let run_tasks n f results =
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (results.(i) <-
+           (match f i with
+           | v -> Value v
+           | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  worker
+
+let collect results =
+  Array.to_list
+    (Array.map
+       (function
+         | Value v -> v
+         | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+         | Empty -> assert false)
+       results)
+
+let map ~jobs n f =
+  if n <= 0 then []
+  else if jobs <= 1 || n = 1 then List.init n f
+  else begin
+    let results = Array.make n Empty in
+    let worker = run_tasks n f results in
+    let domains = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    (* The caller is a worker too: [jobs] domains total do the work, and a
+       pool asked for one job degenerates to the inline path above. *)
+    worker ();
+    List.iter Domain.join domains;
+    collect results
+  end
+
+let mapi_list ~jobs xs f =
+  let arr = Array.of_list xs in
+  map ~jobs (Array.length arr) (fun i -> f arr.(i))
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())

@@ -1,0 +1,37 @@
+(** Deterministic Domain-based work pool.
+
+    [map ~jobs n f] evaluates [f 0 .. f (n-1)] on up to [jobs] worker
+    domains and returns the results {e in task order}.  Tasks are claimed
+    from a shared atomic counter, so scheduling is dynamic, but because
+
+    - every task is a pure function of its index (callers derive per-task
+      randomness with {!Dgs_util.Rng.split_at}, never from shared streams),
+    - results land in a pre-sized slot array at their own index, and
+    - aggregation happens in the caller after all workers have joined,
+
+    the returned list is identical for every [jobs] value and every
+    interleaving.  The campaign runners in [Dgs_check.Fuzz] and
+    [Dgs_workload] rely on this to make [--jobs N] output byte-identical
+    to [--jobs 1].
+
+    With [jobs <= 1] (or [n <= 1]) no domain is spawned and the tasks run
+    inline in the caller, in index order — the sequential path {e is} the
+    parallel path with one worker, not a separate code path to drift.
+
+    Tasks must not share mutable state: each task builds its own network,
+    trace sinks, and RNG streams.  An exception raised by a task is
+    re-raised in the caller (the lowest-index failure wins, so error
+    reporting is deterministic too); remaining tasks are still completed
+    first, keeping the pool's join unconditional. *)
+
+val map : jobs:int -> int -> (int -> 'a) -> 'a list
+(** [map ~jobs n f] is [[f 0; f 1; ...; f (n-1)]], computed on
+    [min jobs n] domains.  [jobs <= 1] runs inline. *)
+
+val mapi_list : jobs:int -> 'a list -> ('a -> 'b) -> 'b list
+(** [mapi_list ~jobs xs f] maps [f] over [xs] with the same ordering and
+    determinism guarantees ([xs] is indexed internally). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to [>= 1] — what a CLI
+    [--jobs 0] ("auto") resolves to. *)

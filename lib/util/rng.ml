@@ -16,6 +16,19 @@ let bits64 t =
 
 let split t = { state = mix64 (bits64 t) }
 
+(* [split] advances the state by one gamma and mixes twice, so the i-th
+   sequential split of a generator in state [s] is fully determined by
+   [s + (i+1)*gamma] — which lets a work pool hand task [i] its generator
+   directly, without threading the master through the tasks in schedule
+   order. *)
+let split_at t i =
+  if i < 0 then invalid_arg "Rng.split_at: negative index";
+  {
+    state =
+      mix64
+        (mix64 (Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma)));
+  }
+
 (* Non-negative 62-bit int extracted from the top bits.  62 and not 63
    because [1 lsl 62] is [min_int] on 63-bit native ints — every scaling
    constant below must avoid that overflow. *)

@@ -16,6 +16,14 @@ val create : int -> t
 val split : t -> t
 (** [split t] derives an independent generator, advancing [t] once. *)
 
+val split_at : t -> int -> t
+(** [split_at t i] is the generator the [(i+1)]-th call of {!split} would
+    return, computed directly from [t]'s current state {e without} advancing
+    it.  [split_at t 0 = split (copy t)], [split_at t 1] equals the second
+    sequential split, and so on.  Because the derivation is a pure function
+    of [(state, i)], a parallel campaign can hand task [i] its stream in any
+    scheduling order and still reproduce the sequential campaign exactly. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing it. *)
 

@@ -3,6 +3,7 @@ module Graph = Dgs_graph.Graph
 module Rounds = Dgs_sim.Rounds
 module P = Dgs_spec.Predicates
 module Rng = Dgs_util.Rng
+module Pool = Dgs_parallel.Pool
 open Dgs_core
 
 (* One churn cycle: a random live node leaves the topology; a previously
@@ -60,7 +61,7 @@ let run_churn ~config ~dmax ~period ~rounds ~seed base =
     100.0 *. float_of_int !evictions /. float_of_int rounds,
     float_of_int !ghost_rounds /. float_of_int rounds )
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) () =
   let rounds = if quick then 100 else 400 in
   let n = if quick then 20 else 30 in
   let dmax = 3 in
@@ -76,17 +77,21 @@ let run ?(quick = false) () =
         ]
   in
   let base = Harness.rgg ~seed:31 ~n () in
-  List.iter
-    (fun period ->
-      let legit, ev, ghosts =
-        run_churn ~config ~dmax ~period ~rounds ~seed:(500 + period) base
-      in
-      Table.add_row table
+  let rows =
+    (* Each task copies [base] before churning it, so the shared graph is
+       only ever read concurrently. *)
+    Pool.mapi_list ~jobs
+      (if quick then [ 20; 50 ] else [ 10; 20; 40; 80 ])
+      (fun period ->
+        let legit, ev, ghosts =
+          run_churn ~config ~dmax ~period ~rounds ~seed:(500 + period) base
+        in
         [
           Table.cell_int period;
           Table.cell_float legit;
           Table.cell_float ev;
           Table.cell_float ghosts;
         ])
-    (if quick then [ 20; 50 ] else [ 10; 20; 40; 80 ]);
+  in
+  List.iter (Table.add_row table) rows;
   [ table ]

@@ -7,4 +7,4 @@
     the ghost-cleanup behavior (Proposition 2: departed nodes eventually
     vanish from every view). *)
 
-val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

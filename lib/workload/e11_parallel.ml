@@ -1,0 +1,68 @@
+module Table = Dgs_metrics.Table
+module Fuzz = Dgs_check.Fuzz
+module Oracle = Dgs_check.Oracle
+module Pool = Dgs_parallel.Pool
+
+(* A campaign that records every per-run oracle report in its canonical
+   JSON encoding, so two campaigns can be compared byte-for-byte. *)
+let timed_campaign ~jobs ~runs ~max_actions =
+  let reports = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let summary =
+    Fuzz.campaign ~jobs ~seed:42 ~runs ~max_actions
+      ~on_run:(fun _ _ report ->
+        reports := Oracle.report_to_json report :: !reports)
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (summary, List.rev !reports, wall)
+
+let run ?(quick = false) ?(jobs = 1) () =
+  let runs = if quick then 100 else 500 in
+  let max_actions = 10 in
+  (* The point of the experiment is the parallel path, so even a [jobs=1]
+     invocation compares against a multi-domain campaign; an explicit
+     [jobs > 1] chooses the width. *)
+  let par = if jobs > 1 then jobs else 4 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E11: parallel fuzz campaign (seed=42, %d runs, max-actions=%d) — \
+            wall clock and determinism vs jobs=1"
+           runs max_actions)
+      ~columns:
+        [
+          "jobs";
+          "wall clock (s)";
+          "scenarios/s";
+          "speedup";
+          "reports identical";
+          "failures";
+        ]
+  in
+  let seq_summary, seq_reports, seq_wall =
+    timed_campaign ~jobs:1 ~runs ~max_actions
+  in
+  let par_summary, par_reports, par_wall =
+    timed_campaign ~jobs:par ~runs ~max_actions
+  in
+  let results =
+    [
+      (1, seq_summary, seq_reports, seq_wall);
+      (par, par_summary, par_reports, par_wall);
+    ]
+  in
+  List.iter
+    (fun (j, summary, reports, wall) ->
+      Table.add_row table
+        [
+          Table.cell_int j;
+          Table.cell_float ~decimals:2 wall;
+          Table.cell_float ~decimals:0 (float_of_int runs /. wall);
+          Table.cell_float ~decimals:2 (seq_wall /. wall);
+          (if List.equal String.equal reports seq_reports then "yes" else "NO");
+          Table.cell_int (List.length summary.Fuzz.failures);
+        ])
+    results;
+  [ table ]

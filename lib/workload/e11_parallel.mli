@@ -1,0 +1,12 @@
+(** E11 — Parallel campaign speedup and determinism (implementation
+    experiment, beyond the paper's scope).
+
+    Runs the same fuzz campaign (master seed 42) sequentially and on a
+    {!Dgs_parallel.Pool} of several domains, reporting wall clock,
+    scenario throughput, speedup, and — the point — whether the per-run
+    oracle reports are byte-identical between the two executions
+    ({!Dgs_check.Oracle.report_to_json}).  Speedup is hardware-dependent
+    (1.0x on a single-core host); the "reports identical" column must
+    read "yes" everywhere. *)
+
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

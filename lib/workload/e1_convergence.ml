@@ -1,8 +1,9 @@
 module Table = Dgs_metrics.Table
 module Stats = Dgs_util.Stats
+module Pool = Dgs_parallel.Pool
 open Dgs_core
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) () =
   let sizes = if quick then [ 10; 20 ] else [ 10; 20; 40; 80 ] in
   let dmaxes = [ 2; 4 ] in
   let reps = if quick then 2 else 5 in
@@ -25,7 +26,7 @@ let run ?(quick = false) () =
         (fun dmax ->
           let config = Config.make ~dmax () in
           let runs =
-            List.init reps (fun r ->
+            Pool.map ~jobs reps (fun r ->
                 let seed = (n * 1000) + (dmax * 100) + r in
                 let g = Harness.rgg ~seed ~n () in
                 Harness.converge ~config ~seed:(seed + 1) g)

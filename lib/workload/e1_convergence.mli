@@ -4,4 +4,4 @@
     rounds-to-quiescence, message count and legitimacy of the final
     configuration per (n, Dmax). *)
 
-val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

@@ -1,11 +1,12 @@
 module Table = Dgs_metrics.Table
 module Gen = Dgs_graph.Gen
 module Stats = Dgs_util.Stats
+module Pool = Dgs_parallel.Pool
 open Dgs_core
 
 let topologies = [ ("line24", Gen.line 24); ("ring24", Gen.ring 24); ("grid5x5", Gen.grid 5 5) ]
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) () =
   let dmaxes = if quick then [ 1; 2; 4 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
   let reps = if quick then 2 else 5 in
   let table =
@@ -18,7 +19,8 @@ let run ?(quick = false) () =
         (fun dmax ->
           let config = Config.make ~dmax () in
           let runs =
-            List.init reps (fun r -> Harness.converge ~config ~seed:((dmax * 37) + r) g)
+            Pool.map ~jobs reps (fun r ->
+                Harness.converge ~config ~seed:((dmax * 37) + r) g)
           in
           let rounds =
             List.filter_map (fun c -> Option.map float_of_int c.Harness.rounds) runs

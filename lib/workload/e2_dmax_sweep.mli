@@ -3,4 +3,4 @@
     The quarantine alone costs Dmax computes per admission, so convergence
     should grow roughly linearly in Dmax. *)
 
-val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

@@ -4,6 +4,7 @@ module Rounds = Dgs_sim.Rounds
 module P = Dgs_spec.Predicates
 module Cfg = Dgs_spec.Configuration
 module Rng = Dgs_util.Rng
+module Pool = Dgs_parallel.Pool
 open Dgs_core
 
 let scenarios ~quick =
@@ -36,7 +37,7 @@ let mergeable_pairs ~dmax c =
   in
   count groups
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) () =
   let window = if quick then 50 else 300 in
   let table =
     Table.create ~title:"E3: predicate closure after stabilization"
@@ -52,29 +53,29 @@ let run ?(quick = false) () =
           "max diam";
         ]
   in
-  List.iter
-    (fun (name, g, dmax) ->
-      let config = Config.make ~dmax () in
-      let t = Rounds.create ~config g in
-      let rng = Rng.create 42 in
-      let converged =
-        Rounds.run_until_stable ~jitter:0.1 ~rng ~confirm:(dmax + 5) ~max_rounds:5000 t
-      in
-      let violations = ref 0 in
-      for _ = 1 to window do
-        ignore (Rounds.round ~jitter:0.1 ~rng t);
+  let rows =
+    Pool.mapi_list ~jobs (scenarios ~quick) (fun (name, g, dmax) ->
+        let config = Config.make ~dmax () in
+        let t = Rounds.create ~config g in
+        let rng = Rng.create 42 in
+        let converged =
+          Rounds.run_until_stable ~jitter:0.1 ~rng ~confirm:(dmax + 5)
+            ~max_rounds:5000 t
+        in
+        let violations = ref 0 in
+        for _ = 1 to window do
+          ignore (Rounds.round ~jitter:0.1 ~rng t);
+          let c = Harness.snapshot t g in
+          if P.agreement c <> None || P.safety ~dmax c <> None then incr violations
+        done;
         let c = Harness.snapshot t g in
-        if P.agreement c <> None || P.safety ~dmax c <> None then incr violations
-      done;
-      let c = Harness.snapshot t g in
-      let groups = Cfg.groups c in
-      let sizes = List.map Node_id.Set.cardinal groups in
-      let max_diam =
-        List.fold_left
-          (fun acc grp -> max acc (Dgs_graph.Paths.diameter_of_set g grp))
-          0 groups
-      in
-      Table.add_row table
+        let groups = Cfg.groups c in
+        let sizes = List.map Node_id.Set.cardinal groups in
+        let max_diam =
+          List.fold_left
+            (fun acc grp -> max acc (Dgs_graph.Paths.diameter_of_set g grp))
+            0 groups
+        in
         [
           name;
           (match converged with Some r -> string_of_int r | None -> "no");
@@ -86,5 +87,6 @@ let run ?(quick = false) () =
             (Dgs_util.Stats.mean (List.map float_of_int sizes));
           Table.cell_int max_diam;
         ])
-    (scenarios ~quick);
+  in
+  List.iter (Table.add_row table) rows;
   [ table ]

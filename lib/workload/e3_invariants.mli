@@ -4,4 +4,4 @@
     round for a long window; the table reports observed violations (the
     closure property demands 0) and the steady-state group statistics. *)
 
-val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

@@ -6,6 +6,7 @@ module Cfg = Dgs_spec.Configuration
 module P = Dgs_spec.Predicates
 module Rng = Dgs_util.Rng
 module Stats = Dgs_util.Stats
+module Pool = Dgs_parallel.Pool
 open Dgs_core
 
 let mergeable_pairs ~dmax c =
@@ -23,7 +24,7 @@ let mergeable_pairs ~dmax c =
   in
   count groups
 
-let scratch_table ~quick =
+let scratch_table ~quick ~jobs =
   let reps = if quick then 2 else 5 in
   let table =
     Table.create ~title:"E4a: merging from scratch (chains and loops of cliques)"
@@ -41,7 +42,7 @@ let scratch_table ~quick =
     (fun (name, g, dmax) ->
       let config = Config.make ~dmax () in
       let finals =
-        List.init reps (fun r ->
+        Pool.map ~jobs reps (fun r ->
             let t = Rounds.create ~config g in
             let rng = Rng.create (100 + r) in
             ignore
@@ -69,7 +70,7 @@ let scratch_table ~quick =
 
 (* Merge latency: stabilize two cliques apart, then add the bridge edge and
    count rounds until every node of both shares a single view. *)
-let latency_table ~quick =
+let latency_table ~quick ~jobs =
   let reps = if quick then 3 else 10 in
   let table =
     Table.create ~title:"E4b: merge latency after a bridge edge appears"
@@ -84,7 +85,7 @@ let latency_table ~quick =
     (fun (s1, s2, dmax) ->
       let config = Config.make ~dmax () in
       let results =
-        List.init reps (fun r ->
+        Pool.map ~jobs reps (fun r ->
             let g = Graph.create () in
             for i = 0 to s1 - 1 do
               Graph.add_node g i;
@@ -137,4 +138,5 @@ let latency_table ~quick =
     cases;
   table
 
-let run ?(quick = false) () = [ scratch_table ~quick; latency_table ~quick ]
+let run ?(quick = false) ?(jobs = 1) () =
+  [ scratch_table ~quick ~jobs; latency_table ~quick ~jobs ]

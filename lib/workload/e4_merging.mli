@@ -7,4 +7,4 @@
     adjacent groups get a bridge edge, and we count the rounds until they
     share one view. *)
 
-val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

@@ -1,8 +1,9 @@
 module Table = Dgs_metrics.Table
 module Mobility = Dgs_mobility.Mobility
+module Pool = Dgs_parallel.Pool
 open Dgs_core
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) () =
   let rounds = if quick then 80 else 400 in
   let n = if quick then 20 else 40 in
   let dmax = 3 in
@@ -48,26 +49,28 @@ let run ?(quick = false) () =
           } );
     ]
   in
-  List.iter
-    (fun speed ->
-      List.iter
-        (fun (name, spec) ->
-          let r =
-            Harness.run_mobility ~warmup:150 ~config
-              ~seed:(int_of_float (speed *. 1000.0) + 3)
-              ~spec ~n ~range:2.0 ~dt:1.0 ~rounds ()
-          in
-          Table.add_row table
-            [
-              name;
-              Table.cell_float speed;
-              Table.cell_int r.Harness.pt_preserving;
-              Table.cell_int r.Harness.pt_violating;
-              Table.cell_int r.Harness.evictions_under_pt;
-              Table.cell_int r.Harness.unjustified_evictions;
-              Table.cell_int r.Harness.evictions_total;
-              Table.cell_float ~decimals:1 r.Harness.mean_groups;
-            ])
-        (scenarios speed))
-    speeds;
+  let cases =
+    List.concat_map
+      (fun speed -> List.map (fun (name, spec) -> (speed, name, spec)) (scenarios speed))
+      speeds
+  in
+  let rows =
+    Pool.mapi_list ~jobs cases (fun (speed, name, spec) ->
+        let r =
+          Harness.run_mobility ~warmup:150 ~config
+            ~seed:(int_of_float (speed *. 1000.0) + 3)
+            ~spec ~n ~range:2.0 ~dt:1.0 ~rounds ()
+        in
+        [
+          name;
+          Table.cell_float speed;
+          Table.cell_int r.Harness.pt_preserving;
+          Table.cell_int r.Harness.pt_violating;
+          Table.cell_int r.Harness.evictions_under_pt;
+          Table.cell_int r.Harness.unjustified_evictions;
+          Table.cell_int r.Harness.evictions_total;
+          Table.cell_float ~decimals:1 r.Harness.mean_groups;
+        ])
+  in
+  List.iter (Table.add_row table) rows;
   [ table ]

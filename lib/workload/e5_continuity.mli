@@ -8,4 +8,4 @@
     expected (and counted) when the topology change breaks the group
     distance bound. *)
 
-val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

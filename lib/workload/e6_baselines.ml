@@ -4,6 +4,7 @@ module Paths = Dgs_graph.Paths
 module Mobility = Dgs_mobility.Mobility
 module Recluster = Dgs_baselines.Recluster
 module Stats = Dgs_util.Stats
+module Pool = Dgs_parallel.Pool
 open Dgs_core
 
 (* Replay a per-round topology trace through a reclustering baseline with
@@ -70,7 +71,7 @@ let baseline_round_metrics algo ~period ~dmax snapshots =
   in
   (Stats.summarize !lifetimes, !evictions, !unjustified, !node_rounds, stale)
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) () =
   let rounds = if quick then 100 else 500 in
   let n = if quick then 20 else 40 in
   let dmax = 4 in
@@ -107,41 +108,51 @@ let run ?(quick = false) () =
           { xmax = 12.0; ymax = 12.0; vmin = 0.02; vmax = 0.08; pause = 4.0 } );
     ]
   in
-  List.iter
-    (fun (name, spec) ->
-      let seed = 77 in
-      let grp =
-        Harness.run_mobility ~warmup:150 ~config ~seed ~spec ~n ~range:2.0 ~dt:1.0
-          ~rounds ()
-      in
-      let grp_rate x = 100.0 *. float_of_int x /. float_of_int (n * rounds) in
-      Table.add_row table
-        [
-          name;
-          "GRP";
-          Table.cell_summary grp.Harness.group_lifetime;
-          Table.cell_float (grp_rate grp.Harness.evictions_total);
-          Table.cell_float (grp_rate grp.Harness.unjustified_evictions);
-          Table.cell_float (100.0 *. grp.Harness.stale_member_fraction);
-        ];
-      let snapshots =
-        Harness.graph_snapshots ~seed ~spec ~n ~range:2.0 ~dt:1.0 ~every:1 ~rounds
-      in
-      List.iter
-        (fun algo ->
-          let lifetime, evictions, unjustified, node_rounds, stale =
-            baseline_round_metrics algo ~period ~dmax snapshots
-          in
-          let rate x = 100.0 *. float_of_int x /. float_of_int (max 1 node_rounds) in
-          Table.add_row table
+  let rows =
+    Pool.mapi_list ~jobs specs (fun (name, spec) ->
+        let seed = 77 in
+        let grp =
+          Harness.run_mobility ~warmup:150 ~config ~seed ~spec ~n ~range:2.0
+            ~dt:1.0 ~rounds ()
+        in
+        let grp_rate x = 100.0 *. float_of_int x /. float_of_int (n * rounds) in
+        let grp_row =
+          [
+            name;
+            "GRP";
+            Table.cell_summary grp.Harness.group_lifetime;
+            Table.cell_float (grp_rate grp.Harness.evictions_total);
+            Table.cell_float (grp_rate grp.Harness.unjustified_evictions);
+            Table.cell_float (100.0 *. grp.Harness.stale_member_fraction);
+          ]
+        in
+        let snapshots =
+          Harness.graph_snapshots ~seed ~spec ~n ~range:2.0 ~dt:1.0 ~every:1
+            ~rounds
+        in
+        let baseline_rows =
+          List.map
+            (fun algo ->
+              let lifetime, evictions, unjustified, node_rounds, stale =
+                baseline_round_metrics algo ~period ~dmax snapshots
+              in
+              let rate x =
+                100.0 *. float_of_int x /. float_of_int (max 1 node_rounds)
+              in
+              [
+                name;
+                Recluster.algorithm_name algo;
+                Table.cell_summary lifetime;
+                Table.cell_float (rate evictions);
+                Table.cell_float (rate unjustified);
+                Table.cell_float (100.0 *. stale);
+              ])
             [
-              name;
-              Recluster.algorithm_name algo;
-              Table.cell_summary lifetime;
-              Table.cell_float (rate evictions);
-              Table.cell_float (rate unjustified);
-              Table.cell_float (100.0 *. stale);
-            ])
-        [ Recluster.Maxmin (max 1 (dmax / 2)); Recluster.Lowest_id (max 1 (dmax / 2)) ])
-    specs;
+              Recluster.Maxmin (max 1 (dmax / 2));
+              Recluster.Lowest_id (max 1 (dmax / 2));
+            ]
+        in
+        grp_row :: baseline_rows)
+  in
+  List.iter (List.iter (Table.add_row table)) rows;
   [ table ]

@@ -8,4 +8,4 @@
     lifetime beats the baselines and that GRP evicts members only on
     ΠT violations while the baselines reshuffle membership freely. *)
 
-val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

@@ -3,6 +3,7 @@ module Rounds = Dgs_sim.Rounds
 module P = Dgs_spec.Predicates
 module Rng = Dgs_util.Rng
 module Stats = Dgs_util.Stats
+module Pool = Dgs_parallel.Pool
 open Dgs_core
 
 (* Under loss the lists never fully quiesce, so "convergence" is the first
@@ -33,7 +34,7 @@ let one_run ~config ~dmax ~loss ~corruption ~sends ~window ~seed g =
   (!first_legit, float_of_int !legit_rounds /. float_of_int window,
    100.0 *. float_of_int !evictions /. float_of_int window)
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) () =
   let n = if quick then 20 else 30 in
   let reps = if quick then 2 else 5 in
   let window = if quick then 50 else 150 in
@@ -75,7 +76,7 @@ let run ?(quick = false) () =
   List.iter
     (fun (loss, corruption, sends) ->
       let runs =
-        List.init reps (fun r ->
+        Pool.map ~jobs reps (fun r ->
             let seed = 900 + r in
             let g = Harness.rgg ~seed ~n () in
             one_run ~config ~dmax ~loss ~corruption ~sends ~window ~seed:(seed * 3) g)

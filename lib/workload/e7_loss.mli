@@ -5,4 +5,4 @@
     spurious evictions once losses make neighbors vanish from [msgSet] for
     a whole compute period. *)
 
-val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

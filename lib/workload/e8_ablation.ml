@@ -4,6 +4,7 @@ module Rounds = Dgs_sim.Rounds
 module Mobility = Dgs_mobility.Mobility
 module Stats = Dgs_util.Stats
 module Rng = Dgs_util.Rng
+module Pool = Dgs_parallel.Pool
 open Dgs_core
 
 let variants =
@@ -28,7 +29,7 @@ let lockstep_grid config =
   let t = Rounds.create ~config (Gen.grid 4 4) in
   Rounds.run_until_stable ~confirm:8 ~max_rounds:1500 t <> None
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) () =
   let reps = if quick then 2 else 4 in
   let dmax = 3 in
   let table =
@@ -47,7 +48,7 @@ let run ?(quick = false) () =
     (fun (name, make) ->
       let config = make dmax in
       let rgg_runs =
-        List.init reps (fun r ->
+        Pool.map ~jobs reps (fun r ->
             let g = Harness.rgg ~seed:(1300 + r) ~n:(if quick then 15 else 30) () in
             Harness.converge ~max_rounds:2000 ~config ~seed:(1400 + r) g)
       in

@@ -6,4 +6,4 @@
     static lowest-id priorities instead of oldness.  Each variant runs the
     convergence and merging workloads and a mild mobility trace. *)
 
-val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

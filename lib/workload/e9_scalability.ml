@@ -2,6 +2,7 @@ module Table = Dgs_metrics.Table
 module Rounds = Dgs_sim.Rounds
 module Rng = Dgs_util.Rng
 module Stats = Dgs_util.Stats
+module Pool = Dgs_parallel.Pool
 open Dgs_core
 
 let wall_clock_per_round ~config ~seed g =
@@ -14,7 +15,7 @@ let wall_clock_per_round ~config ~seed g =
   Rounds.run ~jitter:0.1 ~rng t batch;
   (Unix.gettimeofday () -. t0) /. float_of_int batch
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) () =
   let sizes = if quick then [ 25; 50 ] else [ 25; 50; 100; 200 ] in
   let reps = if quick then 2 else 3 in
   let dmax = 3 in
@@ -34,8 +35,11 @@ let run ?(quick = false) () =
   in
   List.iter
     (fun n ->
+      (* Only the convergence repetitions go on the pool: the ms/round
+         column below is a wall-clock measurement and must run alone in
+         the caller, or contending workers would inflate it. *)
       let runs =
-        List.init reps (fun r ->
+        Pool.map ~jobs reps (fun r ->
             let seed = 4000 + (n * 10) + r in
             let g = Harness.rgg ~seed ~n () in
             (Harness.converge ~max_rounds:4000 ~config ~seed:(seed + 1) g, g))

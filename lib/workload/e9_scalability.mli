@@ -5,4 +5,4 @@
     is fully local (per-compute work is bounded by the Dmax-neighborhood),
     so rounds should grow slowly with n while messages grow linearly. *)
 
-val run : ?quick:bool -> unit -> Dgs_metrics.Table.t list
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

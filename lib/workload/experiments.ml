@@ -1,7 +1,7 @@
 type t = {
   id : string;
   title : string;
-  run : ?quick:bool -> unit -> Dgs_metrics.Table.t list;
+  run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list;
 }
 
 let all =
@@ -16,10 +16,11 @@ let all =
     { id = "e8"; title = "Mechanism ablations"; run = E8_ablation.run };
     { id = "e9"; title = "Scalability with network size"; run = E9_scalability.run };
     { id = "e10"; title = "Node churn"; run = E10_churn.run };
+    { id = "e11"; title = "Parallel campaign speedup and determinism"; run = E11_parallel.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_and_print ?quick e =
+let run_and_print ?quick ?jobs e =
   Printf.printf "\n### %s — %s ###\n" (String.uppercase_ascii e.id) e.title;
-  List.iter Dgs_metrics.Table.print (e.run ?quick ())
+  List.iter Dgs_metrics.Table.print (e.run ?quick ?jobs ())

@@ -308,6 +308,24 @@ let test_arb_strip_marked_claims () =
            (fun (id, _, mark) -> mark = Mark.Clear || id = keep)
            (Antlist.entries s))
 
+let test_arb_restrict_clear_reference () =
+  (* Pins the fused single-pass [restrict_clear] to the obvious two-pass
+     model (filter each level to Clear entries, then drop emptied levels),
+     on arbitrary — including ill-formed — inputs. *)
+  for_all_seeds "restrict_clear = filter-then-compact reference" (fun rng ->
+      let l = Arbitrary.antlist rng in
+      let reference =
+        Antlist.of_levels
+          (Antlist.levels l
+          |> List.map
+               (List.filter_map (fun e ->
+                    if e.Antlist.mark = Mark.Clear then
+                      Some (e.Antlist.id, e.Antlist.mark)
+                    else None))
+          |> List.filter (fun lvl -> lvl <> []))
+      in
+      Antlist.equal (Antlist.restrict_clear l) reference)
+
 let test_arb_merge_dedup_on_junk () =
   (* Even on ill-formed inputs, ⊕ deduplicates: unique ids, each no farther
      than its best occurrence in either input. *)
@@ -338,6 +356,7 @@ let arbitrary_suite =
     ("arb: merge idempotent", `Quick, test_arb_merge_idempotent_exact);
     ("arb: truncate well-formed", `Quick, test_arb_truncate_well_formed);
     ("arb: restrict_clear well-formed", `Quick, test_arb_restrict_clear_well_formed);
+    ("arb: restrict_clear matches reference", `Quick, test_arb_restrict_clear_reference);
     ("arb: ant well-formed after strip", `Quick, test_arb_ant_well_formed);
     ("arb: strip_marked contract", `Quick, test_arb_strip_marked_claims);
     ("arb: merge dedups junk", `Quick, test_arb_merge_dedup_on_junk);

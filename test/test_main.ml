@@ -19,4 +19,5 @@ let () =
       ("workload", Test_workload.suite);
       ("trace", Test_trace.suite);
       ("check", Test_check.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -8,7 +8,7 @@ module Table = Dgs_metrics.Table
 let check = Alcotest.(check bool)
 
 let test_registry () =
-  check "ten experiments" true (List.length Experiments.all = 10);
+  check "eleven experiments" true (List.length Experiments.all = 11);
   List.iteri
     (fun i e ->
       check "ids ordered" true (e.Experiments.id = Printf.sprintf "e%d" (i + 1)))
