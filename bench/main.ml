@@ -31,6 +31,7 @@ module Harness = Dgs_workload.Harness
 module Experiments = Dgs_workload.Experiments
 module Rng = Dgs_util.Rng
 module Trace = Dgs_trace.Trace
+module Registry = Dgs_metrics.Registry
 open Dgs_core
 
 (* --- the subjects --- *)
@@ -94,6 +95,55 @@ let bench_compute_traced =
       (Trace.Counting.sink (Trace.Counting.create ()));
     subject ~name:"e3: compute() ring trace"
       (Trace.Ring.sink (Trace.Ring.create ~capacity:4096));
+  ]
+
+let bench_compute_metrics =
+  (* Metrics overhead on the E3 inner loop: the same compute() subject with
+     the null registry (what a run without --metrics pays — the registry
+     analogue of the null-trace row above) and with a live registry.  The
+     acceptance bar is the disabled row within 2% of the plain compute()
+     baseline; BENCH_*.json snapshots record the measured numbers. *)
+  let subject ~name metrics =
+    let config = Config.make ~dmax:3 () in
+    let nodes = List.init 6 (fun i -> Grp_node.create ~config ~metrics i) in
+    for _ = 1 to 5 do
+      let msgs = List.map Grp_node.make_message nodes in
+      List.iter (fun n -> List.iter (Grp_node.receive n) msgs) nodes;
+      List.iter (fun n -> ignore (Grp_node.compute n)) nodes
+    done;
+    let target = List.hd nodes in
+    let msgs = List.map Grp_node.make_message (List.tl nodes) in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           List.iter (Grp_node.receive target) msgs;
+           Grp_node.compute target))
+  in
+  [
+    subject ~name:"e3: compute() metrics disabled" Registry.null;
+    subject ~name:"e3: compute() metrics registry" (Registry.create ());
+  ]
+
+let bench_ant_merge_metrics =
+  (* E1/E2 inner loop under a live registry: fold_ant on a node carrying
+     metered handles, against the unmetered merge row above. *)
+  let subject ~name metrics =
+    let config = Config.make ~dmax:3 () in
+    let nodes = List.init 6 (fun i -> Grp_node.create ~config ~metrics i) in
+    for _ = 1 to 5 do
+      let msgs = List.map Grp_node.make_message nodes in
+      List.iter (fun n -> List.iter (Grp_node.receive n) msgs) nodes;
+      List.iter (fun n -> ignore (Grp_node.compute n)) nodes
+    done;
+    let target = List.hd nodes in
+    let msg = Grp_node.make_message (List.nth nodes 1) in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           Grp_node.receive target msg;
+           Grp_node.compute target))
+  in
+  [
+    subject ~name:"e1/e2: merge step metrics disabled" Registry.null;
+    subject ~name:"e1/e2: merge step metrics registry" (Registry.create ());
   ]
 
 let bench_predicates =
@@ -179,7 +229,7 @@ let bench_maxmin =
 let micro_benchmarks ~quick () =
   let tests =
     [ bench_ant_merge; bench_compute ]
-    @ bench_compute_traced
+    @ bench_compute_traced @ bench_compute_metrics @ bench_ant_merge_metrics
     @ [
       bench_predicates;
       bench_diameter;
@@ -210,25 +260,28 @@ let micro_benchmarks ~quick () =
     tests
 
 (* Timed fuzz campaign for the JSON snapshot: the same fixed workload at
-   jobs=1 and jobs=4, so committed baselines track end-to-end campaign
-   throughput alongside the micro numbers. *)
+   jobs=1 and jobs=4 with metrics off, plus a jobs=1 metrics-on row, so
+   committed baselines track end-to-end campaign throughput (and the
+   whole-campaign metering cost) alongside the micro numbers. *)
 let campaign_timings ~quick () =
   let runs = if quick then 50 else 500 in
   let max_actions = 10 in
   List.map
-    (fun jobs ->
+    (fun (jobs, metrics) ->
       let t0 = Unix.gettimeofday () in
-      let s = Dgs_check.Fuzz.campaign ~jobs ~seed:42 ~runs ~max_actions () in
+      let s =
+        Dgs_check.Fuzz.campaign ~jobs ~metrics ~seed:42 ~runs ~max_actions ()
+      in
       let wall = Unix.gettimeofday () -. t0 in
-      (jobs, runs, max_actions, wall, List.length s.Dgs_check.Fuzz.failures))
-    [ 1; 4 ]
+      (jobs, metrics, runs, max_actions, wall, List.length s.Dgs_check.Fuzz.failures))
+    [ (1, false); (4, false); (1, true) ]
 
 let write_json path ~micro ~campaigns =
   let b = Buffer.create 2048 in
   let tm = Unix.gmtime (Unix.time ()) in
   Buffer.add_string b
     (Printf.sprintf
-       "{\n  \"schema\": 1,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+       "{\n  \"schema\": 2,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
        (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
        tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec);
   Buffer.add_string b
@@ -242,12 +295,13 @@ let write_json path ~micro ~campaigns =
     micro;
   Buffer.add_string b "  },\n  \"fuzz_campaign\": [\n";
   List.iteri
-    (fun i (jobs, runs, max_actions, wall, failures) ->
+    (fun i (jobs, metrics, runs, max_actions, wall, failures) ->
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"jobs\": %d, \"runs\": %d, \"max_actions\": %d, \"wall_s\": \
-            %.3f, \"scenarios_per_s\": %.1f, \"failures\": %d}%s\n"
-           jobs runs max_actions wall
+           "    {\"jobs\": %d, \"metrics\": %b, \"runs\": %d, \"max_actions\": \
+            %d, \"wall_s\": %.3f, \"scenarios_per_s\": %.1f, \"failures\": \
+            %d}%s\n"
+           jobs metrics runs max_actions wall
            (float_of_int runs /. wall)
            failures
            (if i = List.length campaigns - 1 then "" else ",")))

@@ -7,7 +7,13 @@
      experiment  run one of the E1..E10 experiment suites
      fuzz        random churn/rewiring/loss scenarios against the invariant
                  oracles, with shrinking and replayable repro files
-     list        list available experiments and topologies *)
+     report      post-mortem analysis of a recorded trace / metrics file
+     list        list available experiments and topologies
+
+   Observability: --trace FILE records a JSONL event trace, --metrics FILE
+   a metrics-registry snapshot (JSON, or Prometheus text for .prom paths);
+   both are documented in docs/OBSERVABILITY.md and consumed offline by
+   `grp_sim report`. *)
 
 module Gen = Dgs_graph.Gen
 module Rounds = Dgs_sim.Rounds
@@ -18,6 +24,9 @@ module Mobility = Dgs_mobility.Mobility
 module Harness = Dgs_workload.Harness
 module Experiments = Dgs_workload.Experiments
 module Trace = Dgs_trace.Trace
+module Postmortem = Dgs_trace.Postmortem
+module Registry = Dgs_metrics.Registry
+module Names = Dgs_metrics.Names
 open Dgs_core
 open Cmdliner
 
@@ -107,6 +116,62 @@ let trace_filter_arg =
            'view_changed,quarantine_admit'); case-insensitive.  Default: all \
            kinds.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write metrics-registry snapshot(s) to $(docv): Prometheus text \
+           exposition when $(docv) ends in .prom, deterministic JSON \
+           otherwise (one object per line when several snapshots are \
+           recorded).  See docs/OBSERVABILITY.md for the schema.")
+
+let metrics_interval_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-interval" ] ~docv:"N"
+        ~doc:
+          "With --metrics, also snapshot the registry every $(docv) rounds; \
+           the file becomes a JSONL of interval snapshots followed by the \
+           final one.")
+
+let trace_list_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-list" ]
+        ~doc:
+          "Print the trace event kinds accepted by --trace-filter, one per \
+           line, and exit.")
+
+(* The registry the --metrics option asks for: the null registry keeps the
+   whole run on the one-load-and-branch disabled path when no file was
+   requested. *)
+let metrics_registry metrics_file =
+  if metrics_file = None then Registry.null else Registry.create ()
+
+let write_metrics path snaps =
+  match snaps with
+  | [] -> ()
+  | _ -> (
+      let prom = Filename.check_suffix path ".prom" in
+      try
+        let oc = open_out path in
+        List.iter
+          (fun s ->
+            if prom then output_string oc (Registry.to_prometheus s)
+            else begin
+              output_string oc (Registry.to_json s);
+              output_char oc '\n'
+            end)
+          snaps;
+        close_out oc;
+        Printf.printf "metrics written to %s\n" path
+      with Sys_error msg ->
+        Printf.eprintf "grp_sim: cannot write metrics: %s\n" msg;
+        exit 2)
+
 (* Run [k] with the sink the --trace/--trace-filter options ask for, teeing
    an unfiltered ring capture of the view changes out of which the
    convergence timeline is computed. *)
@@ -161,45 +226,76 @@ let report_config c dmax =
     ]
 
 let converge_term =
-  let run (tname, tf) n dmax seed verbose trace_file trace_filter =
-    let g = tf n seed in
-    let config = Config.make ~dmax () in
-    with_trace_sink trace_file trace_filter (fun sink ring ->
-        let t = Rounds.create ~config ~trace:sink g in
-        let rng = Dgs_util.Rng.create seed in
-        let monitor = Monitor.create ~dmax in
-        let on_round =
-          (* The per-round predicate sweep behind the convergence timeline
-             is only paid for when a trace was asked for. *)
-          if trace_file = None then None
-          else
-            Some
-              (fun r ->
-                Monitor.observe_at monitor ~time:(float_of_int r)
-                  (Harness.snapshot t g))
-        in
-        let rounds =
-          Rounds.run_until_stable ~jitter:0.1 ~rng ?on_round ~confirm:(dmax + 5)
-            ~max_rounds:10_000 t
-        in
-        Printf.printf "topology %s, %d nodes, Dmax=%d\n" tname
-          (Dgs_graph.Graph.node_count g) dmax;
-        (match rounds with
-        | Some r ->
-            Printf.printf "stabilized after %d rounds (%d messages)\n" r
-              (Rounds.messages_sent t)
-        | None -> Printf.printf "did not stabilize within the round budget\n");
-        if verbose then
-          List.iter
-            (fun v ->
-              let nd = Rounds.node t v in
-              Format.printf "  %a@." Grp_node.pp nd)
-            (Rounds.node_ids t);
-        report_config (Harness.snapshot t g) dmax;
-        if trace_file <> None then begin
-          Format.printf "%a@." Monitor.pp_timeline (Monitor.timeline monitor);
-          report_view_stabilization ring
-        end)
+  let run (tname, tf) n dmax seed verbose trace_file trace_filter metrics_file
+      metrics_interval trace_list =
+    if trace_list then List.iter print_endline Trace.kinds
+    else begin
+      let g = tf n seed in
+      let config = Config.make ~dmax () in
+      with_trace_sink trace_file trace_filter (fun sink ring ->
+          let reg = metrics_registry metrics_file in
+          let t = Rounds.create ~config ~trace:sink ~metrics:reg g in
+          let rng = Dgs_util.Rng.create seed in
+          let monitor = Monitor.create ~dmax in
+          let interval_snaps = ref [] in
+          let on_round =
+            (* The per-round predicate sweep behind the convergence timeline
+               is only paid for when a trace was asked for. *)
+            let monitor_hook =
+              if trace_file = None then None
+              else
+                Some
+                  (fun r ->
+                    Monitor.observe_at monitor ~time:(float_of_int r)
+                      (Harness.snapshot t g))
+            in
+            let metrics_hook =
+              match (metrics_file, metrics_interval) with
+              | Some _, Some k when k > 0 ->
+                  Some
+                    (fun r ->
+                      if r mod k = 0 then
+                        interval_snaps :=
+                          Registry.snapshot ~jobs:1 reg :: !interval_snaps)
+              | _ -> None
+            in
+            match (monitor_hook, metrics_hook) with
+            | None, None -> None
+            | Some f, None | None, Some f -> Some f
+            | Some f, Some h ->
+                Some
+                  (fun r ->
+                    f r;
+                    h r)
+          in
+          let rounds =
+            Rounds.run_until_stable ~jitter:0.1 ~rng ?on_round
+              ~confirm:(dmax + 5) ~max_rounds:10_000 t
+          in
+          Printf.printf "topology %s, %d nodes, Dmax=%d\n" tname
+            (Dgs_graph.Graph.node_count g) dmax;
+          (match rounds with
+          | Some r ->
+              Printf.printf "stabilized after %d rounds (%d messages)\n" r
+                (Rounds.messages_sent t)
+          | None -> Printf.printf "did not stabilize within the round budget\n");
+          if verbose then
+            List.iter
+              (fun v ->
+                let nd = Rounds.node t v in
+                Format.printf "  %a@." Grp_node.pp nd)
+              (Rounds.node_ids t);
+          report_config (Harness.snapshot t g) dmax;
+          if trace_file <> None then begin
+            Format.printf "%a@." Monitor.pp_timeline (Monitor.timeline monitor);
+            report_view_stabilization ring
+          end;
+          match metrics_file with
+          | None -> ()
+          | Some path ->
+              write_metrics path
+                (List.rev !interval_snaps @ [ Registry.snapshot ~jobs:1 reg ]))
+    end
   in
   let topology =
     Arg.(
@@ -209,7 +305,7 @@ let converge_term =
   in
   Term.(
     const run $ topology $ nodes_arg $ dmax_arg $ seed_arg $ verbose_arg $ trace_arg
-    $ trace_filter_arg)
+    $ trace_filter_arg $ metrics_arg $ metrics_interval_arg $ trace_list_arg)
 
 let converge_cmd =
   Cmd.v (Cmd.info "converge" ~doc:"Run GRP on a static topology until quiescent.")
@@ -243,7 +339,7 @@ let mobility_specs speed =
   ]
 
 let mobility_cmd =
-  let run model n dmax seed speed rounds trace_file trace_filter =
+  let run model n dmax seed speed rounds trace_file trace_filter metrics_file =
     match List.assoc_opt model (mobility_specs speed) with
     | None ->
         Printf.eprintf "unknown mobility model %S (try: highway, waypoint, walk, manhattan)\n"
@@ -253,11 +349,16 @@ let mobility_cmd =
         let config = Config.make ~dmax () in
         let r =
           with_trace_sink trace_file trace_filter (fun sink ring ->
+              let reg = metrics_registry metrics_file in
               let r =
-                Harness.run_mobility ~trace:sink ~config ~seed ~spec ~n ~range:2.0
-                  ~dt:1.0 ~rounds ()
+                Harness.run_mobility ~trace:sink ~metrics:reg ~config ~seed
+                  ~spec ~n ~range:2.0 ~dt:1.0 ~rounds ()
               in
               report_view_stabilization ring;
+              (match metrics_file with
+              | None -> ()
+              | Some path ->
+                  write_metrics path [ Registry.snapshot ~jobs:1 reg ]);
               r)
         in
         Printf.printf "mobility %s, %d nodes, Dmax=%d, speed %.3f, %d rounds\n" model n
@@ -288,7 +389,7 @@ let mobility_cmd =
     (Cmd.info "mobility" ~doc:"Run GRP under a mobility model and report continuity.")
     Term.(
       const run $ model $ nodes_arg $ dmax_arg $ seed_arg $ speed $ rounds $ trace_arg
-      $ trace_filter_arg)
+      $ trace_filter_arg $ metrics_arg)
 
 let experiment_cmd =
   let export dir e tables =
@@ -307,23 +408,37 @@ let experiment_cmd =
             Printf.printf "wrote %s\n" path)
           tables
   in
-  let run_one quick jobs csv e =
+  (* Experiments are metered from out here — a labelled wall-clock timer
+     and a table counter per suite — rather than plumbing the registry
+     through every E1..E11 driver. *)
+  let run_one reg quick jobs csv e =
     Printf.printf "\n### %s — %s ###\n" (String.uppercase_ascii e.Experiments.id)
       e.Experiments.title;
-    let tables = e.Experiments.run ~quick ~jobs () in
+    let tm =
+      Registry.timer reg
+        (Registry.labelled Names.experiment_ns [ ("id", e.Experiments.id) ])
+    in
+    let tables = Registry.Timer.time tm (fun () -> e.Experiments.run ~quick ~jobs ()) in
+    Registry.Counter.add
+      (Registry.counter reg Names.experiment_tables_total)
+      (List.length tables);
     List.iter Dgs_metrics.Table.print tables;
     export csv e tables
   in
-  let run id quick jobs csv =
+  let run id quick jobs csv metrics_file =
     let jobs = resolve_jobs jobs in
-    match id with
-    | "all" -> List.iter (run_one quick jobs csv) Experiments.all
+    let reg = metrics_registry metrics_file in
+    (match id with
+    | "all" -> List.iter (run_one reg quick jobs csv) Experiments.all
     | _ -> (
         match Experiments.find id with
-        | Some e -> run_one quick jobs csv e
+        | Some e -> run_one reg quick jobs csv e
         | None ->
             Printf.eprintf "unknown experiment %S (e1..e11 or all)\n" id;
-            exit 1)
+            exit 1));
+    match metrics_file with
+    | None -> ()
+    | Some path -> write_metrics path [ Registry.snapshot ~jobs reg ]
   in
   let id =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (e1..e11, all).")
@@ -339,11 +454,17 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the evaluation experiments.")
-    Term.(const run $ id $ quick $ jobs_arg $ csv)
+    Term.(const run $ id $ quick $ jobs_arg $ csv $ metrics_arg)
 
 let fuzz_cmd =
-  let run seed runs max_actions jobs replay strict repro_dir =
+  let run seed runs max_actions jobs replay strict repro_dir trace_file
+      trace_filter metrics_file =
     let jobs = resolve_jobs jobs in
+    if trace_file <> None && replay = None then begin
+      Printf.eprintf
+        "grp_sim: fuzz --trace records a single replay; use it with --replay\n";
+      exit 2
+    end;
     let oracle = { Dgs_check.Oracle.default with strict_continuity = strict } in
     match replay with
     | Some path -> (
@@ -359,15 +480,34 @@ let fuzz_cmd =
             exit 2
         | Some sc ->
             Format.printf "replaying %a@." Dgs_check.Scenario.pp sc;
-            let r = Dgs_check.Fuzz.replay ~oracle sc in
+            let reg = metrics_registry metrics_file in
+            let r =
+              with_trace_sink trace_file trace_filter (fun sink _ring ->
+                  Dgs_check.Fuzz.replay ~oracle ~trace:sink ~metrics:reg sc)
+            in
             Format.printf "%a@." Dgs_check.Oracle.pp_report r;
+            (match metrics_file with
+            | None -> ()
+            | Some path -> write_metrics path [ Registry.snapshot ~jobs:1 reg ]);
             (* Non-stabilization (e.g. a livelock) is a failure even when
                no predicate fired: a repro that no longer quiesces has not
                been fixed. *)
             exit (if Dgs_check.Oracle.failed r || not r.Dgs_check.Oracle.stabilized then 1 else 0))
     | None ->
-        let s = Dgs_check.Fuzz.campaign ~oracle ~jobs ~seed ~runs ~max_actions () in
+        let s =
+          Dgs_check.Fuzz.campaign ~oracle ~jobs ~seed ~runs ~max_actions
+            ~metrics:(metrics_file <> None) ()
+        in
         Format.printf "%a@." Dgs_check.Fuzz.pp_summary s;
+        (match (metrics_file, s.Dgs_check.Fuzz.metrics) with
+        | Some path, Some merged ->
+            (* One JSONL line per scenario — each a pure function of the
+               scenario, so the stream is identical for every --jobs —
+               then the whole-campaign merge as the last line. *)
+            let stamp snap = { snap with Registry.jobs = Some jobs } in
+            write_metrics path
+              (List.map stamp s.Dgs_check.Fuzz.run_snapshots @ [ merged ])
+        | _ -> ());
         (match repro_dir with
         | Some dir when s.Dgs_check.Fuzz.failures <> [] ->
             if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -419,7 +559,108 @@ let fuzz_cmd =
           still-failing script.  Exits non-zero when a violation was found.")
     Term.(
       const run $ seed_arg $ runs $ max_actions $ jobs_arg $ replay $ strict
-      $ repro_dir)
+      $ repro_dir $ trace_arg $ trace_filter_arg $ metrics_arg)
+
+let report_cmd =
+  let read_lines path =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  let run trace_file metrics_file csv_dir =
+    if trace_file = None && metrics_file = None then begin
+      Printf.eprintf "grp_sim report: need --trace FILE and/or --metrics FILE\n";
+      exit 2
+    end;
+    (match trace_file with
+    | None -> ()
+    | Some path -> (
+        match Trace.Jsonl.load path with
+        | exception Sys_error msg ->
+            Printf.eprintf "grp_sim: %s\n" msg;
+            exit 2
+        | [] ->
+            Printf.eprintf "grp_sim: no trace events in %s\n" path;
+            exit 2
+        | events -> (
+            let a = Postmortem.analyze events in
+            print_string (Postmortem.render a);
+            print_newline ();
+            match csv_dir with
+            | None -> ()
+            | Some dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                List.iter
+                  (fun (base, content) ->
+                    let p = Filename.concat dir base in
+                    let oc = open_out p in
+                    output_string oc content;
+                    close_out oc;
+                    Printf.printf "wrote %s\n" p)
+                  (Postmortem.csv_exports a))));
+    match metrics_file with
+    | None -> ()
+    | Some path -> (
+        match read_lines path with
+        | exception Sys_error msg ->
+            Printf.eprintf "grp_sim: %s\n" msg;
+            exit 2
+        | lines -> (
+            let snaps =
+              List.filter_map Registry.snapshot_of_json
+                (List.filter (fun l -> String.trim l <> "") lines)
+            in
+            match snaps with
+            | [] ->
+                Printf.eprintf
+                  "grp_sim: no metrics snapshots parsed from %s (JSON/JSONL \
+                   as written by --metrics; .prom files are not readable \
+                   back)\n"
+                  path;
+                exit 2
+            | _ ->
+                print_string (Postmortem.render_snapshots snaps);
+                print_newline ()))
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Analyze a JSONL event trace recorded with --trace.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Render metrics snapshot(s) recorded with --metrics (JSON or \
+             JSONL).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:
+            "Also export the trace analysis (timeline, stabilization, \
+             evictions, distributions) as CSV files into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Post-mortem analysis of a recorded run: convergence timeline, \
+          per-node view stabilization, eviction chains and group size / \
+          lifetime distributions from a trace file, plus rendered metrics \
+          snapshots — without re-running the simulation.")
+    Term.(const run $ trace $ metrics $ csv)
 
 let list_cmd =
   let run () =
@@ -428,9 +669,16 @@ let list_cmd =
     Printf.printf "experiments:\n";
     List.iter
       (fun e -> Printf.printf "  %-4s %s\n" e.Experiments.id e.Experiments.title)
-      Experiments.all
+      Experiments.all;
+    Printf.printf "trace event kinds (--trace-filter):\n";
+    List.iter (fun k -> Printf.printf "  %s\n" k) Trace.kinds;
+    Printf.printf "metric families (--metrics):\n";
+    List.iter (fun m -> Printf.printf "  %s\n" m) Names.all
   in
-  Cmd.v (Cmd.info "list" ~doc:"List topologies and experiments.") Term.(const run $ const ())
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:"List topologies, experiments, trace event kinds and metric families.")
+    Term.(const run $ const ())
 
 let () =
   let doc = "Best-effort group service in dynamic networks (GRP) — simulator" in
@@ -441,4 +689,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:converge_term info
-          [ converge_cmd; mobility_cmd; experiment_cmd; fuzz_cmd; list_cmd ]))
+          [
+            converge_cmd;
+            mobility_cmd;
+            experiment_cmd;
+            fuzz_cmd;
+            report_cmd;
+            list_cmd;
+          ]))

@@ -25,17 +25,29 @@ let stats_monotone (p : net_stats) (s : net_stats) =
   && s.medium.Medium.losses >= p.medium.Medium.losses
   && s.medium.Medium.drops >= p.medium.Medium.drops
 
-let run ?(oracle = Oracle.default) ?(protocol = Fun.id) (sc : Scenario.t) :
-    Oracle.report =
+let run ?(oracle = Oracle.default) ?(protocol = Fun.id)
+    ?(trace = Trace.null) ?(metrics = Dgs_metrics.Registry.null)
+    (sc : Scenario.t) : Oracle.report =
+  let module Registry = Dgs_metrics.Registry in
+  let module Names = Dgs_metrics.Names in
   let cfg = oracle in
+  let m_poll = Registry.counter metrics Names.oracle_poll_total in
+  let m_poll_ns = Registry.timer metrics Names.oracle_poll_ns in
   let counting = Trace.Counting.create () in
-  let engine = Engine.create ~trace:(Trace.Counting.sink counting) () in
+  let engine_trace =
+    (* The counting sink is the executor's own (engine-fire accounting);
+       an external trace tees in only when one was actually passed. *)
+    if Trace.enabled trace then
+      Trace.tee (Trace.Counting.sink counting) trace
+    else Trace.Counting.sink counting
+  in
+  let engine = Engine.create ~trace:engine_trace ~metrics () in
   let rng = Rng.create sc.seed in
   let graph = Scenario.build sc.topology in
   let config = protocol (Config.make ~dmax:sc.dmax ()) in
   let net =
     Net.create ~engine ~rng ~config ~tau_c ~tau_s ~loss:sc.loss
-      ~corruption:sc.corruption
+      ~corruption:sc.corruption ~trace ~metrics
       ~topology:(fun () -> graph)
       ~nodes:(Graph.nodes graph) ()
   in
@@ -186,19 +198,23 @@ let run ?(oracle = Oracle.default) ?(protocol = Fun.id) (sc : Scenario.t) :
     else sc.dmax + 5
   in
   let deadline = Engine.now engine +. cfg.Oracle.quiescence_budget in
+  let poll () =
+    Registry.Counter.incr m_poll;
+    Registry.Timer.time m_poll_ns (fun () -> Net.state_signature net)
+  in
   (* Most recent signature first; only consulted if the budget runs out. *)
-  let history = ref [ Net.state_signature net ] in
+  let history = ref [ poll () ] in
   let rec wait stable last =
     if stable >= confirm then Some (Engine.now engine)
     else if Engine.now engine >= deadline then None
     else begin
       Net.run_until net (Engine.now engine +. tau_c);
-      let s = Net.state_signature net in
+      let s = poll () in
       history := s :: !history;
       if String.equal s last then wait (stable + 1) s else wait 0 s
     end
   in
-  let quiesce_time = wait 0 (Net.state_signature net) in
+  let quiesce_time = wait 0 (poll ()) in
   let stabilized = quiesce_time <> None in
   let t_end = Engine.now engine in
   (* Livelock: a non-quiescent run whose recent signatures provably repeat

@@ -29,10 +29,23 @@ val initial_grace : float
 val run :
   ?oracle:Oracle.config ->
   ?protocol:(Dgs_core.Config.t -> Dgs_core.Config.t) ->
+  ?trace:Dgs_trace.Trace.t ->
+  ?metrics:Dgs_metrics.Registry.t ->
   Scenario.t ->
   Oracle.report
 (** [protocol] post-processes the protocol configuration built from the
     scenario (default: identity).  Used by ablation tests to replay a
     pinned scenario with a protocol mechanism switched off — e.g. proving
     that a regression script livelocks again without the contest
-    cooldown.  It must not change [dmax], which the scenario owns. *)
+    cooldown.  It must not change [dmax], which the scenario owns.
+
+    [trace] (default {!Dgs_trace.Trace.null}) receives the full event
+    stream of the replay — engine, medium and protocol events, stamped
+    with simulation time — which is what [grp_sim report] post-mortems.
+
+    [metrics] (default {!Dgs_metrics.Registry.null}) is threaded to the
+    engine, the medium and every node, and additionally receives
+    [oracle_poll_total] / [oracle_poll_ns] around each quiescence-phase
+    state-signature poll.  All counters it accumulates are pure functions
+    of the scenario (the simulation is deterministic per seed); only the
+    [_ns] timer values are wall clock. *)

@@ -1,5 +1,7 @@
 module Rng = Dgs_util.Rng
 module Pool = Dgs_parallel.Pool
+module Registry = Dgs_metrics.Registry
+module Names = Dgs_metrics.Names
 
 type failure = {
   run : int;
@@ -17,9 +19,11 @@ type summary = {
   stabilized_runs : int;
   total_evictions : int;
   maximality_gaps : int;
+  run_snapshots : Registry.snapshot list;
+  metrics : Registry.snapshot option;
 }
 
-let replay ?oracle sc = Executor.run ?oracle sc
+let replay ?oracle ?trace ?metrics sc = Executor.run ?oracle ?trace ?metrics sc
 
 (* One whole task: generate, execute, judge, and (on failure) shrink.
    A pure function of [(master state, run index)] — per-run randomness is
@@ -27,15 +31,32 @@ let replay ?oracle sc = Executor.run ?oracle sc
    sequential loop drew with [Rng.split], but is independent of execution
    order, so a work pool may run the tasks in any interleaving.  Shrinking
    happens inside the task (it is deterministic given the scenario), so
-   parallel campaigns scale over the expensive part too. *)
-let run_one ~oracle ~shrink_attempts ~max_actions ~master run =
+   parallel campaigns scale over the expensive part too.
+
+   Metrics: the run's protocol/simulation counters go to a private per-run
+   registry (snapshotted into the result — a pure function of the
+   scenario, so the snapshot list is jobs-independent), while the campaign
+   runner's own counters (runs started, failures, run wall clock) go to
+   [domain_reg], the per-domain registry of whichever pool worker claimed
+   the task.  Shrink replays run unmetered: the per-run snapshot describes
+   the original execution only. *)
+let run_one ~oracle ~shrink_attempts ~max_actions ~master ~with_metrics
+    domain_reg run =
+  let d_runs = Registry.counter domain_reg Names.fuzz_run_total in
+  let d_failures = Registry.counter domain_reg Names.fuzz_failure_total in
+  let d_run_ns = Registry.timer domain_reg Names.fuzz_run_ns in
   let rng = Rng.split_at master run in
   let sc = Scenario.generate rng ~max_actions in
-  let report = Executor.run ~oracle sc in
+  let reg = if with_metrics then Registry.create () else Registry.null in
+  Registry.Counter.incr d_runs;
+  let t0 = Registry.Timer.start d_run_ns in
+  let report = Executor.run ~oracle ~metrics:reg sc in
+  Registry.Timer.stop d_run_ns t0;
   let failure =
     match report.Oracle.violations with
     | [] -> None
     | v0 :: _ ->
+        Registry.Counter.incr d_failures;
         let still_fails sc' =
           let r = Executor.run ~oracle sc' in
           List.exists
@@ -47,13 +68,17 @@ let run_one ~oracle ~shrink_attempts ~max_actions ~master run =
         in
         Some { run; scenario = sc; shrunk; first_violation = v0; report }
   in
-  (sc, report, failure)
+  let snap = if with_metrics then Some (Registry.snapshot reg) else None in
+  (sc, report, failure, snap)
 
 let campaign ?(oracle = Oracle.default) ?(shrink_attempts = 400) ?(jobs = 1)
-    ~seed ~runs ~max_actions ?(on_run = fun _ _ _ -> ()) () =
+    ?(metrics = false) ~seed ~runs ~max_actions ?(on_run = fun _ _ _ -> ()) () =
   let master = Rng.create seed in
-  let results =
-    Pool.map ~jobs runs (run_one ~oracle ~shrink_attempts ~max_actions ~master)
+  let make () = if metrics then Registry.create () else Registry.null in
+  let results, domain_regs =
+    Pool.map_ctx ~jobs ~make runs
+      (run_one ~oracle ~shrink_attempts ~max_actions ~master
+         ~with_metrics:metrics)
   in
   (* Aggregation walks the ordered results in the caller, so the summary
      (and every [on_run] observation) is byte-identical for every [jobs]. *)
@@ -62,13 +87,26 @@ let campaign ?(oracle = Oracle.default) ?(shrink_attempts = 400) ?(jobs = 1)
   let total_evictions = ref 0 in
   let maximality_gaps = ref 0 in
   List.iteri
-    (fun run (sc, report, failure) ->
+    (fun run (sc, report, failure, _) ->
       on_run run sc report;
       if report.Oracle.stabilized then incr stabilized_runs;
       total_evictions := !total_evictions + report.Oracle.evictions;
       if report.Oracle.maximality_gap then incr maximality_gaps;
       match failure with None -> () | Some f -> failures := f :: !failures)
     results;
+  let run_snapshots = List.filter_map (fun (_, _, _, s) -> s) results in
+  let merged =
+    if not metrics then None
+    else
+      (* Domain registries hold only the fuzz_* runner families, per-run
+         registries only the simulation families, so summing both sides
+         never double-counts; every counter in the merge is a sum of
+         jobs-independent contributions. *)
+      Some
+        (Registry.merge
+           (List.map (fun r -> Registry.snapshot ~jobs r) domain_regs
+           @ run_snapshots))
+  in
   {
     master_seed = seed;
     runs;
@@ -77,6 +115,8 @@ let campaign ?(oracle = Oracle.default) ?(shrink_attempts = 400) ?(jobs = 1)
     stabilized_runs = !stabilized_runs;
     total_evictions = !total_evictions;
     maximality_gaps = !maximality_gaps;
+    run_snapshots;
+    metrics = merged;
   }
 
 let save_repro ~dir f =

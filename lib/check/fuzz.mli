@@ -31,12 +31,24 @@ type summary = {
   stabilized_runs : int;
   total_evictions : int;
   maximality_gaps : int;  (** informational (see {!Oracle}) *)
+  run_snapshots : Dgs_metrics.Registry.snapshot list;
+      (** one metrics snapshot per run, in run order — each a pure
+          function of the scenario, so the list is identical for every
+          [jobs]; empty unless [~metrics:true] *)
+  metrics : Dgs_metrics.Registry.snapshot option;
+      (** whole-campaign merge: every run snapshot plus the per-domain
+          campaign-runner registries ([fuzz_run_total] /
+          [fuzz_failure_total] / [fuzz_run_ns]); counter sections are
+          byte-identical across [jobs] values
+          ({!Dgs_metrics.Registry.counters_to_json}), timer values are
+          wall clock.  [None] unless [~metrics:true] *)
 }
 
 val campaign :
   ?oracle:Oracle.config ->
   ?shrink_attempts:int ->
   ?jobs:int ->
+  ?metrics:bool ->
   seed:int ->
   runs:int ->
   max_actions:int ->
@@ -45,10 +57,20 @@ val campaign :
   summary
 (** [on_run] observes every executed scenario (progress reporting); it is
     always invoked in run order from the calling domain, after the runs
-    themselves completed when [jobs > 1].  [jobs] defaults to [1]. *)
+    themselves completed when [jobs > 1].  [jobs] defaults to [1].
+    [metrics] (default [false]) meters every run into its own registry
+    (see {!summary.run_snapshots}) and the campaign runner into
+    per-domain registries via {!Dgs_parallel.Pool.map_ctx}; shrink
+    replays of failures are never metered. *)
 
-val replay : ?oracle:Oracle.config -> Scenario.t -> Oracle.report
-(** Execute one scenario (a loaded repro) under the oracle. *)
+val replay :
+  ?oracle:Oracle.config ->
+  ?trace:Dgs_trace.Trace.t ->
+  ?metrics:Dgs_metrics.Registry.t ->
+  Scenario.t ->
+  Oracle.report
+(** Execute one scenario (a loaded repro) under the oracle.  [trace] and
+    [metrics] record the replay for [grp_sim report]. *)
 
 val save_repro : dir:string -> failure -> string
 (** Write the shrunk scenario of a failure as

@@ -1,9 +1,57 @@
 module Trace = Dgs_trace.Trace
+module Registry = Dgs_metrics.Registry
+module Names = Dgs_metrics.Names
+
+(* Handles resolved once at node creation; on [Registry.null] every field
+   is inert and each use below is one load + branch (the [Trace.null]
+   discipline).  Derived work — diffing quarantine tables, counting view
+   deltas — is additionally guarded by [m_on]. *)
+type metrics = {
+  m_on : bool;
+  m_compute : Registry.Counter.t;
+  m_cache_hit : Registry.Counter.t;
+  m_cache_miss : Registry.Counter.t;
+  m_ant_merge : Registry.Counter.t;
+  m_restrict : Registry.Counter.t;
+  m_q_enter : Registry.Counter.t;
+  m_q_admit : Registry.Counter.t;
+  m_conviction : Registry.Counter.t;
+  m_starvation : Registry.Counter.t;
+  m_contest_win : Registry.Counter.t;
+  m_contest_freeze : Registry.Counter.t;
+  m_view_add : Registry.Counter.t;
+  m_view_remove : Registry.Counter.t;
+  m_view_size : Registry.Hist.t;
+  m_compute_ns : Registry.Timer.t;
+  m_fold_ns : Registry.Timer.t;
+}
+
+let metrics_of reg =
+  {
+    m_on = Registry.enabled reg;
+    m_compute = Registry.counter reg Names.grp_compute_total;
+    m_cache_hit = Registry.counter reg Names.grp_compute_cache_hit_total;
+    m_cache_miss = Registry.counter reg Names.grp_compute_cache_miss_total;
+    m_ant_merge = Registry.counter reg Names.grp_ant_merge_total;
+    m_restrict = Registry.counter reg Names.grp_restrict_clear_total;
+    m_q_enter = Registry.counter reg Names.grp_quarantine_enter_total;
+    m_q_admit = Registry.counter reg Names.grp_quarantine_admit_total;
+    m_conviction = Registry.counter reg Names.grp_gate_conviction_total;
+    m_starvation = Registry.counter reg Names.grp_gate_starvation_total;
+    m_contest_win = Registry.counter reg Names.grp_contest_win_total;
+    m_contest_freeze = Registry.counter reg Names.grp_contest_freeze_total;
+    m_view_add = Registry.counter reg Names.grp_view_add_total;
+    m_view_remove = Registry.counter reg Names.grp_view_remove_total;
+    m_view_size = Registry.histogram reg Names.grp_view_size;
+    m_compute_ns = Registry.timer reg Names.grp_compute_ns;
+    m_fold_ns = Registry.timer reg Names.grp_fold_ns;
+  }
 
 type t = {
   id : Node_id.t;
   config : Config.t;
   trace : Trace.t;
+  metrics : metrics;
   mutable antlist : Antlist.t;
   mutable msg_set : Message.t Node_id.Map.t;
   mutable quarantine : int Node_id.Map.t;
@@ -44,12 +92,13 @@ type step_info = {
   contest_wins : (Node_id.t * Node_id.Set.t) list;
 }
 
-let create ~config ?(trace = Trace.null) id =
+let create ~config ?(trace = Trace.null) ?(metrics = Registry.null) id =
   let own_priority = Priority.initial id in
   {
     id;
     config;
     trace;
+    metrics = metrics_of metrics;
     antlist = Antlist.singleton id;
     msg_set = Node_id.Map.empty;
     quarantine = Node_id.Map.singleton id 0;
@@ -301,6 +350,7 @@ let check_each_incoming t =
           else begin
             if tracing && not (Node_id.Set.mem sender t.view) then
               Trace.emit t.trace (Trace.Merge_accepted { node = t.id; sender });
+            Registry.Counter.incr t.metrics.m_restrict;
             Antlist.strip_marked ~keep:t.id raw
           end)
     t.msg_set
@@ -439,6 +489,7 @@ let check_incoming t =
   if t.config.Config.joint_admission_enabled then cross_check t checked else checked
 
 let fold_ant t lists =
+  Registry.Counter.add t.metrics.m_ant_merge (Node_id.Map.cardinal lists);
   Node_id.Map.fold (fun _ lst acc -> Antlist.ant acc lst) lists (Antlist.singleton t.id)
 
 (* Priority contest against the too-far node w: w's node priority against
@@ -543,6 +594,7 @@ let resolve_too_far t checked candidate =
                       !checked;
                   rejected := Node_id.Set.add sender !rejected)
                 providers;
+              Registry.Counter.incr t.metrics.m_contest_win;
               wins := (w, provider_set) :: !wins;
               if cooldown then
                 t.contest_hold <-
@@ -550,8 +602,10 @@ let resolve_too_far t checked candidate =
                     (Priority.cooldown_window ~dmax, provider_set)
                     t.contest_hold
             end
-            else if cooldown then
+            else if cooldown then begin
+              Registry.Counter.incr t.metrics.m_contest_freeze;
               t.oldness_hold <- max t.oldness_hold (Priority.cooldown_window ~dmax)
+            end
           end
         end)
       too_far;
@@ -651,6 +705,7 @@ let update_conflicts t =
         let n =
           match Node_id.Map.find_opt u t.conflict with Some (n, _) -> n | None -> 0
         in
+        if n + 1 = window then Registry.Counter.incr t.metrics.m_conviction;
         t.conflict <- Node_id.Map.add u (n + 1, 0) t.conflict)
     t.msg_set
 
@@ -678,6 +733,7 @@ let starved_set t ~evidence =
           let age =
             match Node_id.Map.find_opt v t.starve with Some a -> a | None -> 0
           in
+          if age + 1 = window then Registry.Counter.incr t.metrics.m_starvation;
           Node_id.Map.add v (age + 1) acc)
       t.view Node_id.Map.empty;
   Node_id.Map.fold
@@ -769,7 +825,23 @@ let emit_transitions t ~old_list ~old_q ~new_list =
                 (Trace.Quarantine_enter { node = t.id; member = v; remaining = k }))
     t.quarantine
 
+(* Quarantine transitions, diffed with the same semantics as
+   [emit_transitions] but counted instead of traced (and cheaper: no event
+   allocation).  Only called when the registry is live. *)
+let count_quarantine_transitions t ~old_q =
+  Node_id.Map.iter
+    (fun v k ->
+      if not (Node_id.equal v t.id) then
+        match Node_id.Map.find_opt v old_q with
+        | None -> if k > 0 then Registry.Counter.incr t.metrics.m_q_enter
+        | Some ko ->
+            if ko > 0 && k = 0 then Registry.Counter.incr t.metrics.m_q_admit
+            else if ko = 0 && k > 0 then Registry.Counter.incr t.metrics.m_q_enter)
+    t.quarantine
+
 let compute t =
+  Registry.Counter.incr t.metrics.m_compute;
+  let m_t0 = Registry.Timer.start t.metrics.m_compute_ns in
   let dmax = t.config.Config.dmax in
   let clock = merge_priority_tables t in
   t.contest_hold <-
@@ -787,9 +859,14 @@ let compute t =
   let checked = check_incoming t in
   let folded =
     match t.fold_cache with
-    | Some (key, v) when Node_id.Map.equal Antlist.equal key checked -> v
+    | Some (key, v) when Node_id.Map.equal Antlist.equal key checked ->
+        Registry.Counter.incr t.metrics.m_cache_hit;
+        v
     | _ ->
+        Registry.Counter.incr t.metrics.m_cache_miss;
+        let f_t0 = Registry.Timer.start t.metrics.m_fold_ns in
         let v = fold_ant t checked in
+        Registry.Timer.stop t.metrics.m_fold_ns f_t0;
         t.fold_cache <- Some (checked, v);
         v
   in
@@ -822,13 +899,20 @@ let compute t =
   t.view <- (if Node_id.Set.equal new_view old_view then old_view else new_view);
   update_priorities t final_list ~clock;
   t.msg_set <- Node_id.Map.empty;
-  {
-    view_added = Node_id.Set.diff new_view old_view;
-    view_removed = Node_id.Set.diff old_view new_view;
-    too_far_conflict;
-    rejected_senders;
-    contest_wins;
-  }
+  let view_added = Node_id.Set.diff new_view old_view in
+  let view_removed = Node_id.Set.diff old_view new_view in
+  if t.metrics.m_on then begin
+    count_quarantine_transitions t ~old_q;
+    if not (Node_id.Set.equal new_view old_view) then begin
+      Registry.Counter.add t.metrics.m_view_add (Node_id.Set.cardinal view_added);
+      Registry.Counter.add t.metrics.m_view_remove
+        (Node_id.Set.cardinal view_removed);
+      Registry.Hist.observe_int t.metrics.m_view_size
+        (Node_id.Set.cardinal new_view)
+    end
+  end;
+  Registry.Timer.stop t.metrics.m_compute_ns m_t0;
+  { view_added; view_removed; too_far_conflict; rejected_senders; contest_wins }
 
 let make_message t =
   let priorities =

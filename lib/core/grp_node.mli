@@ -24,13 +24,23 @@ type step_info = {
           ([Config.contest_cooldown_enabled]) *)
 }
 
-val create : config:Config.t -> ?trace:Dgs_trace.Trace.t -> Node_id.t -> t
+val create :
+  config:Config.t ->
+  ?trace:Dgs_trace.Trace.t ->
+  ?metrics:Dgs_metrics.Registry.t ->
+  Node_id.t ->
+  t
 (** Fresh node: list [(v)], view [{v}], priority oldness 0.  [trace]
     (default {!Dgs_trace.Trace.null}) receives the node's protocol events
     — [View_changed], [Quarantine_enter]/[Quarantine_admit],
     [Mark_set]/[Mark_cleared], [Merge_attempt]/[Merge_accepted] — emitted
     during {!compute}; timestamps come from whatever clock the driving
-    runtime last set on the sink. *)
+    runtime last set on the sink.  [metrics] (default
+    {!Dgs_metrics.Registry.null}) receives the node's counters, the
+    [grp_view_size] histogram and the [grp_compute_ns]/[grp_fold_ns]
+    phase timers (families listed in {!Dgs_metrics.Names}); handles are
+    resolved once here, so a disabled registry costs one load + branch
+    per site inside {!compute}. *)
 
 val id : t -> Node_id.t
 val config : t -> Config.t

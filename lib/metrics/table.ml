@@ -39,7 +39,7 @@ let render t =
 let print t = print_string (render t)
 
 let csv_escape s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 

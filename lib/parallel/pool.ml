@@ -4,22 +4,20 @@
 
 type 'a slot = Empty | Value of 'a | Error of exn * Printexc.raw_backtrace
 
-let run_tasks n f results =
-  let next = Atomic.make 0 in
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (results.(i) <-
-           (match f i with
-           | v -> Value v
-           | exception e -> Error (e, Printexc.get_raw_backtrace ())));
-        loop ()
-      end
-    in
-    loop ()
+(* [next] is shared by every worker of one map: each task index is claimed
+   exactly once no matter how many domains drain the pool. *)
+let run_tasks ~next n f results () =
+  let rec loop () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      (results.(i) <-
+         (match f i with
+         | v -> Value v
+         | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+      loop ()
+    end
   in
-  worker
+  loop ()
 
 let collect results =
   Array.to_list
@@ -30,19 +28,33 @@ let collect results =
          | Empty -> assert false)
        results)
 
-let map ~jobs n f =
-  if n <= 0 then []
-  else if jobs <= 1 || n = 1 then List.init n f
+let map_ctx ~jobs ~make n f =
+  if n <= 0 then ([], [])
+  else if jobs <= 1 || n = 1 then begin
+    let ctx = make () in
+    (List.init n (f ctx), [ ctx ])
+  end
   else begin
     let results = Array.make n Empty in
-    let worker = run_tasks n f results in
-    let domains = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    let next = Atomic.make 0 in
+    let worker ctx () =
+      run_tasks ~next n (f ctx) results ();
+      ctx
+    in
+    let domains =
+      List.init (min jobs n - 1) (fun _ ->
+          let ctx = make () in
+          Domain.spawn (worker ctx))
+    in
     (* The caller is a worker too: [jobs] domains total do the work, and a
        pool asked for one job degenerates to the inline path above. *)
-    worker ();
-    List.iter Domain.join domains;
-    collect results
+    let caller_ctx = worker (make ()) () in
+    let worker_ctxs = List.map Domain.join domains in
+    (collect results, caller_ctx :: worker_ctxs)
   end
+
+let map ~jobs n f =
+  fst (map_ctx ~jobs ~make:(fun () -> ()) n (fun () i -> f i))
 
 let mapi_list ~jobs xs f =
   let arr = Array.of_list xs in

@@ -28,6 +28,21 @@ val map : jobs:int -> int -> (int -> 'a) -> 'a list
 (** [map ~jobs n f] is [[f 0; f 1; ...; f (n-1)]], computed on
     [min jobs n] domains.  [jobs <= 1] runs inline. *)
 
+val map_ctx :
+  jobs:int -> make:(unit -> 'c) -> int -> ('c -> int -> 'a) -> 'a list * 'c list
+(** Like {!map}, but gives every worker domain its own context built by
+    [make] (e.g. a per-domain metrics registry), passed to each task the
+    domain claims.  Returns the task results (same order and determinism
+    guarantees as {!map}) together with every context created — the
+    caller's first, then spawned workers' in spawn order.  Contexts are
+    single-domain mutable state: each is touched by exactly one worker and
+    published back through [Domain.join], so the caller may read them
+    freely after return.  The inline path ([jobs <= 1] or [n = 1]) creates
+    exactly one context.  Context {e contents} that depend on which domain
+    claimed which task (e.g. per-domain timings) are not deterministic
+    across [jobs] values — only commutative aggregates (summed counters)
+    are. *)
+
 val mapi_list : jobs:int -> 'a list -> ('a -> 'b) -> 'b list
 (** [mapi_list ~jobs xs f] maps [f] over [xs] with the same ordering and
     determinism guarantees ([xs] is indexed internally). *)

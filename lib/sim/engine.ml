@@ -1,5 +1,7 @@
 module Pqueue = Dgs_util.Pqueue
 module Trace = Dgs_trace.Trace
+module Registry = Dgs_metrics.Registry
+module Names = Dgs_metrics.Names
 
 type event_id = int
 
@@ -11,6 +13,9 @@ type t = {
   live : (event_id, unit) Hashtbl.t;
   cancelled : (event_id, unit) Hashtbl.t;
   trace : Trace.t;
+  m_schedule : Registry.Counter.t;
+  m_fire : Registry.Counter.t;
+  m_cancel : Registry.Counter.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable next_id : event_id;
@@ -19,12 +24,15 @@ type t = {
 let cmp (t1, s1) (t2, s2) =
   match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
 
-let create ?(start = 0.0) ?(trace = Trace.null) () =
+let create ?(start = 0.0) ?(trace = Trace.null) ?(metrics = Registry.null) () =
   {
     agenda = Pqueue.create ~cmp;
     live = Hashtbl.create 16;
     cancelled = Hashtbl.create 16;
     trace;
+    m_schedule = Registry.counter metrics Names.engine_schedule_total;
+    m_fire = Registry.counter metrics Names.engine_fire_total;
+    m_cancel = Registry.counter metrics Names.engine_cancel_total;
     clock = start;
     next_seq = 0;
     next_id = 0;
@@ -40,6 +48,7 @@ let schedule_at t time f =
   Pqueue.add t.agenda (time, t.next_seq) (id, f);
   t.next_seq <- t.next_seq + 1;
   Hashtbl.replace t.live id ();
+  Registry.Counter.incr t.m_schedule;
   if Trace.enabled t.trace then
     Trace.emit t.trace (Trace.Event_scheduled { id; at = time });
   id
@@ -48,7 +57,11 @@ let schedule_after t delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t (t.clock +. delay) f
 
-let cancel t id = if Hashtbl.mem t.live id then Hashtbl.replace t.cancelled id ()
+let cancel t id =
+  if Hashtbl.mem t.live id then begin
+    if not (Hashtbl.mem t.cancelled id) then Registry.Counter.incr t.m_cancel;
+    Hashtbl.replace t.cancelled id ()
+  end
 let cancelled_backlog t = Hashtbl.length t.cancelled
 let pending t = Pqueue.length t.agenda
 
@@ -62,6 +75,7 @@ let rec step t =
         step t)
       else (
         t.clock <- time;
+        Registry.Counter.incr t.m_fire;
         if Trace.enabled t.trace then begin
           Trace.set_time t.trace time;
           Trace.emit t.trace (Trace.Event_fired { id; at = time })

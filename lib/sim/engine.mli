@@ -15,10 +15,19 @@ type t
 type event_id
 (** Handle for cancellation. *)
 
-val create : ?start:float -> ?trace:Dgs_trace.Trace.t -> unit -> t
+val create :
+  ?start:float ->
+  ?trace:Dgs_trace.Trace.t ->
+  ?metrics:Dgs_metrics.Registry.t ->
+  unit ->
+  t
 (** Fresh engine with an empty agenda; the clock starts at [start]
     (default [0.0]).  [trace] (default {!Dgs_trace.Trace.null}) receives
-    the engine-level events and has its clock driven by the event loop. *)
+    the engine-level events and has its clock driven by the event loop.
+    [metrics] (default {!Dgs_metrics.Registry.null}) receives
+    [engine_schedule_total] / [engine_fire_total] / [engine_cancel_total]
+    (effective cancellations only — re-cancelling or cancelling a fired id
+    does not count). *)
 
 val now : t -> float
 (** Current simulation time. *)

@@ -1,5 +1,7 @@
 module Rng = Dgs_util.Rng
 module Trace = Dgs_trace.Trace
+module Registry = Dgs_metrics.Registry
+module Names = Dgs_metrics.Names
 
 type stats = { broadcasts : int; deliveries : int; losses : int; drops : int }
 
@@ -26,13 +28,21 @@ type 'msg t = {
   mutable losses : int;
   mutable drops : int;
   by_dest : (int, cell) Hashtbl.t;
+  m_broadcast : Registry.Counter.t;
+  m_delivery : Registry.Counter.t;
+  m_loss : Registry.Counter.t;
+  m_drop : Registry.Counter.t;
+  m_loss_rate : Registry.Gauge.t;
+  m_delivery_ns : Registry.Timer.t;
 }
 
 let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
-    ?(trace = Trace.null) ~audience ~deliver () =
+    ?(trace = Trace.null) ?(metrics = Registry.null) ~audience ~deliver () =
   if loss < 0.0 || loss > 1.0 then invalid_arg "Medium.create: loss out of [0,1]";
   if delay_min < 0.0 || delay_max < delay_min then
     invalid_arg "Medium.create: bad delay bounds";
+  let m_loss_rate = Registry.gauge metrics Names.medium_loss_rate in
+  Registry.Gauge.set m_loss_rate loss;
   {
     engine;
     rng;
@@ -47,6 +57,12 @@ let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
     losses = 0;
     drops = 0;
     by_dest = Hashtbl.create 64;
+    m_broadcast = Registry.counter metrics Names.medium_broadcast_total;
+    m_delivery = Registry.counter metrics Names.medium_delivery_total;
+    m_loss = Registry.counter metrics Names.medium_loss_total;
+    m_drop = Registry.counter metrics Names.medium_drop_total;
+    m_loss_rate;
+    m_delivery_ns = Registry.timer metrics Names.medium_delivery_ns;
   }
 
 let cell_of t dst =
@@ -59,6 +75,7 @@ let cell_of t dst =
 
 let broadcast t ~src msg =
   t.broadcasts <- t.broadcasts + 1;
+  Registry.Counter.incr t.m_broadcast;
   if Trace.enabled t.trace then begin
     Trace.set_time t.trace (Engine.now t.engine);
     Trace.emit t.trace (Trace.Msg_sent { src })
@@ -68,6 +85,7 @@ let broadcast t ~src msg =
       if dst <> src then
         if Rng.bernoulli t.rng t.loss then begin
           t.losses <- t.losses + 1;
+          Registry.Counter.incr t.m_loss;
           let c = cell_of t dst in
           c.l <- c.l + 1;
           if Trace.enabled t.trace then
@@ -83,14 +101,18 @@ let broadcast t ~src msg =
                     out of the grammar); only copies it accepts count as
                     deliveries, so [deliveries] agrees with what
                     [Grp_node.receive] saw. *)
+                 let m_t0 = Registry.Timer.start t.m_delivery_ns in
                  let accepted = t.deliver ~dst msg in
+                 Registry.Timer.stop t.m_delivery_ns m_t0;
                  let c = cell_of t dst in
                  if accepted then begin
                    t.deliveries <- t.deliveries + 1;
+                   Registry.Counter.incr t.m_delivery;
                    c.d <- c.d + 1
                  end
                  else begin
                    t.drops <- t.drops + 1;
+                   Registry.Counter.incr t.m_drop;
                    c.x <- c.x + 1
                  end;
                  if Trace.enabled t.trace then begin
@@ -104,6 +126,7 @@ let broadcast t ~src msg =
 
 let set_loss t loss =
   if loss < 0.0 || loss > 1.0 then invalid_arg "Medium.set_loss: loss out of [0,1]";
+  Registry.Gauge.set t.m_loss_rate loss;
   t.loss <- loss
 
 let stats t =

@@ -57,6 +57,7 @@ val create :
   ?delay_min:float ->
   ?delay_max:float ->
   ?trace:Dgs_trace.Trace.t ->
+  ?metrics:Dgs_metrics.Registry.t ->
   audience:(int -> int list) ->
   deliver:(dst:int -> 'msg -> bool) ->
   unit ->
@@ -64,7 +65,11 @@ val create :
 (** [audience src] lists the nodes in whose vicinity [src] currently is;
     [deliver] is invoked at the scheduled delivery time and returns whether
     the protocol consumed the copy ([false] = counted as a drop).  [trace]
-    (default {!Dgs_trace.Trace.null}) receives the channel events. *)
+    (default {!Dgs_trace.Trace.null}) receives the channel events.
+    [metrics] (default {!Dgs_metrics.Registry.null}) receives the
+    [medium_*] counter families mirroring {!stats}, the
+    [medium_loss_rate] gauge, and the [medium_delivery_ns] timer around
+    the [deliver] callback. *)
 
 val broadcast : 'msg t -> src:int -> 'msg -> unit
 (** Send one message to the current audience of [src] (self-delivery is

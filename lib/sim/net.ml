@@ -1,6 +1,7 @@
 module Graph = Dgs_graph.Graph
 module Rng = Dgs_util.Rng
 module Trace = Dgs_trace.Trace
+module Registry = Dgs_metrics.Registry
 open Dgs_core
 
 type stats = {
@@ -16,6 +17,7 @@ type t = {
   rng : Rng.t;
   config : Config.t;
   trace : Trace.t;
+  metrics : Registry.t;
   tau_c : float;
   tau_s : float;
   topology : unit -> Graph.t;
@@ -100,13 +102,14 @@ let start_timers t v =
   schedule_send t v gen (Rng.float t.rng t.tau_s)
 
 let install_node t v =
-  Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config ~trace:t.trace v);
+  Hashtbl.replace t.nodes v
+    (Grp_node.create ~config:t.config ~trace:t.trace ~metrics:t.metrics v);
   Hashtbl.replace t.active v ();
   start_timers t v
 
 let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
     ?(corruption = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
-    ?(trace = Trace.null) ~topology ~nodes () =
+    ?(trace = Trace.null) ?(metrics = Registry.null) ~topology ~nodes () =
   if tau_s > tau_c then invalid_arg "Net.create: tau_s must be <= tau_c";
   if corruption < 0.0 || corruption > 1.0 then
     invalid_arg "Net.create: corruption out of [0,1]";
@@ -116,6 +119,7 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
       rng;
       config;
       trace;
+      metrics;
       tau_c;
       tau_s;
       topology;
@@ -161,7 +165,7 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
   t.medium <-
     Some
       (Medium.create ~engine ~rng:(Rng.split rng) ~loss ~delay_min ~delay_max ~trace
-         ~audience ~deliver ());
+         ~metrics ~audience ~deliver ());
   List.iter (install_node t) nodes;
   t
 
@@ -183,7 +187,8 @@ let activate t v =
 
 let reset_node t v =
   if Hashtbl.mem t.nodes v then
-    Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config ~trace:t.trace v)
+    Hashtbl.replace t.nodes v
+      (Grp_node.create ~config:t.config ~trace:t.trace ~metrics:t.metrics v)
 
 let add_node t v = if not (Hashtbl.mem t.nodes v) then install_node t v
 

@@ -36,12 +36,15 @@ val create :
   ?delay_min:float ->
   ?delay_max:float ->
   ?trace:Dgs_trace.Trace.t ->
+  ?metrics:Dgs_metrics.Registry.t ->
   topology:(unit -> Dgs_graph.Graph.t) ->
   nodes:Dgs_core.Node_id.t list ->
   unit ->
   t
 (** Defaults: [tau_c = 1.0], [tau_s = 0.4], no loss, no frame corruption,
-    delays in [\[0.001, 0.01\]], no tracing.  Timers start with a uniform
+    delays in [\[0.001, 0.01\]], no tracing, no metrics.  [metrics] is
+    shared by the medium and every installed (or reset) node — the engine
+    takes its own at {!Engine.create}.  Timers start with a uniform
     phase in their period.  [corruption] is the probability that a
     delivered frame passes through {!Dgs_core.Wire} with one byte mutated.
     Raises [Invalid_argument] on [tau_s > tau_c] or a corruption rate

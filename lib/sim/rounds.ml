@@ -1,11 +1,13 @@
 module Graph = Dgs_graph.Graph
 module Rng = Dgs_util.Rng
 module Trace = Dgs_trace.Trace
+module Registry = Dgs_metrics.Registry
 open Dgs_core
 
 type t = {
   config : Config.t;
   trace : Trace.t;
+  metrics : Registry.t;
   mutable graph : Graph.t;
   nodes : (Node_id.t, Grp_node.t) Hashtbl.t;
   mutable sent : int;
@@ -14,11 +16,20 @@ type t = {
 
 let ensure_node t v =
   if not (Hashtbl.mem t.nodes v) then
-    Hashtbl.replace t.nodes v (Grp_node.create ~config:t.config ~trace:t.trace v)
+    Hashtbl.replace t.nodes v
+      (Grp_node.create ~config:t.config ~trace:t.trace ~metrics:t.metrics v)
 
-let create ~config ?(trace = Trace.null) graph =
+let create ~config ?(trace = Trace.null) ?(metrics = Registry.null) graph =
   let t =
-    { config; trace; graph; nodes = Hashtbl.create 64; sent = 0; round_no = 0 }
+    {
+      config;
+      trace;
+      metrics;
+      graph;
+      nodes = Hashtbl.create 64;
+      sent = 0;
+      round_no = 0;
+    }
   in
   List.iter (ensure_node t) (Graph.nodes graph);
   t

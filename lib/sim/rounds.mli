@@ -8,7 +8,12 @@
 
 type t
 
-val create : config:Dgs_core.Config.t -> ?trace:Dgs_trace.Trace.t -> Dgs_graph.Graph.t -> t
+val create :
+  config:Dgs_core.Config.t ->
+  ?trace:Dgs_trace.Trace.t ->
+  ?metrics:Dgs_metrics.Registry.t ->
+  Dgs_graph.Graph.t ->
+  t
 (** One protocol node per graph node.  [trace] (default
     {!Dgs_trace.Trace.null}) is installed in every node and receives the
     channel events of each round; the runner stamps it with the round

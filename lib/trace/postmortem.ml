@@ -1,0 +1,338 @@
+module Table = Dgs_metrics.Table
+module Histogram = Dgs_metrics.Histogram
+module Timeseries = Dgs_metrics.Timeseries
+module Registry = Dgs_metrics.Registry
+
+module Int_map = Map.Make (Int)
+
+type view_change = {
+  vc_time : float;
+  vc_node : int;
+  vc_added : int list;
+  vc_removed : int list;
+  vc_view : int list;
+}
+
+type t = {
+  events : (float * Trace.event) list;
+  n_events : int;
+  t_start : float;
+  t_end : float;
+  node_list : int list;
+  changes : view_change list;  (* in emission order *)
+  (* per node: view changes in emission order *)
+  by_node : view_change list Int_map.t;
+}
+
+let analyze events =
+  let n_events = List.length events in
+  let t_start, t_end =
+    match events with
+    | [] -> (0.0, 0.0)
+    | (t0, _) :: _ ->
+        (t0, List.fold_left (fun acc (t, _) -> Float.max acc t) t0 events)
+  in
+  let nodes = Hashtbl.create 64 in
+  let changes = ref [] in
+  let by_node = ref Int_map.empty in
+  List.iter
+    (fun (time, ev) ->
+      (match Trace.node_of ev with
+      | Some v -> Hashtbl.replace nodes v ()
+      | None -> ());
+      match ev with
+      | Trace.View_changed { node; added; removed; view } ->
+          let vc =
+            {
+              vc_time = time;
+              vc_node = node;
+              vc_added = added;
+              vc_removed = removed;
+              vc_view = view;
+            }
+          in
+          changes := vc :: !changes;
+          by_node :=
+            Int_map.update node
+              (fun l -> Some (vc :: Option.value ~default:[] l))
+              !by_node
+      | _ -> ())
+    events;
+  {
+    events;
+    n_events;
+    t_start;
+    t_end;
+    node_list = Hashtbl.fold (fun v () acc -> v :: acc) nodes [] |> List.sort compare;
+    changes = List.rev !changes;
+    by_node = Int_map.map List.rev !by_node;
+  }
+
+let event_count t = t.n_events
+let nodes t = t.node_list
+
+let ids_to_string ids =
+  "{" ^ String.concat " " (List.map string_of_int ids) ^ "}"
+
+(* Bucket index of a time over [t_start, t_end]; the last instant folds
+   into the last bucket. *)
+let bucket_of t ~buckets time =
+  let span = t.t_end -. t.t_start in
+  if span <= 0.0 then 0
+  else
+    min (buckets - 1)
+      (int_of_float (float_of_int buckets *. (time -. t.t_start) /. span))
+
+let last_change_time t node =
+  match Int_map.find_opt node t.by_node with
+  | Some (_ :: _ as l) -> Some (List.nth l (List.length l - 1)).vc_time
+  | _ -> None
+
+let convergence_timeline ?(buckets = 20) t =
+  let buckets = max 1 buckets in
+  let span = t.t_end -. t.t_start in
+  let vc = Array.make buckets 0 in
+  let vc_nodes = Array.make buckets [] in
+  let attempts = Array.make buckets 0 in
+  let accepts = Array.make buckets 0 in
+  let deliveries = Array.make buckets 0 in
+  List.iter
+    (fun (time, ev) ->
+      let b = bucket_of t ~buckets time in
+      match ev with
+      | Trace.View_changed { node; _ } ->
+          vc.(b) <- vc.(b) + 1;
+          vc_nodes.(b) <- node :: vc_nodes.(b)
+      | Trace.Merge_attempt _ -> attempts.(b) <- attempts.(b) + 1
+      | Trace.Merge_accepted _ -> accepts.(b) <- accepts.(b) + 1
+      | Trace.Msg_delivered _ -> deliveries.(b) <- deliveries.(b) + 1
+      | _ -> ())
+    t.events;
+  let n_nodes = List.length t.node_list in
+  let table =
+    Table.create ~title:"convergence timeline"
+      ~columns:
+        [
+          "t";
+          "view_changes";
+          "changed_nodes";
+          "merge_attempts";
+          "merge_accepts";
+          "deliveries";
+          "stable_nodes";
+        ]
+  in
+  for b = 0 to buckets - 1 do
+    let b_start = t.t_start +. (span *. float_of_int b /. float_of_int buckets) in
+    let b_end =
+      t.t_start +. (span *. float_of_int (b + 1) /. float_of_int buckets)
+    in
+    (* Stable by the end of this bucket: nodes whose last view change does
+       not lie beyond it (nodes that never changed count as stable). *)
+    let stable =
+      List.fold_left
+        (fun acc v ->
+          match last_change_time t v with
+          | Some tc when tc > b_end -> acc
+          | _ -> acc + 1)
+        0 t.node_list
+    in
+    let distinct =
+      List.length (List.sort_uniq compare vc_nodes.(b))
+    in
+    Table.add_row table
+      [
+        Table.cell_float ~decimals:2 b_start;
+        Table.cell_int vc.(b);
+        Table.cell_int distinct;
+        Table.cell_int attempts.(b);
+        Table.cell_int accepts.(b);
+        Table.cell_int deliveries.(b);
+        Printf.sprintf "%d/%d" stable n_nodes;
+      ]
+  done;
+  table
+
+let stabilization t =
+  let table =
+    Table.create ~title:"view stabilization"
+      ~columns:[ "node"; "view_changes"; "last_change"; "final_size"; "final_view" ]
+  in
+  List.iter
+    (fun v ->
+      match Int_map.find_opt v t.by_node with
+      | Some (_ :: _ as l) ->
+          let final = List.nth l (List.length l - 1) in
+          Table.add_row table
+            [
+              Table.cell_int v;
+              Table.cell_int (List.length l);
+              Table.cell_float ~decimals:2 final.vc_time;
+              Table.cell_int (List.length final.vc_view);
+              ids_to_string final.vc_view;
+            ]
+      | _ ->
+          Table.add_row table
+            [ Table.cell_int v; Table.cell_int 0; "-"; "-"; "?" ])
+    t.node_list;
+  table
+
+let eviction_chains t =
+  let table =
+    Table.create ~title:"eviction chains"
+      ~columns:[ "t"; "node"; "evicted"; "view_after"; "double_marks_since_prev" ]
+  in
+  (* Per node: double marks set since that node's previous eviction. *)
+  let marks = Hashtbl.create 32 in
+  List.iter
+    (fun (time, ev) ->
+      match ev with
+      | Trace.Mark_set { node; mark = "double"; _ } ->
+          Hashtbl.replace marks node
+            (1 + Option.value ~default:0 (Hashtbl.find_opt marks node))
+      | Trace.View_changed { node; removed = _ :: _ as removed; view; _ } ->
+          let m = Option.value ~default:0 (Hashtbl.find_opt marks node) in
+          Hashtbl.replace marks node 0;
+          Table.add_row table
+            [
+              Table.cell_float ~decimals:2 time;
+              Table.cell_int node;
+              ids_to_string removed;
+              ids_to_string view;
+              Table.cell_int m;
+            ]
+      | _ -> ())
+    t.events;
+  table
+
+let final_views t =
+  Int_map.fold
+    (fun _ l acc ->
+      match l with
+      | [] -> acc
+      | _ -> List.sort compare (List.nth l (List.length l - 1)).vc_view :: acc)
+    t.by_node []
+
+let group_sizes t =
+  let h = Histogram.create () in
+  List.iter
+    (fun view -> Histogram.add_int h (List.length view))
+    (List.sort_uniq compare (final_views t));
+  h
+
+let group_lifetimes t =
+  let h = Histogram.create () in
+  Int_map.iter
+    (fun _ l ->
+      let rec spans = function
+        | a :: (b :: _ as rest) ->
+            Histogram.add h (b.vc_time -. a.vc_time);
+            spans rest
+        | [ last ] -> Histogram.add h (t.t_end -. last.vc_time)
+        | [] -> ()
+      in
+      spans l)
+    t.by_node;
+  h
+
+let view_changes_series ?(buckets = 20) t =
+  let buckets = max 1 buckets in
+  let span = t.t_end -. t.t_start in
+  let vc = Array.make buckets 0 in
+  List.iter
+    (fun vch ->
+      let b = bucket_of t ~buckets vch.vc_time in
+      vc.(b) <- vc.(b) + 1)
+    t.changes;
+  let s = Timeseries.create ~name:"view_changes" in
+  for b = 0 to buckets - 1 do
+    Timeseries.record_int s
+      ~time:(t.t_start +. (span *. float_of_int b /. float_of_int buckets))
+      vc.(b)
+  done;
+  s
+
+let hist_section title h =
+  Printf.sprintf "%s (n=%d, mean %.2f):\n%s" title (Histogram.count h)
+    (Histogram.mean h) (Histogram.render h)
+
+let render t =
+  String.concat "\n"
+    [
+      Printf.sprintf "trace: %d events, %d nodes, t in [%g, %g]" t.n_events
+        (List.length t.node_list) t.t_start t.t_end;
+      "";
+      Table.render (convergence_timeline t);
+      "";
+      Table.render (stabilization t);
+      "";
+      Table.render (eviction_chains t);
+      "";
+      hist_section "group size distribution" (group_sizes t);
+      "";
+      hist_section "group lifetime distribution" (group_lifetimes t);
+    ]
+
+let hist_csv h =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "bin_lower,count\n";
+  List.iter
+    (fun (lo, c) -> Buffer.add_string buf (Printf.sprintf "%g,%d\n" lo c))
+    (Histogram.bins h);
+  Buffer.contents buf
+
+let csv_exports t =
+  [
+    ("timeline.csv", Table.to_csv (convergence_timeline t));
+    ("stabilization.csv", Table.to_csv (stabilization t));
+    ("evictions.csv", Table.to_csv (eviction_chains t));
+    ("group_sizes.csv", hist_csv (group_sizes t));
+    ("group_lifetimes.csv", hist_csv (group_lifetimes t));
+    ("view_changes.csv", Timeseries.to_csv (view_changes_series t));
+  ]
+
+let snapshot_table (s : Registry.snapshot) =
+  let jobs = match s.Registry.jobs with None -> "-" | Some j -> string_of_int j in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "metrics snapshot (cores=%d jobs=%s)" s.Registry.cores
+           jobs)
+      ~columns:[ "metric"; "kind"; "value" ]
+  in
+  List.iter
+    (fun (name, n) ->
+      Table.add_row table [ name; "counter"; Table.cell_int n ])
+    s.Registry.counters;
+  List.iter
+    (fun (name, v) ->
+      Table.add_row table [ name; "gauge"; Table.cell_float ~decimals:4 v ])
+    s.Registry.gauges;
+  List.iter
+    (fun (name, (st : Registry.timer_stat)) ->
+      let mean =
+        if st.Registry.spans = 0 then 0.0
+        else st.Registry.total_ns /. float_of_int st.Registry.spans
+      in
+      Table.add_row table
+        [
+          name;
+          "timer";
+          Printf.sprintf "n=%d total=%.0fns mean=%.0fns max=%.0fns"
+            st.Registry.spans st.Registry.total_ns mean st.Registry.max_ns;
+        ])
+    s.Registry.timers;
+  List.iter
+    (fun (name, (w, bins)) ->
+      let n = List.fold_left (fun acc (_, c) -> acc + c) 0 bins in
+      Table.add_row table
+        [
+          name;
+          "histogram";
+          Printf.sprintf "n=%d bins=%d width=%g" n (List.length bins) w;
+        ])
+    s.Registry.histograms;
+  table
+
+let render_snapshots snaps =
+  String.concat "\n" (List.map (fun s -> Table.render (snapshot_table s)) snaps)

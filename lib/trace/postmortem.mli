@@ -1,0 +1,70 @@
+(** Post-mortem analysis of a recorded trace ([grp_sim report]).
+
+    Ingests the [(time, event)] list of a {!Trace.Jsonl} trace (or a
+    {!Trace.Ring} dump) and derives the convergence story of the run
+    without re-running the simulation: a bucketed convergence timeline,
+    the per-node view-stabilization table, the eviction chains, and
+    group-size / group-lifetime distributions — the quantities Lauzier et
+    al. report for live group detection, produced here from any replayed
+    regression script.
+
+    Times are whatever clock the producing driver stamped: simulation
+    seconds under {!Dgs_sim.Engine}, round numbers under
+    {!Dgs_sim.Rounds}. *)
+
+type t
+(** An analyzed trace. *)
+
+val analyze : (float * Trace.event) list -> t
+(** Events in emission order (as {!Trace.Jsonl.load} returns them). *)
+
+val event_count : t -> int
+val nodes : t -> int list
+(** Every node attributed at least one event, sorted. *)
+
+val convergence_timeline : ?buckets:int -> t -> Dgs_metrics.Table.t
+(** Table "convergence timeline": the trace span cut into [buckets]
+    (default 20) equal time buckets; per bucket the view changes, the
+    distinct nodes that changed, merge attempts/accepts, deliveries, and
+    the number of nodes already stable (no view change after the bucket's
+    end). *)
+
+val stabilization : t -> Dgs_metrics.Table.t
+(** Table "view stabilization": per node, the number of view changes, the
+    time of the last one, and the final view.  Nodes that emitted events
+    but never a [View_changed] show zero changes and an unknown view. *)
+
+val eviction_chains : t -> Dgs_metrics.Table.t
+(** Table "eviction chains": one row per [View_changed] with a non-empty
+    [removed], with the members evicted and the number of double marks the
+    node set since its previous eviction (the rejection activity leading
+    into the cut). *)
+
+val group_sizes : t -> Dgs_metrics.Histogram.t
+(** Distribution of final group sizes: the size of each {e distinct} final
+    view (one count per group, not per member). *)
+
+val group_lifetimes : t -> Dgs_metrics.Histogram.t
+(** Distribution of view lifetimes: for every node, the spans between
+    consecutive view changes plus the final stretch to the end of the
+    trace. *)
+
+val view_changes_series : ?buckets:int -> t -> Dgs_metrics.Timeseries.t
+(** View changes per time bucket, for plotting. *)
+
+val render : t -> string
+(** All sections — timeline and stabilization tables, eviction chains,
+    and both distributions — as one report. *)
+
+val csv_exports : t -> (string * string) list
+(** [(basename, csv content)] pairs for [--csv]: the three tables plus
+    both distributions. *)
+
+val snapshot_table : Dgs_metrics.Registry.snapshot -> Dgs_metrics.Table.t
+(** Table "metrics snapshot": one row per counter, gauge, timer (count /
+    total / max / mean ns) and histogram family in a metrics snapshot,
+    prefixed by the host header (cores, jobs). *)
+
+val render_snapshots : Dgs_metrics.Registry.snapshot list -> string
+(** {!snapshot_table} for each snapshot (a metrics JSONL may hold interval
+    snapshots or per-scenario lines), rendered in order. *)

@@ -36,9 +36,9 @@ let group_stats c =
   in
   (n, mean)
 
-let converge ?(jitter = 0.1) ?(loss = 0.0) ?(max_rounds = 5000) ?trace ~config ~seed
-    graph =
-  let t = Rounds.create ~config ?trace graph in
+let converge ?(jitter = 0.1) ?(loss = 0.0) ?(max_rounds = 5000) ?trace ?metrics
+    ~config ~seed graph =
+  let t = Rounds.create ~config ?trace ?metrics graph in
   let rng = Rng.create seed in
   let rounds =
     Rounds.run_until_stable ~jitter ~loss ~rng ~confirm:(config.Config.dmax + 5)
@@ -70,11 +70,11 @@ type mobility_run = {
   stale_member_fraction : float;
 }
 
-let run_mobility ?(jitter = 0.1) ?(loss = 0.0) ?(warmup = 30) ?trace ~config ~seed
-    ~spec ~n ~range ~dt ~rounds () =
+let run_mobility ?(jitter = 0.1) ?(loss = 0.0) ?(warmup = 30) ?trace ?metrics
+    ~config ~seed ~spec ~n ~range ~dt ~rounds () =
   let rng = Rng.create seed in
   let mob = Mobility.create (Rng.split rng) ~n spec in
-  let t = Rounds.create ~config ?trace (Mobility.graph mob ~range) in
+  let t = Rounds.create ~config ?trace ?metrics (Mobility.graph mob ~range) in
   for _ = 1 to warmup do
     ignore (Rounds.round ~jitter ~loss ~rng t)
   done;

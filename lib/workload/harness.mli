@@ -25,13 +25,15 @@ val converge :
   ?loss:float ->
   ?max_rounds:int ->
   ?trace:Dgs_trace.Trace.t ->
+  ?metrics:Dgs_metrics.Registry.t ->
   config:Dgs_core.Config.t ->
   seed:int ->
   Dgs_graph.Graph.t ->
   convergence
 (** Fresh network on the given topology, run to quiescence.  Default
     jitter 0.1, no loss, budget 5000 rounds.  [trace] is installed in the
-    round runner (and so in every node); times are round numbers. *)
+    round runner (and so in every node); times are round numbers.
+    [metrics] likewise reaches every node's registry handles. *)
 
 type mobility_run = {
   steps : int;
@@ -64,6 +66,7 @@ val run_mobility :
   ?loss:float ->
   ?warmup:int ->
   ?trace:Dgs_trace.Trace.t ->
+  ?metrics:Dgs_metrics.Registry.t ->
   config:Dgs_core.Config.t ->
   seed:int ->
   spec:Dgs_mobility.Mobility.spec ->

@@ -8,3 +8,10 @@ let index_of haystack needle =
   go 0
 
 let contains haystack needle = index_of haystack needle >= 0
+
+let last_index_of haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i < 0 then -1 else if String.sub haystack i n = needle then i else go (i - 1)
+  in
+  go (h - n)

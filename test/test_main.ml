@@ -13,6 +13,8 @@ let () =
       ("mobility", Test_mobility.suite);
       ("baselines", Test_baselines.suite);
       ("metrics", Test_metrics.suite);
+      ("metrics-registry", Test_registry.suite);
+      ("postmortem", Test_postmortem.suite);
       ("stabilization", Test_stabilization.suite);
       ("propositions", Test_propositions.suite);
       ("continuity", Test_continuity.suite);

@@ -59,6 +59,37 @@ let test_histogram_bin_width () =
   Alcotest.check_raises "bad width" (Invalid_argument "Histogram.create: bin width must be positive")
     (fun () -> ignore (Histogram.create ~bin_width:0.0 ()))
 
+let test_table_csv_edge_cases () =
+  (* Every RFC-4180 special — comma, quote, newline, carriage return —
+     must round into one quoted cell with doubled quotes. *)
+  let t = Table.create ~title:"t" ~columns:[ "x"; "y" ] in
+  Table.add_row t [ "say \"hi\""; "a\nb" ];
+  Table.add_row t [ "cr\rlf"; "plain" ];
+  let csv = Table.to_csv t in
+  check "quotes doubled" true (Str_helpers.contains csv "\"say \"\"hi\"\"\"");
+  check "newline cell quoted" true (Str_helpers.contains csv "\"a\nb\"");
+  check "carriage return quoted" true (Str_helpers.contains csv "\"cr\rlf\"");
+  check "plain cell untouched" true (Str_helpers.contains csv ",plain")
+
+let test_histogram_render_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check string) "empty histogram renders to nothing" "" (Histogram.render h);
+  check_int "still zero observations" 0 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean of nothing is 0" 0.0 (Histogram.mean h)
+
+let test_timeseries_csv_empty () =
+  let ts = Timeseries.create ~name:"groups" in
+  Alcotest.(check string) "empty series is just the header" "time,groups\n"
+    (Timeseries.to_csv ts);
+  check "empty series has no last point" true (Timeseries.last ts = None)
+
+let test_timeseries_csv_name_escaping () =
+  let ts = Timeseries.create ~name:"odd,name" in
+  Timeseries.record ts ~time:1.0 2.0;
+  let csv = Timeseries.to_csv ts in
+  check "delimiter in series name is quoted" true
+    (Str_helpers.contains csv "time,\"odd,name\"\n")
+
 let test_timeseries () =
   let ts = Timeseries.create ~name:"groups" in
   Timeseries.record ts ~time:0.0 5.0;
@@ -79,4 +110,8 @@ let suite =
     ("histogram", `Quick, test_histogram);
     ("histogram bin width", `Quick, test_histogram_bin_width);
     ("timeseries", `Quick, test_timeseries);
+    ("table csv edge cases", `Quick, test_table_csv_edge_cases);
+    ("histogram render empty", `Quick, test_histogram_render_empty);
+    ("timeseries csv empty", `Quick, test_timeseries_csv_empty);
+    ("timeseries csv name escaping", `Quick, test_timeseries_csv_name_escaping);
   ]

@@ -66,6 +66,39 @@ let test_tasks_see_own_index () =
     (List.init 64 (fun i -> i + 100))
     (Pool.map ~jobs:8 64 f)
 
+(* --- per-domain contexts --- *)
+
+let test_map_ctx_contexts () =
+  (* Every context is created before any task runs on it, every task runs
+     on exactly one context, and the sum over contexts covers the work
+     exactly once — for any jobs value, including jobs > n. *)
+  List.iter
+    (fun jobs ->
+      let make () = ref 0 in
+      let results, ctxs =
+        Pool.map_ctx ~jobs ~make 40 (fun ctx i ->
+            ctx := !ctx + i;
+            i * 2)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d: results ordered" jobs)
+        (List.init 40 (fun i -> i * 2))
+        results;
+      check
+        (Printf.sprintf "jobs=%d: context count bounded by jobs" jobs)
+        true
+        (List.length ctxs >= 1 && List.length ctxs <= max 1 jobs);
+      check_int
+        (Printf.sprintf "jobs=%d: contexts partition the work" jobs)
+        (40 * 39 / 2)
+        (List.fold_left (fun acc c -> acc + !c) 0 ctxs))
+    [ 1; 2; 4; 64 ]
+
+let test_map_ctx_empty () =
+  let results, ctxs = Pool.map_ctx ~jobs:4 ~make:(fun () -> ()) 0 (fun () i -> i) in
+  check "no tasks, no results" true (results = []);
+  check "no tasks, no contexts" true (ctxs = [])
+
 (* --- order-independent RNG derivation --- *)
 
 let test_split_at_matches_sequential_split () =
@@ -161,6 +194,43 @@ let test_campaign_shrunk_failures_identical () =
   check "strict campaign finds failures" true (seq <> []);
   check "jobs=3: identical shrunk failures" true (fingerprint 3 = seq)
 
+(* --- campaign metrics are jobs-independent --- *)
+
+let test_campaign_metrics_jobs_deterministic () =
+  let module Registry = Dgs_metrics.Registry in
+  let fingerprint jobs =
+    let s = Fuzz.campaign ~jobs ~metrics:true ~seed:4242 ~runs:24 ~max_actions:8 () in
+    let merged =
+      match s.Fuzz.metrics with
+      | Some m -> m
+      | None -> Alcotest.fail "metrics:true must produce a merged snapshot"
+    in
+    ( List.map Registry.counters_to_json s.Fuzz.run_snapshots,
+      Registry.counters_to_json merged,
+      merged )
+  in
+  let seq_runs, seq_merged, merged1 = fingerprint 1 in
+  check_int "one snapshot per run" 24 (List.length seq_runs);
+  check "protocol counters flowed" true
+    (List.assoc "grp_compute_total" merged1.Registry.counters > 0);
+  check "runner counters flowed" true
+    (List.assoc "fuzz_run_total" merged1.Registry.counters = 24);
+  List.iter
+    (fun jobs ->
+      let par_runs, par_merged, _ = fingerprint jobs in
+      check
+        (Printf.sprintf "jobs=%d: per-run counter snapshots byte-identical" jobs)
+        true
+        (List.equal String.equal seq_runs par_runs);
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d: merged counters byte-identical" jobs)
+        seq_merged par_merged)
+    [ 2; 4 ];
+  (* metrics off: no snapshots, no merge *)
+  let s = Fuzz.campaign ~jobs:2 ~seed:4242 ~runs:4 ~max_actions:8 () in
+  check "metrics default off" true
+    (s.Fuzz.run_snapshots = [] && s.Fuzz.metrics = None)
+
 (* --- regression corpus: sequential vs parallel replay --- *)
 
 let test_corpus_replay_seq_vs_par () =
@@ -195,11 +265,14 @@ let suite =
     ("pool map is ordered", `Quick, test_map_ordered);
     ("pool handles jobs > tasks", `Quick, test_map_more_jobs_than_tasks);
     ("pool mapi_list", `Quick, test_mapi_list);
+    ("map_ctx partitions work over contexts", `Quick, test_map_ctx_contexts);
+    ("map_ctx with no tasks", `Quick, test_map_ctx_empty);
     ("pool re-raises lowest-index error", `Quick, test_exception_propagates);
     ("pool orders uneven tasks", `Quick, test_tasks_see_own_index);
     ("split_at matches sequential split", `Quick, test_split_at_matches_sequential_split);
     ("split_at rejects negative index", `Quick, test_split_at_rejects_negative);
     ("campaign --jobs is byte-identical (smoke, 50 scenarios)", `Quick, test_campaign_jobs_byte_identical);
     ("parallel shrinking is deterministic", `Quick, test_campaign_shrunk_failures_identical);
+    ("campaign metrics are jobs-independent", `Quick, test_campaign_metrics_jobs_deterministic);
     ("regression corpus: seq vs parallel replay", `Quick, test_corpus_replay_seq_vs_par);
   ]

@@ -1,0 +1,164 @@
+(* Unit tests for the grp_sim report analyzer: a small hand-written trace
+   with a known convergence story, plus an end-to-end run over a real
+   regression-corpus replay — the analyzer must reconstruct the timeline
+   from the recorded events alone, without re-running the simulation. *)
+
+module Trace = Dgs_trace.Trace
+module Postmortem = Dgs_trace.Postmortem
+module Registry = Dgs_metrics.Registry
+module Table = Dgs_metrics.Table
+module Histogram = Dgs_metrics.Histogram
+module Scenario = Dgs_check.Scenario
+module Executor = Dgs_check.Executor
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Two nodes converge on {0 1} at t=4 after node 1 evicts node 2 — enough
+   structure to exercise every table. *)
+let sample_events =
+  [
+    (1.0, Trace.Msg_delivered { src = 0; dst = 1 });
+    (* node 2 shows up only as a delivery target: the stabilization table
+       must list it with an unknown view *)
+    (1.0, Trace.Msg_delivered { src = 1; dst = 2 });
+    (1.0, Trace.Merge_attempt { node = 1; sender = 0 });
+    (1.0, Trace.Merge_accepted { node = 1; sender = 0 });
+    (2.0, Trace.View_changed { node = 0; added = [ 1 ]; removed = []; view = [ 0; 1 ] });
+    (2.0, Trace.View_changed { node = 1; added = [ 0; 2 ]; removed = []; view = [ 0; 1; 2 ] });
+    (3.0, Trace.Mark_set { node = 1; peer = 2; mark = "double" });
+    (4.0, Trace.View_changed { node = 1; added = []; removed = [ 2 ]; view = [ 0; 1 ] });
+    (6.0, Trace.Msg_delivered { src = 1; dst = 0 });
+  ]
+
+let analyzed = lazy (Postmortem.analyze sample_events)
+
+let test_basic () =
+  let a = Lazy.force analyzed in
+  check_int "event count" 9 (Postmortem.event_count a);
+  Alcotest.(check (list int)) "nodes" [ 0; 1; 2 ] (Postmortem.nodes a)
+
+let test_timeline () =
+  let a = Lazy.force analyzed in
+  let table = Postmortem.convergence_timeline ~buckets:5 a in
+  let s = Table.render table in
+  check "titled" true (Str_helpers.contains s "convergence timeline");
+  check_int "one row per bucket" 5 (Table.row_count table);
+  (* Span [1,6] in 5 buckets: both deliveries land in separate buckets,
+     the three view changes in buckets 1 and 3; all three nodes are stable
+     from bucket 3 on (node 2 never changed so it always counts). *)
+  check "last bucket fully stable" true (Str_helpers.contains s "3/3")
+
+let test_stabilization () =
+  let a = Lazy.force analyzed in
+  let s = Table.render (Postmortem.stabilization a) in
+  check "titled" true (Str_helpers.contains s "view stabilization");
+  check "node 1 changed twice to {0 1}" true
+    (Str_helpers.contains s "{0 1}");
+  (* node 2 emitted an event but never a View_changed *)
+  check "unknown view shown for silent node" true (Str_helpers.contains s "?")
+
+let test_eviction_chains () =
+  let a = Lazy.force analyzed in
+  let table = Postmortem.eviction_chains a in
+  check_int "one eviction" 1 (Table.row_count table);
+  let s = Table.render table in
+  check "evicted member listed" true (Str_helpers.contains s "{2}");
+  (* exactly the one double mark since the (nonexistent) previous cut *)
+  check "double marks counted" true (Str_helpers.contains s "1")
+
+let test_distributions () =
+  let a = Lazy.force analyzed in
+  (* Final views: node 0 -> {0 1}, node 1 -> {0 1} — one distinct group. *)
+  check_int "one distinct final group" 1
+    (Histogram.count (Postmortem.group_sizes a));
+  (* Lifetimes: node 0 one span (2 -> end 6) = 4; node 1 spans 2->4 and
+     4->6 = 2 and 2. *)
+  let h = Postmortem.group_lifetimes a in
+  check_int "three spans" 3 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean lifetime" (8.0 /. 3.0) (Histogram.mean h)
+
+let test_render_and_csv () =
+  let a = Lazy.force analyzed in
+  let s = Postmortem.render a in
+  List.iter
+    (fun needle ->
+      check (Printf.sprintf "render contains %S" needle) true
+        (Str_helpers.contains s needle))
+    [
+      "convergence timeline";
+      "view stabilization";
+      "eviction chains";
+      "group size distribution";
+      "group lifetime distribution";
+    ];
+  let exports = Postmortem.csv_exports a in
+  Alcotest.(check (list string))
+    "export basenames"
+    [
+      "timeline.csv";
+      "stabilization.csv";
+      "evictions.csv";
+      "group_sizes.csv";
+      "group_lifetimes.csv";
+      "view_changes.csv";
+    ]
+    (List.map fst exports);
+  List.iter
+    (fun (name, content) ->
+      check (name ^ " non-empty") true (String.length content > 0))
+    exports
+
+let test_empty_trace () =
+  let a = Postmortem.analyze [] in
+  check_int "no events" 0 (Postmortem.event_count a);
+  check "render still works" true
+    (String.length (Postmortem.render a) > 0)
+
+let test_snapshot_rendering () =
+  let reg = Registry.create () in
+  Registry.Counter.add (Registry.counter reg "grp_compute_total") 5;
+  Registry.Gauge.set (Registry.gauge reg "medium_loss_rate") 0.2;
+  Registry.Timer.time (Registry.timer reg "grp_compute_ns") (fun () -> ());
+  Registry.Hist.observe_int (Registry.histogram reg "grp_view_size") 3;
+  let s = Postmortem.render_snapshots [ Registry.snapshot ~jobs:2 reg ] in
+  List.iter
+    (fun needle ->
+      check (Printf.sprintf "snapshot table contains %S" needle) true
+        (Str_helpers.contains s needle))
+    [ "metrics snapshot"; "jobs=2"; "grp_compute_total"; "counter";
+      "gauge"; "timer"; "histogram" ]
+
+(* --- end-to-end: analyze a replayed regression scenario --- *)
+
+let test_regression_replay_report () =
+  let path = Filename.concat "regressions" "complete4-one-sided-membership.json" in
+  let sc =
+    match Scenario.load path with
+    | Some sc -> sc
+    | None -> Alcotest.failf "cannot load %s" path
+  in
+  let ring = Trace.Ring.create ~capacity:65536 in
+  ignore (Executor.run ~trace:(Trace.Ring.sink ring) sc);
+  let a = Postmortem.analyze (Trace.Ring.contents ring) in
+  check "replay produced events" true (Postmortem.event_count a > 0);
+  let s = Postmortem.render a in
+  check "convergence timeline from replay" true
+    (Str_helpers.contains s "convergence timeline");
+  check "group lifetime histogram from replay" true
+    (Str_helpers.contains s "group lifetime distribution");
+  check "stabilization table from replay" true
+    (Str_helpers.contains s "view stabilization")
+
+let suite =
+  [
+    ("analyze basics", `Quick, test_basic);
+    ("convergence timeline", `Quick, test_timeline);
+    ("stabilization table", `Quick, test_stabilization);
+    ("eviction chains", `Quick, test_eviction_chains);
+    ("group size and lifetime distributions", `Quick, test_distributions);
+    ("render and csv exports", `Quick, test_render_and_csv);
+    ("empty trace", `Quick, test_empty_trace);
+    ("metrics snapshot tables", `Quick, test_snapshot_rendering);
+    ("regression replay end-to-end", `Quick, test_regression_replay_report);
+  ]
