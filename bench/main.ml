@@ -5,9 +5,10 @@
    1. Bechamel micro-benchmarks — one Test.make per experiment table,
       timing the elementary operation that dominates the corresponding
       experiment's inner loop (ant merge for E1/E2, a full compute step for
-      E3, predicate checking for E4, a mobility round for E5/E6, a lossy
-      round for E7, an ablated compute for E8).
-   2. The experiment tables E1..E11 themselves (the evaluation the paper
+      E3, predicate checking for E4 — full and incremental, a mobility round
+      for E5/E6, a lossy round for E7, an ablated compute for E8, the
+      unit-disk graph rebuild — naive and spatial-grid — for E12).
+   2. The experiment tables E1..E12 themselves (the evaluation the paper
       refers to; EXPERIMENTS.md records the measured outcomes).
 
    Usage:
@@ -16,9 +17,12 @@
 
    --jobs N spreads the experiments' independent repetitions over N domains
    (output is identical to --jobs 1; see Dgs_parallel.Pool).  --json PATH
-   additionally writes a machine-readable snapshot of the micro ns/op
-   numbers and a timed fuzz-campaign section — BENCH_<date>.json files in
-   the repo root are committed snapshots of exactly this output. *)
+   additionally writes a machine-readable snapshot (schema 3) of the micro
+   ns/op numbers, a timed fuzz-campaign section, and a [vanet] section
+   timing a large highway scenario (10k nodes; 2k under --quick) through
+   the spatial-grid rebuild and incremental oracle — BENCH_<date>.json
+   files in the repo root are committed snapshots of exactly this
+   output. *)
 
 open Bechamel
 open Toolkit
@@ -156,6 +160,39 @@ let bench_predicates =
   Test.make ~name:"e4: legitimate(grid4x4)"
     (Staged.stage (fun () -> P.legitimate ~dmax:3 c))
 
+let bench_predicates_incremental =
+  (* The same E4 subject through the incremental checker with warm caches:
+     the steady-state cost of a poll that finds nothing dirty.  Cross-check
+     disabled — it would re-run the full checker being compared against. *)
+  let g = Gen.grid 4 4 in
+  let t = Rounds.create ~config:(Config.make ~dmax:3 ()) g in
+  let rng = Rng.create 1 in
+  ignore (Rounds.run_until_stable ~jitter:0.1 ~rng ~confirm:8 ~max_rounds:2000 t);
+  let c = Harness.snapshot t g in
+  let inc = Dgs_spec.Incremental.create ~cross_check_limit:0 ~dmax:3 () in
+  ignore (Dgs_spec.Incremental.check inc c);
+  Test.make ~name:"e4: legitimate(grid4x4) incremental"
+    (Staged.stage (fun () ->
+         Dgs_spec.Incremental.legitimate (Dgs_spec.Incremental.check inc c)))
+
+let bench_unit_disk =
+  (* E12 inner loop: one unit-disk rebuild at n=2000 (mean degree ~8),
+     naive all-pairs scan vs the spatial hash grid. *)
+  let n = 2000 in
+  let range = 2.0 in
+  let side = Float.sqrt (float_of_int n *. Float.pi *. range *. range /. 8.0) in
+  let rng = Rng.create 9 in
+  let positions =
+    Array.init n (fun _ ->
+        Dgs_util.Geom.make (Rng.float rng side) (Rng.float rng side))
+  in
+  [
+    Test.make ~name:"e12: of_positions grid (n=2000)"
+      (Staged.stage (fun () -> Gen.of_positions positions ~range));
+    Test.make ~name:"e12: of_positions naive (n=2000)"
+      (Staged.stage (fun () -> Gen.of_positions_naive positions ~range));
+  ]
+
 let bench_diameter =
   (* Predicate substrate: diameter of a 25-node induced subgraph. *)
   let g = Gen.grid 5 5 in
@@ -230,8 +267,9 @@ let micro_benchmarks ~quick () =
   let tests =
     [ bench_ant_merge; bench_compute ]
     @ bench_compute_traced @ bench_compute_metrics @ bench_ant_merge_metrics
+    @ [ bench_predicates; bench_predicates_incremental ]
+    @ bench_unit_disk
     @ [
-      bench_predicates;
       bench_diameter;
       bench_round;
       bench_lossy_round;
@@ -276,12 +314,24 @@ let campaign_timings ~quick () =
       (jobs, metrics, runs, max_actions, wall, List.length s.Dgs_check.Fuzz.failures))
     [ (1, false); (4, false); (1, true) ]
 
-let write_json path ~micro ~campaigns =
+(* Large-scale VANET timing for the JSON snapshot: a highway run at scale
+   through the spatial-grid rebuild and the incremental oracle.  10k nodes
+   in a full run (the committed baseline row), 2k under --quick. *)
+let vanet_timings ~quick () =
+  let n = if quick then 2_000 else 10_000 in
+  let rounds = if quick then 10 else 20 in
+  let warmup = if quick then 2 else 5 in
+  [
+    Dgs_workload.Vanet.run ~scenario:Dgs_workload.Vanet.Highway ~n ~rounds
+      ~warmup ~oracle_every:5 ();
+  ]
+
+let write_json path ~micro ~campaigns ~vanet =
   let b = Buffer.create 2048 in
   let tm = Unix.gmtime (Unix.time ()) in
   Buffer.add_string b
     (Printf.sprintf
-       "{\n  \"schema\": 2,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+       "{\n  \"schema\": 3,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
        (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
        tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec);
   Buffer.add_string b
@@ -306,6 +356,29 @@ let write_json path ~micro ~campaigns =
            failures
            (if i = List.length campaigns - 1 then "" else ",")))
     campaigns;
+  Buffer.add_string b "  ],\n  \"vanet\": [\n";
+  List.iteri
+    (fun i (r : Dgs_workload.Vanet.report) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"scenario\": %S, \"nodes\": %d, \"rounds\": %d, \"wall_s\": \
+            %.3f, \"events_per_s\": %.1f, \"node_steps_per_s\": %.1f, \
+            \"graph_build_s\": %.3f, \"round_s\": %.3f, \"oracle_s\": %.3f, \
+            \"oracle_polls\": %d, \"messages\": %d, \"mean_degree\": %.2f, \
+            \"groups\": %d, \"legitimate\": %b}%s\n"
+           r.Dgs_workload.Vanet.scenario r.Dgs_workload.Vanet.nodes
+           r.Dgs_workload.Vanet.rounds r.Dgs_workload.Vanet.wall_s
+           r.Dgs_workload.Vanet.events_per_s
+           r.Dgs_workload.Vanet.node_steps_per_s
+           r.Dgs_workload.Vanet.graph_build_s r.Dgs_workload.Vanet.round_s
+           r.Dgs_workload.Vanet.oracle_s r.Dgs_workload.Vanet.oracle_polls
+           r.Dgs_workload.Vanet.messages r.Dgs_workload.Vanet.mean_degree
+           r.Dgs_workload.Vanet.groups
+           (r.Dgs_workload.Vanet.agreement_ok
+           && r.Dgs_workload.Vanet.safety_ok
+           && r.Dgs_workload.Vanet.maximality_ok)
+           (if i = List.length vanet - 1 then "" else ",")))
+    vanet;
   Buffer.add_string b "  ]\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
@@ -341,4 +414,5 @@ let () =
   | None -> ()
   | Some path ->
       let campaigns = campaign_timings ~quick () in
-      write_json path ~micro ~campaigns
+      let vanet = vanet_timings ~quick () in
+      write_json path ~micro ~campaigns ~vanet

@@ -4,6 +4,8 @@
      converge    run the protocol on a static topology until quiescent and
                  report the groups and the specification predicates
      mobility    run a mobility scenario and report the continuity metrics
+     vanet       large-scale highway/city scenario (10k+ nodes) with the
+                 spatial-grid graph rebuild and the incremental oracle
      experiment  run one of the E1..E10 experiment suites
      fuzz        random churn/rewiring/loss scenarios against the invariant
                  oracles, with shrinking and replayable repro files
@@ -22,6 +24,7 @@ module P = Dgs_spec.Predicates
 module Monitor = Dgs_spec.Monitor
 module Mobility = Dgs_mobility.Mobility
 module Harness = Dgs_workload.Harness
+module Vanet = Dgs_workload.Vanet
 module Experiments = Dgs_workload.Experiments
 module Trace = Dgs_trace.Trace
 module Postmortem = Dgs_trace.Postmortem
@@ -662,6 +665,89 @@ let report_cmd =
           snapshots — without re-running the simulation.")
     Term.(const run $ trace $ metrics $ csv)
 
+let vanet_cmd =
+  let oracle_conv =
+    let parse = function
+      | "incremental" -> Ok `Incremental
+      | "full" -> Ok `Full
+      | "off" -> Ok `Off
+      | s -> Error (`Msg (Printf.sprintf "unknown oracle %S (try: incremental, full, off)" s))
+    in
+    let print ppf o =
+      Format.pp_print_string ppf
+        (match o with `Incremental -> "incremental" | `Full -> "full" | `Off -> "off")
+    in
+    Arg.conv (parse, print)
+  in
+  let scenario_conv =
+    let parse s =
+      match Vanet.scenario_of_string s with
+      | Some sc -> Ok sc
+      | None -> Error (`Msg (Printf.sprintf "unknown scenario %S (try: highway, city)" s))
+    in
+    Arg.conv (parse, fun ppf sc -> Format.pp_print_string ppf (Vanet.scenario_name sc))
+  in
+  let run scenario n dmax seed speed range rounds warmup oracle oracle_every naive_graph =
+    let r =
+      Vanet.run ~seed ~dmax ~range ~speed ~rounds ~warmup ~oracle ~oracle_every
+        ~naive_graph ~scenario ~n ()
+    in
+    Format.printf "%a@." Vanet.pp_report r
+  in
+  let scenario =
+    Arg.(
+      value & opt scenario_conv Vanet.Highway
+      & info [ "scenario" ] ~docv:"SCENARIO" ~doc:"VANET scenario: highway or city.")
+  in
+  let nodes =
+    Arg.(value & opt int 10_000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of vehicles.")
+  in
+  let speed =
+    Arg.(value & opt float 0.15 & info [ "speed" ] ~docv:"SPEED" ~doc:"Mean vehicle speed.")
+  in
+  let range =
+    Arg.(value & opt float 2.0 & info [ "range" ] ~docv:"RANGE" ~doc:"Radio range (unit-disk radius).")
+  in
+  let rounds =
+    Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"ROUNDS" ~doc:"Measured rounds.")
+  in
+  let warmup =
+    Arg.(value & opt int 10 & info [ "warmup" ] ~docv:"ROUNDS" ~doc:"Warmup rounds before measuring.")
+  in
+  let oracle =
+    Arg.(
+      value & opt oracle_conv `Incremental
+      & info [ "oracle" ] ~docv:"ORACLE"
+          ~doc:
+            "Predicate checker polled during the run: incremental (cached, \
+             dirty-node driven), full (recompute everything each poll — slow \
+             beyond a few thousand nodes), or off.")
+  in
+  let oracle_every =
+    Arg.(
+      value & opt int 5
+      & info [ "oracle-every" ] ~docv:"ROUNDS" ~doc:"Rounds between oracle polls.")
+  in
+  let naive_graph =
+    Arg.(
+      value & flag
+      & info [ "naive-graph" ]
+          ~doc:
+            "Rebuild the unit-disk graph with the O(n²) all-pairs reference \
+             scan instead of the spatial hash grid (baseline for the \
+             speedup).")
+  in
+  Cmd.v
+    (Cmd.info "vanet"
+       ~doc:
+         "Large-scale VANET scenario: highway or Manhattan city at 10k+ \
+          nodes, spatial-grid graph rebuild per round, incremental oracle on \
+          structure-shared snapshots, throughput report (events/s, \
+          node·steps/s).")
+    Term.(
+      const run $ scenario $ nodes $ dmax_arg $ seed_arg $ speed $ range $ rounds
+      $ warmup $ oracle $ oracle_every $ naive_graph)
+
 let list_cmd =
   let run () =
     Printf.printf "topologies:\n";
@@ -692,6 +778,7 @@ let () =
           [
             converge_cmd;
             mobility_cmd;
+            vanet_cmd;
             experiment_cmd;
             fuzz_cmd;
             report_cmd;

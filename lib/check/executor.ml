@@ -26,7 +26,7 @@ let stats_monotone (p : net_stats) (s : net_stats) =
   && s.medium.Medium.drops >= p.medium.Medium.drops
 
 let run ?(oracle = Oracle.default) ?(protocol = Fun.id)
-    ?(trace = Trace.null) ?(metrics = Dgs_metrics.Registry.null)
+    ?(trace = Trace.null) ?(metrics = Dgs_metrics.Registry.null) ?on_observe
     (sc : Scenario.t) : Oracle.report =
   let module Registry = Dgs_metrics.Registry in
   let module Names = Dgs_metrics.Names in
@@ -200,6 +200,16 @@ let run ?(oracle = Oracle.default) ?(protocol = Fun.id)
   let deadline = Engine.now engine +. cfg.Oracle.quiescence_budget in
   let poll () =
     Registry.Counter.incr m_poll;
+    (match on_observe with
+    | None -> ()
+    | Some f ->
+        (* Same active-induced configuration the final judgement uses;
+           Graph.induced allocates a fresh graph, so observers may retain
+           or diff configurations across polls safely. *)
+        let active = List.filter (Net.is_active net) (Net.node_ids net) in
+        let g_active = Graph.induced graph (Int_set.of_list active) in
+        f ~time:(Engine.now engine)
+          (Configuration.make ~graph:g_active ~views:(Net.views net)));
     Registry.Timer.time m_poll_ns (fun () -> Net.state_signature net)
   in
   (* Most recent signature first; only consulted if the budget runs out. *)

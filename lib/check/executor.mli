@@ -31,6 +31,7 @@ val run :
   ?protocol:(Dgs_core.Config.t -> Dgs_core.Config.t) ->
   ?trace:Dgs_trace.Trace.t ->
   ?metrics:Dgs_metrics.Registry.t ->
+  ?on_observe:(time:float -> Dgs_spec.Configuration.t -> unit) ->
   Scenario.t ->
   Oracle.report
 (** [protocol] post-processes the protocol configuration built from the
@@ -42,6 +43,13 @@ val run :
     [trace] (default {!Dgs_trace.Trace.null}) receives the full event
     stream of the replay — engine, medium and protocol events, stamped
     with simulation time — which is what [grp_sim report] post-mortems.
+
+    [on_observe] is invoked at every quiescence-phase poll with the
+    simulation time and the same active-induced configuration the final
+    judgement evaluates — the hook the incremental-vs-full oracle agreement
+    tests use to compare checkers over regression-corpus replays.  The
+    configuration's graph is freshly allocated per poll, so observers may
+    retain or diff configurations across polls.
 
     [metrics] (default {!Dgs_metrics.Registry.null}) is threaded to the
     engine, the medium and every node, and additionally receives

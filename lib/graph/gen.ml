@@ -1,5 +1,6 @@
 module Rng = Dgs_util.Rng
 module Geom = Dgs_util.Geom
+module Spatial_grid = Dgs_util.Spatial_grid
 
 let line n =
   let g = Graph.create () in
@@ -67,7 +68,7 @@ let erdos_renyi rng ~n ~p =
   done;
   g
 
-let of_positions positions ~range =
+let of_positions_naive positions ~range =
   let n = Array.length positions in
   let g = Graph.create () in
   let r2 = range *. range in
@@ -78,6 +79,29 @@ let of_positions positions ~range =
     done
   done;
   g
+
+let of_positions positions ~range =
+  let cell = Float.abs range in
+  if not (Float.is_finite cell && cell > 0.0) then
+    (* Degenerate radius: the grid has no usable cell size.  The naive scan
+       still defines the semantics (range 0 links coincident points). *)
+    of_positions_naive positions ~range
+  else begin
+    let n = Array.length positions in
+    let g = Graph.create () in
+    let grid = Spatial_grid.create ~expected:(max 64 n) ~cell () in
+    (* Inserting point i only after querying it guarantees every reported
+       candidate has a smaller id, mirroring the naive scan's j < i loop;
+       the distance test itself lives in Spatial_grid.iter_within and is
+       the same inclusive [dist2 <= range²] expression. *)
+    for i = 0 to n - 1 do
+      Graph.add_node g i;
+      Spatial_grid.iter_within grid positions.(i) ~range (fun j _ ->
+          Graph.add_edge g i j);
+      Spatial_grid.insert grid i positions.(i)
+    done;
+    g
+  end
 
 let random_geometric rng ~n ~xmax ~ymax ~range =
   let positions = Array.init n (fun _ -> Geom.make (Rng.float rng xmax) (Rng.float rng ymax)) in

@@ -1,7 +1,8 @@
 (** Topology generators for tests and experiments.
 
     All generators number nodes [0..n-1].  Geometric generators also return
-    the node positions so the simulator can animate them. *)
+    the node positions, which the mobility models advance between rounds and
+    from which the unit-disk graph is rebuilt after every move. *)
 
 val line : int -> Graph.t
 (** Path 0-1-…-(n-1). *)
@@ -34,7 +35,14 @@ val random_geometric_connected :
 (** Rejection-sample {!random_geometric} until connected. *)
 
 val of_positions : Dgs_util.Geom.point array -> range:float -> Graph.t
-(** Unit-disk graph over the given positions. *)
+(** Unit-disk graph over the given positions: an edge joins [i] and [j] iff
+    [dist2 positions.(i) positions.(j) <= range *. range].  Resolved with a
+    {!Dgs_util.Spatial_grid} keyed by [range] — O(n) on bounded-density
+    inputs — and {!Graph.equal} to {!of_positions_naive} on every input. *)
+
+val of_positions_naive : Dgs_util.Geom.point array -> range:float -> Graph.t
+(** The O(n²) all-pairs reference for {!of_positions}; kept as the equality
+    oracle in tests and the baseline in scaling benchmarks. *)
 
 val barbell : int -> int -> Graph.t
 (** Two cliques of the given sizes joined by a single edge between node 0

@@ -32,6 +32,11 @@ val positions : t -> Dgs_util.Geom.point array
 val step : t -> dt:float -> unit
 
 val graph : t -> range:float -> Dgs_graph.Graph.t
-(** Unit-disk graph over the current positions. *)
+(** Unit-disk graph over the current positions, resolved through the
+    spatial hash grid of {!Dgs_graph.Gen.of_positions}. *)
+
+val graph_naive : t -> range:float -> Dgs_graph.Graph.t
+(** Same graph via the O(n²) all-pairs reference scan; the baseline leg of
+    the E12 scaling experiment and the VANET benchmarks. *)
 
 val spec_name : spec -> string

@@ -1,0 +1,78 @@
+(** Incremental oracle checking of the static predicates [ΠA], [ΠS], [ΠM].
+
+    The full checkers in {!Predicates} re-run BFS/diameter extraction over
+    the whole configuration at every poll, which dominates large-scenario
+    runs.  This module keeps per-node verdicts, [Ω] groups, group diameters
+    and group-pair mergeability verdicts cached between polls, and
+    re-evaluates only what a {e dirty} node can influence.
+
+    Nodes become dirty two ways: explicitly, via {!mark_dirty} wired to
+    engine events (a round's view additions/removals, a topology change), and
+    implicitly, by diffing the polled configuration against the previous one
+    (per-node view and adjacency equality).  The implicit diff is always on,
+    so marks are an optimization hint, never a soundness requirement — an
+    unmarked change is still caught.
+
+    Verdicts are {e structurally identical} to the full checkers': the same
+    scan orders, the same violation constructors, the same first witness.
+    On configurations of at most [cross_check_limit] nodes, every poll also
+    runs the full checkers and raises {!Mismatch} on any disagreement — the
+    cross-check the tentpole keeps on small topologies.
+
+    Caveat: the checker snapshots per-node neighbor sets (immutable) rather
+    than the graph object, so callers may mutate a graph in place between
+    polls; each poll sees the then-current adjacency. *)
+
+type t
+(** Mutable checker state: caches, dirty marks, and the previous snapshot. *)
+
+type verdicts = {
+  agreement : Predicates.violation option;  (** [ΠA], as {!Predicates.agreement} *)
+  safety : Predicates.violation option;  (** [ΠS], as {!Predicates.safety} *)
+  maximality : Predicates.violation option;  (** [ΠM], as {!Predicates.maximality} *)
+}
+(** One poll's verdicts; [None] means the predicate holds. *)
+
+type stats = {
+  polls : int;  (** calls to {!check} *)
+  dirtied : int;  (** dirty nodes across all polls (marks + diffs) *)
+  agreements_checked : int;  (** per-node [ΠA] verdicts recomputed *)
+  omegas_computed : int;  (** [Ω_v] recomputations *)
+  diameters_computed : int;  (** group-diameter BFS batches run *)
+  pairs_checked : int;  (** group-pair mergeability checks run *)
+  cross_checks : int;  (** polls that also ran the full checkers *)
+}
+(** Cumulative work counters; the gap between [polls × n] and the
+    recomputation counters is the work the caches saved. *)
+
+exception Mismatch of string
+(** Raised by {!check} when the small-topology cross-check finds the
+    incremental and full verdicts disagreeing (a checker bug by definition). *)
+
+val create : ?cross_check_limit:int -> dmax:int -> unit -> t
+(** A fresh checker for diameter bound [dmax].  Polls on configurations of
+    at most [cross_check_limit] nodes (default 64) are cross-checked against
+    the full {!Predicates}; pass [0] to disable. *)
+
+val mark_dirty : t -> Dgs_core.Node_id.t -> unit
+(** Hint that a node's view or adjacency changed since the last poll.
+    Redundant with the built-in configuration diff, but lets event sources
+    (e.g. {!Dgs_sim.Rounds.round} step infos) pre-seed the dirty set. *)
+
+val mark_all_dirty : t -> unit
+(** Drop every cache; the next poll recomputes from scratch. *)
+
+val check : t -> Configuration.t -> verdicts
+(** Evaluate all three static predicates on [c], reusing cached verdicts for
+    nodes, groups and pairs that no dirty node touches.  A poll whose diff
+    finds nothing changed (no mark, no adjacency, view or membership change)
+    returns the previous poll's verdicts after one scan over the nodes — a
+    quiescent network costs O(n) per poll, not a recompute.
+    @raise Mismatch if the small-topology cross-check disagrees. *)
+
+val legitimate : verdicts -> Predicates.violation option
+(** First violation in the order of {!Predicates.legitimate}:
+    agreement, then safety, then maximality. *)
+
+val stats : t -> stats
+(** Cumulative counters since {!create}. *)

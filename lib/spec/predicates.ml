@@ -15,38 +15,60 @@ let find_map_nodes c f =
   let rec go = function [] -> None | v :: rest -> (match f v with None -> go rest | s -> s) in
   go (Configuration.nodes c)
 
+(* The per-node / per-pair primitives below are shared with the incremental
+   checker (Incremental), which replays them on dirty nodes only.  Both
+   checkers must produce structurally identical violations, so the full
+   predicates are themselves written on top of these primitives. *)
+
+let agreement_at c ~nodes v =
+  let vw = Configuration.view c v in
+  if not (Node_id.Set.mem v vw) then
+    fail "agreement" [ v ] "node does not belong to its own view"
+  else if not (Node_id.Set.subset vw nodes) then
+    fail "agreement" [ v ] "view contains a non-existing node"
+  else
+    Node_id.Set.fold
+      (fun u acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if Node_id.Set.equal (Configuration.view c u) vw then None
+            else
+              fail "agreement" [ v; u ]
+                (Format.asprintf "views differ: %a vs %a" Node_id.pp_set vw
+                   Node_id.pp_set (Configuration.view c u)))
+      vw None
+
 let agreement c =
   let node_set = Node_id.Set.of_list (Configuration.nodes c) in
-  find_map_nodes c (fun v ->
-      let vw = Configuration.view c v in
-      if not (Node_id.Set.mem v vw) then
-        fail "agreement" [ v ] "node does not belong to its own view"
-      else if not (Node_id.Set.subset vw node_set) then
-        fail "agreement" [ v ] "view contains a non-existing node"
-      else
-        Node_id.Set.fold
-          (fun u acc ->
-            match acc with
-            | Some _ -> acc
-            | None ->
-                if Node_id.Set.equal (Configuration.view c u) vw then None
-                else
-                  fail "agreement" [ v; u ]
-                    (Format.asprintf "views differ: %a vs %a" Node_id.pp_set vw
-                       Node_id.pp_set (Configuration.view c u)))
-          vw None)
+  find_map_nodes c (fun v -> agreement_at c ~nodes:node_set v)
 
 let group_diameter_ok ~dmax graph group =
   Paths.diameter_of_set graph group <= dmax
 
-let safety ~dmax c =
-  find_map_nodes c (fun v ->
-      let g = Configuration.omega c v in
-      if group_diameter_ok ~dmax c.Configuration.graph g then None
-      else
-        fail "safety" [ v ]
-          (Format.asprintf "group %a is disconnected or wider than %d" Node_id.pp_set g
-             dmax))
+let safety_violation ~dmax v g =
+  {
+    predicate = "safety";
+    subject = [ v ];
+    detail =
+      Format.asprintf "group %a is disconnected or wider than %d" Node_id.pp_set g dmax;
+  }
+
+let safety_at ~dmax c v =
+  let g = Configuration.omega c v in
+  if group_diameter_ok ~dmax c.Configuration.graph g then None
+  else Some (safety_violation ~dmax v g)
+
+let safety ~dmax c = find_map_nodes c (fun v -> safety_at ~dmax c v)
+
+let merge_violation ~dmax g g' =
+  {
+    predicate = "maximality";
+    subject = [ Node_id.Set.min_elt g; Node_id.Set.min_elt g' ];
+    detail =
+      Format.asprintf "groups %a and %a could merge within %d" Node_id.pp_set g
+        Node_id.pp_set g' dmax;
+  }
 
 let maximality ~dmax c =
   let groups = Configuration.groups c in
@@ -59,11 +81,7 @@ let maximality ~dmax c =
             rest
         in
         match mergeable with
-        | Some g' ->
-            fail "maximality"
-              [ Node_id.Set.min_elt g; Node_id.Set.min_elt g' ]
-              (Format.asprintf "groups %a and %a could merge within %d" Node_id.pp_set g
-                 Node_id.pp_set g' dmax)
+        | Some g' -> Some (merge_violation ~dmax g g')
         | None -> pairs rest)
   in
   pairs groups

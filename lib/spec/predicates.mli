@@ -29,6 +29,29 @@ val maximality : dmax:int -> Configuration.t -> violation option
 val legitimate : dmax:int -> Configuration.t -> violation option
 (** [ΠA ∧ ΠS ∧ ΠM] — the stabilization target. *)
 
+(** {2 Per-node primitives}
+
+    Shared with {!Incremental}, which re-evaluates them on dirty nodes only.
+    Both checkers build violations from the same constructors, so their
+    verdicts are structurally identical. *)
+
+val agreement_at : Configuration.t -> nodes:Dgs_core.Node_id.Set.t -> Dgs_core.Node_id.t -> violation option
+(** [ΠA] at one node: [nodes] is the configuration's node set (precomputed
+    once per scan).  {!agreement} is the first [Some] over sorted nodes. *)
+
+val safety_at : dmax:int -> Configuration.t -> Dgs_core.Node_id.t -> violation option
+(** [ΠS] at one node: computes [Ω_v] and its induced diameter. *)
+
+val group_diameter_ok : dmax:int -> Dgs_graph.Graph.t -> Dgs_core.Node_id.Set.t -> bool
+(** Whether a member set induces a connected subgraph of diameter ≤ [dmax]. *)
+
+val safety_violation : dmax:int -> Dgs_core.Node_id.t -> Dgs_core.Node_id.Set.t -> violation
+(** The violation {!safety} reports when [Ω_v] fails {!group_diameter_ok}. *)
+
+val merge_violation : dmax:int -> Dgs_core.Node_id.Set.t -> Dgs_core.Node_id.Set.t -> violation
+(** The violation {!maximality} reports for a mergeable group pair, with the
+    lower-min group first. *)
+
 val topology_preserved : dmax:int -> Configuration.t -> Configuration.t -> violation option
 (** [ΠT(c, c')]: for every view of [c], the distance between its members
     inside the view stays within [dmax] in the topology of [c'].  Views

@@ -1,0 +1,120 @@
+(* Hash grid over square cells of side [cell].  A cell is addressed by
+   (floor (x/cell), floor (y/cell)); only occupied cells exist in the table,
+   so memory is O(points), independent of the world's extent. *)
+
+type bucket = int list ref
+
+type t = {
+  cell : float;
+  cells : (int * int, bucket) Hashtbl.t;
+  points : (int, Geom.point) Hashtbl.t;
+}
+
+let create ?(expected = 64) ~cell () =
+  if not (Float.is_finite cell && cell > 0.0) then
+    invalid_arg "Spatial_grid.create: cell must be finite and positive";
+  { cell; cells = Hashtbl.create expected; points = Hashtbl.create expected }
+
+let cell_size t = t.cell
+let size t = Hashtbl.length t.points
+let mem t id = Hashtbl.mem t.points id
+let position t id = Hashtbl.find_opt t.points id
+
+(* Quotients are clamped before flooring so extreme coordinate/cell ratios
+   cannot overflow int conversion.  The clamp is monotone and 1-Lipschitz,
+   so two points within [range] still land within [span] cells of each
+   other and query coverage is preserved; far-apart points sharing a
+   clamped cell merely become candidates that the distance test rejects. *)
+let quot_limit = 1e15
+
+let coord t v =
+  let q = v /. t.cell in
+  let q = Float.min quot_limit (Float.max (-.quot_limit) q) in
+  int_of_float (Float.floor q)
+
+let cell_of t (p : Geom.point) = (coord t p.x, coord t p.y)
+
+let bucket_add t key id =
+  match Hashtbl.find_opt t.cells key with
+  | Some b -> b := id :: !b
+  | None -> Hashtbl.add t.cells key (ref [ id ])
+
+let bucket_remove t key id =
+  match Hashtbl.find_opt t.cells key with
+  | None -> ()
+  | Some b ->
+      b := List.filter (fun i -> i <> id) !b;
+      if !b = [] then Hashtbl.remove t.cells key
+
+let insert t id p =
+  if Hashtbl.mem t.points id then
+    invalid_arg "Spatial_grid.insert: id already present (use move)";
+  Hashtbl.replace t.points id p;
+  bucket_add t (cell_of t p) id
+
+let move t id p =
+  match Hashtbl.find_opt t.points id with
+  | None ->
+      Hashtbl.replace t.points id p;
+      bucket_add t (cell_of t p) id
+  | Some old ->
+      let oc = cell_of t old and nc = cell_of t p in
+      Hashtbl.replace t.points id p;
+      if oc <> nc then begin
+        bucket_remove t oc id;
+        bucket_add t nc id
+      end
+
+let remove t id =
+  match Hashtbl.find_opt t.points id with
+  | None -> ()
+  | Some p ->
+      Hashtbl.remove t.points id;
+      bucket_remove t (cell_of t p) id
+
+let of_points ?cell ~range ps =
+  let cell =
+    match cell with Some c -> c | None -> Float.abs range
+  in
+  let t = create ~expected:(max 64 (Array.length ps)) ~cell () in
+  Array.iteri (fun i p -> insert t i p) ps;
+  t
+
+(* Queries wider than this many cells per axis degenerate to a full scan of
+   the point table — still exact, and O(points) instead of O(span²). *)
+let span_limit = 2_000
+
+let scan_all t p ~r2 f =
+  Hashtbl.iter (fun id q -> if Geom.dist2 p q <= r2 then f id q) t.points
+
+let iter_within t (p : Geom.point) ~range f =
+  (* Same inclusive test and float expression as the naive all-pairs scan
+     in Gen.of_positions, so decisions agree bit for bit. *)
+  let r2 = range *. range in
+  let s = Float.abs range /. t.cell in
+  if not (Float.is_finite s) || s >= float_of_int span_limit then
+    scan_all t p ~r2 f
+  else begin
+    let span = int_of_float (Float.ceil s) in
+    let cx, cy = cell_of t p in
+    for dx = -span to span do
+      for dy = -span to span do
+        match Hashtbl.find_opt t.cells (cx + dx, cy + dy) with
+        | None -> ()
+        | Some b ->
+            List.iter
+              (fun id ->
+                let q = Hashtbl.find t.points id in
+                if Geom.dist2 p q <= r2 then f id q)
+              !b
+      done
+    done
+  end
+
+let fold_within t p ~range f init =
+  let acc = ref init in
+  iter_within t p ~range (fun id q -> acc := f id q !acc);
+  !acc
+
+let stats t =
+  Hashtbl.fold (fun _ b (cells, mx) -> (cells + 1, max mx (List.length !b))) t.cells (0, 0)

@@ -1,0 +1,61 @@
+(** Spatial hash grid over 2D points for unit-disk neighbor queries.
+
+    The plane is partitioned into square cells of side [cell]; each occupied
+    cell keeps the ids of the points inside it.  A range query at radius [r]
+    only inspects the [O((r / cell + 1)²)] cells overlapping the query disk,
+    so with [cell] equal to the unit-disk radius a query touches at most a
+    3×3 block of cells — the per-cell candidate lookup that replaces the
+    O(n²) all-pairs scan in {!Dgs_graph.Gen.of_positions}.
+
+    Points are identified by integer ids chosen by the caller and may sit at
+    arbitrary finite coordinates (negative included); coincident points are
+    fine.  The structure is mutable and not thread-safe. *)
+
+type t
+(** A mutable spatial hash grid. *)
+
+val create : ?expected:int -> cell:float -> unit -> t
+(** [create ~cell ()] is an empty grid with square cells of side [cell].
+    [expected] sizes the internal tables (default 64).
+    @raise Invalid_argument if [cell] is not finite and positive. *)
+
+val cell_size : t -> float
+(** Side length of the grid cells, as passed to {!create}. *)
+
+val size : t -> int
+(** Number of points currently stored. *)
+
+val mem : t -> int -> bool
+(** [mem t id] is [true] iff [id] is currently stored. *)
+
+val position : t -> int -> Geom.point option
+(** Last position stored for [id], if any. *)
+
+val insert : t -> int -> Geom.point -> unit
+(** [insert t id p] stores a new point.
+    @raise Invalid_argument if [id] is already present (use {!move}). *)
+
+val move : t -> int -> Geom.point -> unit
+(** [move t id p] repositions an existing point, rebucketing it only when it
+    crosses a cell boundary.  Inserts [id] if it was absent, so a mobility
+    step can blindly [move] every node. *)
+
+val remove : t -> int -> unit
+(** [remove t id] deletes the point; no-op when absent. *)
+
+val of_points : ?cell:float -> range:float -> Geom.point array -> t
+(** [of_points ~range ps] bulk-builds a grid holding point [i] at [ps.(i)],
+    with cell side [cell] (default: [abs range], the unit-disk radius). *)
+
+val iter_within : t -> Geom.point -> range:float -> (int -> Geom.point -> unit) -> unit
+(** [iter_within t p ~range f] calls [f id q] for every stored point [q]
+    with [dist2 p q <= range *. range] — the same inclusive test, on the
+    same {!Geom.dist2} float expression, as the naive all-pairs scan, so
+    callers get bit-for-bit identical adjacency decisions.  Order is
+    unspecified; each point is reported once. *)
+
+val fold_within : t -> Geom.point -> range:float -> (int -> Geom.point -> 'a -> 'a) -> 'a -> 'a
+(** Fold variant of {!iter_within}. *)
+
+val stats : t -> int * int
+(** [(occupied_cells, max_bucket)] — occupancy snapshot for diagnostics. *)

@@ -1,0 +1,108 @@
+module Table = Dgs_metrics.Table
+module Rounds = Dgs_sim.Rounds
+module Mobility = Dgs_mobility.Mobility
+module Cfg = Dgs_spec.Configuration
+module P = Dgs_spec.Predicates
+module Incremental = Dgs_spec.Incremental
+module Rng = Dgs_util.Rng
+open Dgs_core
+
+(* The full oracle pays its whole cost — agreement, safety and the
+   maximality pair scan — at every poll whether anything changed or not;
+   at 10k nodes that is roughly half a second per poll on the reference
+   host.  The incremental checker's advantage splits into two regimes the
+   table reports separately: under churn it only tracks the full checker
+   (everything is dirty, so it does the same work plus bookkeeping), while
+   a quiescent poll touches caches only.  Beyond this cap the full leg is
+   skipped ("–") to bound table-generation time. *)
+let full_oracle_cap = 10_000
+
+let time_ms ?(reps = 1) f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1000.0
+
+let run ?(quick = false) ?(jobs = 1) () =
+  ignore jobs;
+  let sizes = if quick then [ 300; 1000 ] else [ 1000; 3000; 10000 ] in
+  let dmax = 3 in
+  let range = 2.0 and speed = 0.15 and dt = 1.0 in
+  let config = Config.make ~dmax () in
+  let build_table =
+    Table.create ~title:"E12a: unit-disk graph build, naive vs spatial grid (highway)"
+      ~columns:[ "n"; "naive (ms)"; "grid (ms)"; "speedup" ]
+  in
+  let oracle_table =
+    Table.create
+      ~title:"E12b: oracle poll, full vs incremental (highway, Dmax=3)"
+      ~columns:
+        [ "n"; "groups"; "full (ms)"; "inc churn (ms)"; "inc steady (ms)"; "steady speedup" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.create (12000 + n) in
+      let spec = Vanet.spec_of Vanet.Highway ~n ~range ~speed in
+      let mob = Mobility.create (Rng.split rng) ~n spec in
+      for _ = 1 to 5 do
+        Mobility.step mob ~dt
+      done;
+      (* One untimed warm build per path (first-touch allocation), then the
+         measured mean — a single cold rep is dominated by GC noise. *)
+      ignore (Sys.opaque_identity (Mobility.graph_naive mob ~range));
+      ignore (Sys.opaque_identity (Mobility.graph mob ~range));
+      Gc.major ();
+      let naive_ms = time_ms ~reps:3 (fun () -> Mobility.graph_naive mob ~range) in
+      let grid_ms = time_ms ~reps:3 (fun () -> Mobility.graph mob ~range) in
+      Table.add_row build_table
+        [
+          Table.cell_int n;
+          Table.cell_float ~decimals:1 naive_ms;
+          Table.cell_float ~decimals:1 grid_ms;
+          Printf.sprintf "%.1fx" (naive_ms /. Float.max 1e-6 grid_ms);
+        ];
+      (* Warm the protocol into a grouped regime, then measure polls across
+         genuine mobility perturbations: step, rebuild, one round, poll. *)
+      let t = Rounds.create ~config (Mobility.graph mob ~range) in
+      Rounds.run ~jitter:0.1 ~rng t 15;
+      let inc = Incremental.create ~dmax () in
+      let snap = Harness.Snapshotter.create () in
+      ignore (Incremental.check inc (Harness.Snapshotter.snapshot snap t (Rounds.graph t)));
+      let steps = if quick then 3 else 5 in
+      let full_ms = ref 0.0 and churn_ms = ref 0.0 and groups = ref 0 in
+      for _ = 1 to steps do
+        Mobility.step mob ~dt;
+        let g = Mobility.graph mob ~range in
+        Rounds.set_graph t g;
+        ignore (Rounds.round ~jitter:0.1 ~rng t);
+        let c = Harness.Snapshotter.snapshot snap t g in
+        Gc.major ();
+        churn_ms := !churn_ms +. time_ms (fun () -> Incremental.check inc c);
+        if n <= full_oracle_cap then
+          full_ms :=
+            !full_ms
+            +. time_ms (fun () ->
+                   (P.agreement c, P.safety ~dmax c, P.maximality ~dmax c));
+        groups := List.length (Cfg.groups c)
+      done;
+      (* Quiescent polls: same configuration again, nothing dirty. *)
+      let c = Harness.Snapshotter.snapshot snap t (Rounds.graph t) in
+      ignore (Incremental.check inc c);
+      Gc.major ();
+      let steady_ms = time_ms ~reps:steps (fun () -> Incremental.check inc c) in
+      let per x = x /. float_of_int steps in
+      Table.add_row oracle_table
+        [
+          Table.cell_int n;
+          Table.cell_int !groups;
+          (if n <= full_oracle_cap then Table.cell_float ~decimals:1 (per !full_ms)
+           else "–");
+          Table.cell_float ~decimals:1 (per !churn_ms);
+          Table.cell_float ~decimals:1 steady_ms;
+          (if n <= full_oracle_cap then
+             Printf.sprintf "%.0fx" (per !full_ms /. Float.max 1e-6 steady_ms)
+           else "–");
+        ])
+    sizes;
+  [ build_table; oracle_table ]

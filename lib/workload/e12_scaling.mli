@@ -1,0 +1,13 @@
+(** E12 — Scaling: spatial grid and incremental oracle (extension beyond
+    the paper's scope).
+
+    Two wall-clock comparisons on the highway VANET workload as n grows:
+    the unit-disk graph rebuild (naive O(n²) all-pairs scan vs the spatial
+    hash grid of {!Dgs_util.Spatial_grid}) and one oracle poll (full
+    {!Dgs_spec.Predicates} recompute vs {!Dgs_spec.Incremental}).  The
+    oracle comparison reports two regimes: polls across genuine mobility
+    perturbations, where the incremental checker can only track the full
+    recompute, and quiescent re-polls, where it touches caches only —
+    the regime a monitoring oracle actually lives in. *)
+
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

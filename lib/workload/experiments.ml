@@ -17,6 +17,7 @@ let all =
     { id = "e9"; title = "Scalability with network size"; run = E9_scalability.run };
     { id = "e10"; title = "Node churn"; run = E10_churn.run };
     { id = "e11"; title = "Parallel campaign speedup and determinism"; run = E11_parallel.run };
+    { id = "e12"; title = "Scaling: spatial grid and incremental oracle"; run = E12_scaling.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -15,6 +15,40 @@ let snapshot t graph =
          (fun acc v -> Node_id.Map.add v (Grp_node.view (Rounds.node t v)) acc)
          Node_id.Map.empty (Rounds.node_ids t))
 
+module Snapshotter = struct
+  type t = { mutable views : Node_id.Set.t Node_id.Map.t }
+
+  let create () = { views = Node_id.Map.empty }
+
+  (* Views are immutable sets replaced wholesale when a node's view changes,
+     so pointer equality against the previous snapshot detects "unchanged"
+     in O(1) and the persistent map shares every untouched subtree.  A poll
+     over n nodes with k view changes costs O(n) pointer checks plus
+     O(k log n) rebuilt map spine, instead of building an n-entry map. *)
+  let snapshot s runner graph =
+    let ids = Rounds.node_ids runner in
+    let views =
+      List.fold_left
+        (fun acc v ->
+          let view = Grp_node.view (Rounds.node runner v) in
+          match Node_id.Map.find_opt v acc with
+          | Some old when old == view -> acc
+          | _ -> Node_id.Map.add v view acc)
+        s.views ids
+    in
+    (* Departed nodes leave stale entries behind; prune only when any
+       exist, so the steady state stays allocation-free. *)
+    let views =
+      if Node_id.Map.cardinal views > List.length ids then
+        List.fold_left
+          (fun acc v -> Node_id.Map.add v (Node_id.Map.find v views) acc)
+          Node_id.Map.empty ids
+      else views
+    in
+    s.views <- views;
+    Cfg.make ~graph ~views
+end
+
 type convergence = {
   rounds : int option;
   messages : int;

@@ -6,7 +6,27 @@
     predicates. *)
 
 val snapshot : Dgs_sim.Rounds.t -> Dgs_graph.Graph.t -> Dgs_spec.Configuration.t
-(** Configuration (graph + views) of the current runner state. *)
+(** Configuration (graph + views) of the current runner state.  Builds a
+    fresh views map on every call; for repeated polling at scale use
+    {!Snapshotter}. *)
+
+(** Structure-shared configuration snapshots: successive polls reuse the
+    previous views map and only touch entries whose view actually changed,
+    so polling no longer copies whole configurations.  The configurations
+    produced are {!snapshot}-equal; on top of the allocation savings, the
+    pointer-equal unchanged views let {!Dgs_spec.Incremental}'s
+    configuration diff short-circuit per node. *)
+module Snapshotter : sig
+  type t
+  (** Carries the previous poll's views map between polls. *)
+
+  val create : unit -> t
+  (** A snapshotter with an empty history; the first poll pays full cost. *)
+
+  val snapshot : t -> Dgs_sim.Rounds.t -> Dgs_graph.Graph.t -> Dgs_spec.Configuration.t
+  (** Like {!val:Harness.snapshot}, sharing all unchanged views with the
+      previous call's result. *)
+end
 
 type convergence = {
   rounds : int option;  (** [None] when the round budget ran out *)

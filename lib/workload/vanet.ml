@@ -1,0 +1,185 @@
+module Mobility = Dgs_mobility.Mobility
+module Rounds = Dgs_sim.Rounds
+module Cfg = Dgs_spec.Configuration
+module P = Dgs_spec.Predicates
+module Incremental = Dgs_spec.Incremental
+module Graph = Dgs_graph.Graph
+module Rng = Dgs_util.Rng
+open Dgs_core
+
+type scenario = Highway | City
+
+let scenario_name = function Highway -> "highway" | City -> "city"
+
+let scenario_of_string = function
+  | "highway" -> Some Highway
+  | "city" -> Some City
+  | _ -> None
+
+(* Presets sized for a target mean degree of ~8 at the given radio range:
+   on the highway the linear density n/length must be ~4/range; in the city
+   the street grid's total length 2·b·(b+1)·block must likewise carry
+   ~4/range nodes per unit. *)
+let spec_of scenario ~n ~range ~speed =
+  match scenario with
+  | Highway ->
+      let length = Float.max (8.0 *. range) (float_of_int n *. range /. 4.0) in
+      Mobility.Highway
+        {
+          lanes = 6;
+          lane_gap = 0.15 *. range;
+          length;
+          vmin = 0.8 *. speed;
+          vmax = 1.2 *. speed;
+          bidirectional = true;
+        }
+  | City ->
+      let b =
+        max 2 (int_of_float (Float.round (sqrt (float_of_int n /. 8.0))))
+      in
+      Mobility.Manhattan { blocks_x = b; blocks_y = b; block = range; speed }
+
+type oracle = [ `Off | `Full | `Incremental ]
+
+type report = {
+  scenario : string;
+  nodes : int;
+  rounds : int;
+  wall_s : float;
+  messages : int;
+  computes : int;
+  events_per_s : float;
+  node_steps_per_s : float;
+  graph_build_s : float;
+  round_s : float;
+  oracle_s : float;
+  oracle_polls : int;
+  mean_degree : float;
+  groups : int;
+  agreement_ok : bool;
+  safety_ok : bool;
+  maximality_ok : bool;
+  evictions : int;
+  additions : int;
+  oracle_stats : Incremental.stats option;
+}
+
+let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
+    ?(jitter = 0.1) ?(warmup = 10) ?(rounds = 50) ?(oracle = (`Incremental : oracle))
+    ?(oracle_every = 5) ?(cross_check_limit = 64) ?(naive_graph = false) ~scenario ~n
+    () =
+  let rng = Rng.create seed in
+  let spec = spec_of scenario ~n ~range ~speed in
+  let mob = Mobility.create (Rng.split rng) ~n spec in
+  let build = if naive_graph then Mobility.graph_naive else Mobility.graph in
+  let config = Config.make ~dmax () in
+  let t = Rounds.create ~config (build mob ~range) in
+  for _ = 1 to warmup do
+    ignore (Rounds.round ~jitter ~rng t)
+  done;
+  let inc =
+    match oracle with
+    | `Incremental -> Some (Incremental.create ~cross_check_limit ~dmax ())
+    | `Full | `Off -> None
+  in
+  let snap = Harness.Snapshotter.create () in
+  let messages0 = Rounds.messages_sent t in
+  let graph_build_s = ref 0.0
+  and round_s = ref 0.0
+  and oracle_s = ref 0.0
+  and oracle_polls = ref 0
+  and computes = ref 0
+  and evictions = ref 0
+  and additions = ref 0 in
+  let agreement_ok = ref true
+  and safety_ok = ref true
+  and maximality_ok = ref true in
+  let poll g =
+    let t0 = Unix.gettimeofday () in
+    let c = Harness.Snapshotter.snapshot snap t g in
+    (match (oracle, inc) with
+    | `Incremental, Some inc ->
+        let v = Incremental.check inc c in
+        agreement_ok := v.Incremental.agreement = None;
+        safety_ok := v.Incremental.safety = None;
+        maximality_ok := v.Incremental.maximality = None
+    | `Full, _ ->
+        agreement_ok := P.agreement c = None;
+        safety_ok := P.safety ~dmax c = None;
+        maximality_ok := P.maximality ~dmax c = None
+    | _ -> ());
+    incr oracle_polls;
+    oracle_s := !oracle_s +. (Unix.gettimeofday () -. t0)
+  in
+  let wall0 = Unix.gettimeofday () in
+  for round = 1 to rounds do
+    Mobility.step mob ~dt;
+    let t0 = Unix.gettimeofday () in
+    let g = build mob ~range in
+    graph_build_s := !graph_build_s +. (Unix.gettimeofday () -. t0);
+    Rounds.set_graph t g;
+    let t1 = Unix.gettimeofday () in
+    let infos = Rounds.round ~jitter ~rng t in
+    round_s := !round_s +. (Unix.gettimeofday () -. t1);
+    Node_id.Map.iter
+      (fun v i ->
+        incr computes;
+        let removed = Node_id.Set.cardinal i.Grp_node.view_removed in
+        let added = Node_id.Set.cardinal i.Grp_node.view_added in
+        evictions := !evictions + removed;
+        additions := !additions + added;
+        if removed > 0 || added > 0 then
+          Option.iter (fun inc -> Incremental.mark_dirty inc v) inc)
+      infos;
+    if oracle <> `Off && round mod oracle_every = 0 then poll g
+  done;
+  let g = Rounds.graph t in
+  if oracle <> `Off && rounds mod oracle_every <> 0 then poll g;
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let messages = Rounds.messages_sent t - messages0 in
+  let events = messages + !computes in
+  let final_c = Harness.Snapshotter.snapshot snap t g in
+  {
+    scenario = scenario_name scenario;
+    nodes = n;
+    rounds;
+    wall_s;
+    messages;
+    computes = !computes;
+    events_per_s = (if wall_s > 0.0 then float_of_int events /. wall_s else 0.0);
+    node_steps_per_s =
+      (if wall_s > 0.0 then float_of_int (n * rounds) /. wall_s else 0.0);
+    graph_build_s = !graph_build_s;
+    round_s = !round_s;
+    oracle_s = !oracle_s;
+    oracle_polls = !oracle_polls;
+    mean_degree =
+      (if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.edge_count g) /. float_of_int n);
+    groups = List.length (Cfg.groups final_c);
+    agreement_ok = !agreement_ok;
+    safety_ok = !safety_ok;
+    maximality_ok = !maximality_ok;
+    evictions = !evictions;
+    additions = !additions;
+    oracle_stats = Option.map Incremental.stats inc;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>vanet %s: n=%d rounds=%d wall=%.2fs@,\
+     throughput: %.0f events/s, %.0f node·steps/s (%d messages, %d computes)@,\
+     time split: graph %.2fs, rounds %.2fs, oracle %.2fs over %d polls@,\
+     topology: mean degree %.1f, %d groups@,\
+     final verdicts: agreement=%b safety=%b maximality=%b (evictions %d, additions %d)"
+    r.scenario r.nodes r.rounds r.wall_s r.events_per_s r.node_steps_per_s r.messages
+    r.computes r.graph_build_s r.round_s r.oracle_s r.oracle_polls r.mean_degree
+    r.groups r.agreement_ok r.safety_ok r.maximality_ok r.evictions r.additions;
+  match r.oracle_stats with
+  | None -> Format.fprintf ppf "@]"
+  | Some s ->
+      Format.fprintf ppf
+        "@,oracle cache: %d polls, %d dirtied, %d agreements, %d omegas, %d \
+         diameters, %d pair checks@]"
+        s.Incremental.polls s.Incremental.dirtied s.Incremental.agreements_checked
+        s.Incremental.omegas_computed s.Incremental.diameters_computed
+        s.Incremental.pairs_checked

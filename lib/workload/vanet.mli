@@ -1,0 +1,80 @@
+(** Large-scale VANET scenarios: the paper's highway and city settings at
+    10k+ nodes.
+
+    A run advances a vehicular mobility model (bidirectional highway or
+    Manhattan street grid), rebuilds the unit-disk graph through the spatial
+    hash grid each round, executes one protocol round per mobility step, and
+    polls an oracle on structure-shared snapshots — by default the
+    incremental checker fed with the round's view-change events.  The
+    {!report} separates wall-clock into graph build, protocol rounds and
+    oracle time, which is exactly the split the E12 scaling experiment and
+    the [vanet] benchmark rows commit. *)
+
+type scenario = Highway | City
+
+val scenario_name : scenario -> string
+(** ["highway"] or ["city"]. *)
+
+val scenario_of_string : string -> scenario option
+(** Inverse of {!scenario_name}. *)
+
+val spec_of : scenario -> n:int -> range:float -> speed:float -> Dgs_mobility.Mobility.spec
+(** Mobility preset sized so the mean degree stays around 8 regardless of
+    [n]: a 6-lane bidirectional highway of length [n·range/4], or a square
+    Manhattan grid of about [sqrt (n/8)] blocks of side [range]. *)
+
+type oracle = [ `Off | `Full | `Incremental ]
+(** Which checker the periodic poll runs: none, the full {!Dgs_spec.Predicates}
+    recompute, or {!Dgs_spec.Incremental}. *)
+
+type report = {
+  scenario : string;  (** {!scenario_name} of the scenario run *)
+  nodes : int;  (** n *)
+  rounds : int;  (** measured rounds (warmup excluded) *)
+  wall_s : float;  (** wall-clock of the measured loop *)
+  messages : int;  (** directed deliveries attempted *)
+  computes : int;  (** node compute steps executed *)
+  events_per_s : float;  (** (messages + computes) / wall *)
+  node_steps_per_s : float;  (** n·rounds / wall *)
+  graph_build_s : float;  (** time rebuilding the unit-disk graph *)
+  round_s : float;  (** time in protocol rounds *)
+  oracle_s : float;  (** time in snapshot + oracle polls *)
+  oracle_polls : int;  (** polls taken *)
+  mean_degree : float;  (** 2·|E|/n of the final topology *)
+  groups : int;  (** Ω groups in the final configuration *)
+  agreement_ok : bool;  (** ΠA at the last poll (true when oracle off) *)
+  safety_ok : bool;  (** ΠS at the last poll *)
+  maximality_ok : bool;  (** ΠM at the last poll *)
+  evictions : int;  (** view members removed across all rounds *)
+  additions : int;  (** view members added across all rounds *)
+  oracle_stats : Dgs_spec.Incremental.stats option;
+      (** cache counters when the incremental oracle ran *)
+}
+
+val run :
+  ?seed:int ->
+  ?dmax:int ->
+  ?range:float ->
+  ?speed:float ->
+  ?dt:float ->
+  ?jitter:float ->
+  ?warmup:int ->
+  ?rounds:int ->
+  ?oracle:oracle ->
+  ?oracle_every:int ->
+  ?cross_check_limit:int ->
+  ?naive_graph:bool ->
+  scenario:scenario ->
+  n:int ->
+  unit ->
+  report
+(** Run one scenario.  Defaults: seed 1, dmax 3, range 2, speed 0.15,
+    dt 1, jitter 0.1, warmup 10 rounds, 50 measured rounds, incremental
+    oracle every 5 rounds with cross-check limit 64.  [naive_graph] switches
+    the per-round rebuild to the O(n²) reference scan — the baseline leg of
+    the scaling comparisons.  A final poll is added when [rounds] is not a
+    multiple of [oracle_every] so the verdict fields always reflect the last
+    configuration. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Multi-line human-readable rendering, used by [grp_sim vanet]. *)

@@ -1,0 +1,99 @@
+(* docs/ARCHITECTURE.md cannot drift from the build: the library map
+   between the library-map markers must list exactly the libraries that
+   exist (their `(name …)` stanzas in lib/*/dune) and exactly the lib/
+   directories that hold them.  Same idiom as the OBSERVABILITY
+   vocabulary test in test_trace.ml. *)
+
+let check = Alcotest.(check bool)
+let doc_path = Filename.concat ".." (Filename.concat "docs" "ARCHITECTURE.md")
+let lib_dir = Filename.concat ".." "lib"
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Backticked tokens on a line: the odd-indexed pieces of a split on '`'. *)
+let backticked line =
+  let rec go i = function
+    | [] -> []
+    | x :: rest -> if i mod 2 = 1 then x :: go (i + 1) rest else go (i + 1) rest
+  in
+  go 0 (String.split_on_char '`' line)
+
+let library_map_section () =
+  let in_section = ref false in
+  let section =
+    List.filter
+      (fun line ->
+        if String.trim line = "<!-- library-map:begin -->" then in_section := true
+        else if String.trim line = "<!-- library-map:end -->" then in_section := false;
+        !in_section)
+      (read_lines doc_path)
+  in
+  check "markers found" true (section <> []);
+  section
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let documented_tokens ~prefix =
+  library_map_section ()
+  |> List.concat_map backticked
+  |> List.filter (starts_with prefix)
+  |> List.sort_uniq compare
+
+(* The `(name …)` stanza of a dune file, by textual scan: enough for the
+   one-library-per-directory layout this repo uses. *)
+let library_name dune_file =
+  read_lines dune_file
+  |> List.find_map (fun line ->
+         let line = String.trim line in
+         if starts_with "(name " line then
+           let rest = String.sub line 6 (String.length line - 6) in
+           let stop =
+             match String.index_opt rest ')' with
+             | Some i -> i
+             | None -> String.length rest
+           in
+           Some (String.trim (String.sub rest 0 stop))
+         else None)
+
+let lib_subdirs () =
+  Sys.readdir lib_dir |> Array.to_list
+  |> List.filter (fun d ->
+         Sys.is_directory (Filename.concat lib_dir d)
+         && Sys.file_exists (Filename.concat (Filename.concat lib_dir d) "dune"))
+  |> List.sort compare
+
+let test_library_names () =
+  let built =
+    lib_subdirs ()
+    |> List.filter_map (fun d ->
+           library_name (Filename.concat (Filename.concat lib_dir d) "dune"))
+    |> List.sort_uniq compare
+  in
+  check "libraries exist" true (built <> []);
+  Alcotest.(check (list string))
+    "docs/ARCHITECTURE.md maps exactly the libraries in lib/*/dune" built
+    (documented_tokens ~prefix:"dgs_")
+
+let test_library_dirs () =
+  let dirs = List.map (fun d -> "lib/" ^ d) (lib_subdirs ()) in
+  Alcotest.(check (list string))
+    "docs/ARCHITECTURE.md maps exactly the lib/ directories" dirs
+    (documented_tokens ~prefix:"lib/")
+
+let suite =
+  [
+    ("architecture doc lists every library", `Quick, test_library_names);
+    ("architecture doc lists every lib directory", `Quick, test_library_dirs);
+  ]

@@ -10,6 +10,8 @@ let () =
       ("wire", Test_wire.suite);
       ("sim", Test_sim.suite);
       ("spec", Test_spec.suite);
+      ("spatial", Test_spatial.suite);
+      ("incremental", Test_incremental.suite);
       ("mobility", Test_mobility.suite);
       ("baselines", Test_baselines.suite);
       ("metrics", Test_metrics.suite);
@@ -22,4 +24,5 @@ let () =
       ("trace", Test_trace.suite);
       ("check", Test_check.suite);
       ("parallel", Test_parallel.suite);
+      ("docs", Test_docs.suite);
     ]

@@ -8,7 +8,7 @@ module Table = Dgs_metrics.Table
 let check = Alcotest.(check bool)
 
 let test_registry () =
-  check "eleven experiments" true (List.length Experiments.all = 11);
+  check "twelve experiments" true (List.length Experiments.all = 12);
   List.iteri
     (fun i e ->
       check "ids ordered" true (e.Experiments.id = Printf.sprintf "e%d" (i + 1)))
