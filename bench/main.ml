@@ -17,12 +17,13 @@
 
    --jobs N spreads the experiments' independent repetitions over N domains
    (output is identical to --jobs 1; see Dgs_parallel.Pool).  --json PATH
-   additionally writes a machine-readable snapshot (schema 3) of the micro
+   additionally writes a machine-readable snapshot (schema 4) of the micro
    ns/op numbers, a timed fuzz-campaign section, and a [vanet] section
    timing a large highway scenario (10k nodes; 2k under --quick) through
-   the spatial-grid rebuild and incremental oracle — BENCH_<date>.json
-   files in the repo root are committed snapshots of exactly this
-   output. *)
+   the spatial-grid rebuild and incremental oracle, once at jobs=1 and
+   once sharded across domains (jobs/shards and the barrier overhead are
+   recorded per row) — BENCH_<date>.json files in the repo root are
+   committed snapshots of exactly this output. *)
 
 open Bechamel
 open Toolkit
@@ -316,22 +317,26 @@ let campaign_timings ~quick () =
 
 (* Large-scale VANET timing for the JSON snapshot: a highway run at scale
    through the spatial-grid rebuild and the incremental oracle.  10k nodes
-   in a full run (the committed baseline row), 2k under --quick. *)
+   in a full run (the committed baseline row), 2k under --quick.  Two rows:
+   jobs=1, and the simulation sharded across the core count (at least two
+   shards, so the barrier path is exercised even on a single-core host —
+   the "cores" header field tells a reader how to weigh the speedup). *)
 let vanet_timings ~quick () =
   let n = if quick then 2_000 else 10_000 in
   let rounds = if quick then 10 else 20 in
   let warmup = if quick then 2 else 5 in
-  [
-    Dgs_workload.Vanet.run ~scenario:Dgs_workload.Vanet.Highway ~n ~rounds
-      ~warmup ~oracle_every:5 ();
-  ]
+  List.map
+    (fun jobs ->
+      Dgs_workload.Vanet.run ~scenario:Dgs_workload.Vanet.Highway ~n ~rounds
+        ~warmup ~oracle_every:5 ~jobs ())
+    [ 1; max 2 (Dgs_parallel.Pool.default_jobs ()) ]
 
 let write_json path ~micro ~campaigns ~vanet =
   let b = Buffer.create 2048 in
   let tm = Unix.gmtime (Unix.time ()) in
   Buffer.add_string b
     (Printf.sprintf
-       "{\n  \"schema\": 3,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+       "{\n  \"schema\": 4,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
        (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
        tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec);
   Buffer.add_string b
@@ -361,17 +366,20 @@ let write_json path ~micro ~campaigns ~vanet =
     (fun i (r : Dgs_workload.Vanet.report) ->
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"scenario\": %S, \"nodes\": %d, \"rounds\": %d, \"wall_s\": \
-            %.3f, \"events_per_s\": %.1f, \"node_steps_per_s\": %.1f, \
-            \"graph_build_s\": %.3f, \"round_s\": %.3f, \"oracle_s\": %.3f, \
+           "    {\"scenario\": %S, \"nodes\": %d, \"rounds\": %d, \"jobs\": \
+            %d, \"shards\": %d, \"wall_s\": %.3f, \"events_per_s\": %.1f, \
+            \"node_steps_per_s\": %.1f, \"graph_build_s\": %.3f, \
+            \"round_s\": %.3f, \"oracle_s\": %.3f, \"barrier_s\": %.3f, \
             \"oracle_polls\": %d, \"messages\": %d, \"mean_degree\": %.2f, \
             \"groups\": %d, \"legitimate\": %b}%s\n"
            r.Dgs_workload.Vanet.scenario r.Dgs_workload.Vanet.nodes
-           r.Dgs_workload.Vanet.rounds r.Dgs_workload.Vanet.wall_s
+           r.Dgs_workload.Vanet.rounds r.Dgs_workload.Vanet.jobs
+           r.Dgs_workload.Vanet.shards r.Dgs_workload.Vanet.wall_s
            r.Dgs_workload.Vanet.events_per_s
            r.Dgs_workload.Vanet.node_steps_per_s
            r.Dgs_workload.Vanet.graph_build_s r.Dgs_workload.Vanet.round_s
-           r.Dgs_workload.Vanet.oracle_s r.Dgs_workload.Vanet.oracle_polls
+           r.Dgs_workload.Vanet.oracle_s r.Dgs_workload.Vanet.barrier_s
+           r.Dgs_workload.Vanet.oracle_polls
            r.Dgs_workload.Vanet.messages r.Dgs_workload.Vanet.mean_degree
            r.Dgs_workload.Vanet.groups
            (r.Dgs_workload.Vanet.agreement_ok
@@ -407,12 +415,49 @@ let () =
     | [] -> 1
   in
   let jobs = jobs_value args in
+  (* The macro sections and bechamel poison each other's heap: bechamel
+     sets max_overhead to 1e6 and leaves a benchmark-sized heap that
+     inflated macro wall clocks ~5x (graph build 0.8 s -> 10 s at
+     n=10k), and a completed 10k macro run inflates the micro rows ~2x
+     the other way — on this runtime neither Gc.set nor Gc.compact
+     restores allocation performance.  So the macro sections run first,
+     in a forked child with the pristine startup heap (no domains exist
+     yet, so the fork is safe), and ship their results back via
+     Marshal; the parent's heap stays untouched for bechamel. *)
+  let macro =
+    match json_path with
+    | None -> None
+    | Some _ ->
+        let tmp = Filename.temp_file "bench_macro" ".bin" in
+        (match Unix.fork () with
+        | 0 ->
+            let campaigns = campaign_timings ~quick () in
+            let vanet = vanet_timings ~quick () in
+            let oc = open_out_bin tmp in
+            Marshal.to_channel oc (campaigns, vanet) [];
+            close_out oc;
+            exit 0
+        | pid -> (
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED 0 -> ()
+            | _ ->
+                Sys.remove tmp;
+                prerr_endline "bench: macro timing child failed";
+                exit 1));
+        let ic = open_in_bin tmp in
+        let ((campaigns, vanet)
+              : (int * bool * int * int * float * int) list
+                * Dgs_workload.Vanet.report list) =
+          Marshal.from_channel ic
+        in
+        close_in ic;
+        Sys.remove tmp;
+        Some (campaigns, vanet)
+  in
   let micro = if tables_only then [] else micro_benchmarks ~quick () in
   if not micro_only then
     List.iter (Experiments.run_and_print ~quick ~jobs) Experiments.all;
-  match json_path with
-  | None -> ()
-  | Some path ->
-      let campaigns = campaign_timings ~quick () in
-      let vanet = vanet_timings ~quick () in
+  match (json_path, macro) with
+  | Some path, Some (campaigns, vanet) ->
       write_json path ~micro ~campaigns ~vanet
+  | _ -> ()

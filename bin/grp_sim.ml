@@ -687,10 +687,12 @@ let vanet_cmd =
     in
     Arg.conv (parse, fun ppf sc -> Format.pp_print_string ppf (Vanet.scenario_name sc))
   in
-  let run scenario n dmax seed speed range rounds warmup oracle oracle_every naive_graph =
+  let run scenario n dmax seed speed range rounds warmup oracle oracle_every naive_graph
+      jobs shards =
+    let jobs = resolve_jobs jobs in
     let r =
       Vanet.run ~seed ~dmax ~range ~speed ~rounds ~warmup ~oracle ~oracle_every
-        ~naive_graph ~scenario ~n ()
+        ~naive_graph ~jobs ?shards ~scenario ~n ()
     in
     Format.printf "%a@." Vanet.pp_report r
   in
@@ -737,16 +739,27 @@ let vanet_cmd =
              scan instead of the spatial hash grid (baseline for the \
              speedup).")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"SHARDS"
+          ~doc:
+            "Logical spatial shards the node set is cut into (default: the \
+             resolved --jobs).  Results are independent of the choice; more \
+             shards than jobs trades locality for load balance.")
+  in
   Cmd.v
     (Cmd.info "vanet"
        ~doc:
          "Large-scale VANET scenario: highway or Manhattan city at 10k+ \
-          nodes, spatial-grid graph rebuild per round, incremental oracle on \
-          structure-shared snapshots, throughput report (events/s, \
-          node·steps/s).")
+          nodes, spatial-grid graph rebuild per round, sharded across \
+          domains with --jobs, incremental oracle on structure-shared \
+          snapshots, throughput report (events/s, node·steps/s, barrier \
+          overhead).")
     Term.(
       const run $ scenario $ nodes $ dmax_arg $ seed_arg $ speed $ range $ rounds
-      $ warmup $ oracle $ oracle_every $ naive_graph)
+      $ warmup $ oracle $ oracle_every $ naive_graph $ jobs_arg $ shards)
 
 let list_cmd =
   let run () =

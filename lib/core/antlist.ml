@@ -148,6 +148,16 @@ let entries t =
       t.cache.entries_l <- Some l;
       l
 
+(* The caches are write-once within one domain, but a value handed to
+   another domain (a boundary message in a sharded run) would race on
+   their population; warming them while still single-owner turns every
+   later access into a plain read. *)
+let warm t =
+  ignore (index t);
+  ignore (ids t);
+  ignore (clear_ids t);
+  ignore (entries t)
+
 (* Filter a level in one pass, sharing the input array when nothing is
    dropped. *)
 let filter_level p l =

@@ -108,6 +108,14 @@ val well_formed : t -> bool
 (** Invariant of lists produced by [compute]: no duplicate ids across
     levels, no empty levels, marked entries only at positions 0 or 1. *)
 
+val warm : t -> unit
+(** Populate every memo cache ({!mem}'s index, {!ids}, {!clear_ids},
+    {!entries}) now.  The caches are write-once and need no
+    synchronization {e within} one domain; a value about to be shared
+    {e across} domains (a boundary message in a sharded run) must have
+    them populated by its owner first, so that every later access is a
+    plain read. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

@@ -65,14 +65,18 @@ let cancel t id =
 let cancelled_backlog t = Hashtbl.length t.cancelled
 let pending t = Pqueue.length t.agenda
 
-let rec step t =
+(* One agenda pop.  Every caller goes through here, so the skip-vs-fire
+   distinction stays in one place: [`Skipped] is a cancelled entry
+   reclaimed without running (no [Event_fired], no fire counter), [`Fired]
+   ran a callback. *)
+let pop_once t =
   match Pqueue.pop t.agenda with
-  | None -> false
+  | None -> `Empty
   | Some ((time, _), (id, f)) ->
       Hashtbl.remove t.live id;
       if Hashtbl.mem t.cancelled id then (
         Hashtbl.remove t.cancelled id;
-        step t)
+        `Skipped)
       else (
         t.clock <- time;
         Registry.Counter.incr t.m_fire;
@@ -81,19 +85,31 @@ let rec step t =
           Trace.emit t.trace (Trace.Event_fired { id; at = time })
         end;
         f ();
-        true)
+        `Fired)
+
+let rec step t =
+  match pop_once t with `Empty -> false | `Skipped -> step t | `Fired -> true
 
 let run_until t horizon =
   let continue = ref true in
   while !continue do
     match Pqueue.peek t.agenda with
-    | Some ((time, _), _) when time <= horizon -> ignore (step t)
+    (* Pop exactly the peeked entry: skipping a cancelled prefix through
+       [step] would fire whatever comes after it even when that event lies
+       beyond the horizon. *)
+    | Some ((time, _), _) when time <= horizon -> ignore (pop_once t)
     | _ -> continue := false
   done;
   if horizon > t.clock then t.clock <- horizon
 
 let run_all t ~max_events =
+  (* Cancelled pops count against the budget too: the guard bounds agenda
+     work, and a long cancelled prefix is work — under the old fired-only
+     accounting it was unbounded within any budget. *)
   let n = ref 0 in
-  while !n < max_events && step t do
-    incr n
+  let continue = ref true in
+  while !continue && !n < max_events do
+    match pop_once t with
+    | `Empty -> continue := false
+    | `Skipped | `Fired -> incr n
   done

@@ -61,7 +61,14 @@ val step : t -> bool
 
 val run_until : t -> float -> unit
 (** Execute every event with timestamp ≤ the horizon, then advance the
-    clock to the horizon. *)
+    clock to the horizon.  Events beyond the horizon are never fired, even
+    when a cancelled entry with an earlier timestamp sits in front of
+    them. *)
 
 val run_all : t -> max_events:int -> unit
-(** Drain the agenda, stopping after [max_events] as a runaway guard. *)
+(** Drain the agenda, stopping after [max_events] agenda pops as a runaway
+    guard.  Cancelled entries reclaimed without firing count against the
+    budget too — the guard bounds agenda {e work}, not just callbacks run —
+    so a long cancelled prefix cannot do unbounded pops within it.  (The
+    [dgs_check] fire-budget oracle is unaffected: it counts [Event_fired]
+    trace events, which skipped entries never emit.) *)

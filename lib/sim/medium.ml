@@ -27,6 +27,11 @@ type 'msg t = {
   mutable deliveries : int;
   mutable losses : int;
   mutable drops : int;
+  (* Stats-window generation, captured into every delivery closure at
+     schedule time (the Net churn-timer idiom): a copy scheduled before a
+     [reset_stats] must not leak into the counters of the window that
+     follows it, even though it is still delivered to the protocol. *)
+  mutable stats_gen : int;
   by_dest : (int, cell) Hashtbl.t;
   m_broadcast : Registry.Counter.t;
   m_delivery : Registry.Counter.t;
@@ -56,6 +61,7 @@ let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
     deliveries = 0;
     losses = 0;
     drops = 0;
+    stats_gen = 0;
     by_dest = Hashtbl.create 64;
     m_broadcast = Registry.counter metrics Names.medium_broadcast_total;
     m_delivery = Registry.counter metrics Names.medium_delivery_total;
@@ -72,6 +78,47 @@ let cell_of t dst =
       let c = { d = 0; l = 0; x = 0 } in
       Hashtbl.replace t.by_dest dst c;
       c
+
+(* Schedule one directed copy for delivery at absolute time [at].  The
+   stats generation is captured now, at schedule time: if [reset_stats]
+   runs while the copy is in flight, the copy is still delivered to the
+   protocol (the frame is already in the air), still traced, and still
+   counted in the cumulative registry — but it no longer belongs to the
+   new stats window, so the windowed counters and the per-destination
+   cells skip it. *)
+let schedule_delivery t ~at ~src ~dst msg =
+  let gen = t.stats_gen in
+  ignore
+    (Engine.schedule_at t.engine at (fun () ->
+         (* The runtime decides at delivery time whether the protocol
+            actually sees the copy (destination may have deactivated or
+            been removed in flight, or the frame may be corrupted out of
+            the grammar); only copies it accepts count as deliveries, so
+            [deliveries] agrees with what [Grp_node.receive] saw. *)
+         let m_t0 = Registry.Timer.start t.m_delivery_ns in
+         let accepted = t.deliver ~dst msg in
+         Registry.Timer.stop t.m_delivery_ns m_t0;
+         let current_window = gen = t.stats_gen in
+         if accepted then begin
+           Registry.Counter.incr t.m_delivery;
+           if current_window then begin
+             t.deliveries <- t.deliveries + 1;
+             (cell_of t dst).d <- (cell_of t dst).d + 1
+           end
+         end
+         else begin
+           Registry.Counter.incr t.m_drop;
+           if current_window then begin
+             t.drops <- t.drops + 1;
+             (cell_of t dst).x <- (cell_of t dst).x + 1
+           end
+         end;
+         if Trace.enabled t.trace then begin
+           Trace.set_time t.trace (Engine.now t.engine);
+           Trace.emit t.trace
+             (if accepted then Trace.Msg_delivered { src; dst }
+              else Trace.Msg_dropped { src; dst })
+         end))
 
 let broadcast t ~src msg =
   t.broadcasts <- t.broadcasts + 1;
@@ -93,36 +140,16 @@ let broadcast t ~src msg =
         end
         else begin
           let delay = Rng.float_in t.rng t.delay_min t.delay_max in
-          ignore
-            (Engine.schedule_after t.engine delay (fun () ->
-                 (* The runtime decides at delivery time whether the protocol
-                    actually sees the copy (destination may have deactivated
-                    or been removed in flight, or the frame may be corrupted
-                    out of the grammar); only copies it accepts count as
-                    deliveries, so [deliveries] agrees with what
-                    [Grp_node.receive] saw. *)
-                 let m_t0 = Registry.Timer.start t.m_delivery_ns in
-                 let accepted = t.deliver ~dst msg in
-                 Registry.Timer.stop t.m_delivery_ns m_t0;
-                 let c = cell_of t dst in
-                 if accepted then begin
-                   t.deliveries <- t.deliveries + 1;
-                   Registry.Counter.incr t.m_delivery;
-                   c.d <- c.d + 1
-                 end
-                 else begin
-                   t.drops <- t.drops + 1;
-                   Registry.Counter.incr t.m_drop;
-                   c.x <- c.x + 1
-                 end;
-                 if Trace.enabled t.trace then begin
-                   Trace.set_time t.trace (Engine.now t.engine);
-                   Trace.emit t.trace
-                     (if accepted then Trace.Msg_delivered { src; dst }
-                      else Trace.Msg_dropped { src; dst })
-                 end))
+          schedule_delivery t ~at:(Engine.now t.engine +. delay) ~src ~dst msg
         end)
     (t.audience src)
+
+let inject t ~at ~src ~dst msg =
+  (* A copy whose send already happened elsewhere (on another shard's
+     medium, which counted the broadcast and emitted [Msg_sent]): no loss
+     or delay draw here — the sending shard's channel decided those — just
+     delivery at the prescribed absolute time with standard accounting. *)
+  schedule_delivery t ~at ~src ~dst msg
 
 let set_loss t loss =
   if loss < 0.0 || loss > 1.0 then invalid_arg "Medium.set_loss: loss out of [0,1]";
@@ -149,4 +176,7 @@ let reset_stats t =
   t.deliveries <- 0;
   t.losses <- 0;
   t.drops <- 0;
+  (* Fence out copies already in flight: their closures captured the old
+     generation, so they no longer touch the windowed counters. *)
+  t.stats_gen <- t.stats_gen + 1;
   Hashtbl.reset t.by_dest

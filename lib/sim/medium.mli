@@ -75,6 +75,16 @@ val broadcast : 'msg t -> src:int -> 'msg -> unit
 (** Send one message to the current audience of [src] (self-delivery is
     suppressed); each copy independently subject to loss and delay. *)
 
+val inject : 'msg t -> at:float -> src:int -> dst:int -> 'msg -> unit
+(** Schedule delivery of a single directed copy at absolute time [at],
+    with the standard delivery-time accounting (deliver callback, stats,
+    [Msg_delivered]/[Msg_dropped] trace events) but {e no} loss or delay
+    draw and no [Msg_sent] — the send already happened on another medium
+    (e.g. a neighbouring shard's, which counted the broadcast and decided
+    loss and delay).  Raises [Invalid_argument] when [at] is in the past.
+    Used by {!Sharded} to re-materialize boundary-crossing copies on the
+    destination shard. *)
+
 val set_loss : 'msg t -> float -> unit
 (** Change the loss probability for subsequent broadcasts.  Raises
     [Invalid_argument] outside [\[0,1\]]. *)
@@ -88,4 +98,10 @@ val stats_by_dest : 'msg t -> dest_stats list
     counters are validated against. *)
 
 val reset_stats : 'msg t -> unit
-(** Zero all counters, including the per-destination breakdown. *)
+(** Zero all counters, including the per-destination breakdown, and start
+    a fresh stats window.  Copies already in flight are still delivered to
+    the protocol and still traced, but are fenced out of the new window's
+    counters (each delivery closure captures the window generation at
+    schedule time), so windows never bleed into each other.  The
+    cumulative [metrics] registry counters are unaffected — they count
+    since creation by design. *)

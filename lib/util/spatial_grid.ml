@@ -33,6 +33,7 @@ let coord t v =
   int_of_float (Float.floor q)
 
 let cell_of t (p : Geom.point) = (coord t p.x, coord t p.y)
+let cell_coords = cell_of
 
 let bucket_add t key id =
   match Hashtbl.find_opt t.cells key with

@@ -22,6 +22,12 @@ val create : ?expected:int -> cell:float -> unit -> t
 val cell_size : t -> float
 (** Side length of the grid cells, as passed to {!create}. *)
 
+val cell_coords : t -> Geom.point -> int * int
+(** [(floor (x/cell), floor (y/cell))] — the cell a point at [p] would be
+    bucketed into (clamped at extreme coordinate/cell ratios).  Exposed so
+    spatial partitioners (e.g. {!Dgs_sim}'s shard assignment) can cut the
+    node set along the same cell boundaries the neighbor index uses. *)
+
 val size : t -> int
 (** Number of points currently stored. *)
 

@@ -5,6 +5,7 @@ module Cfg = Dgs_spec.Configuration
 module P = Dgs_spec.Predicates
 module Incremental = Dgs_spec.Incremental
 module Rng = Dgs_util.Rng
+module Pool = Dgs_parallel.Pool
 open Dgs_core
 
 (* The full oracle pays its whole cost — agreement, safety and the
@@ -25,7 +26,6 @@ let time_ms ?(reps = 1) f =
   (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1000.0
 
 let run ?(quick = false) ?(jobs = 1) () =
-  ignore jobs;
   let sizes = if quick then [ 300; 1000 ] else [ 1000; 3000; 10000 ] in
   let dmax = 3 in
   let range = 2.0 and speed = 0.15 and dt = 1.0 in
@@ -40,14 +40,32 @@ let run ?(quick = false) ?(jobs = 1) () =
       ~columns:
         [ "n"; "groups"; "full (ms)"; "inc churn (ms)"; "inc steady (ms)"; "steady speedup" ]
   in
+  (* The untimed prepare — mobility warm-in, protocol warmup into a
+     grouped regime, the oracle's first full poll — runs on the pool, one
+     task per size; every task derives its whole world from
+     [Rng.create (12000 + n)], so the prepared states (and the table's
+     deterministic columns) are identical for any [jobs].  The timed
+     measurements below stay sequential in the caller, or contending
+     workers would inflate them (the E9 idiom). *)
+  let prepared =
+    Pool.mapi_list ~jobs sizes (fun n ->
+        let rng = Rng.create (12000 + n) in
+        let spec = Vanet.spec_of Vanet.Highway ~n ~range ~speed in
+        let mob = Mobility.create (Rng.split rng) ~n spec in
+        for _ = 1 to 5 do
+          Mobility.step mob ~dt
+        done;
+        let t = Rounds.create ~config (Mobility.graph mob ~range) in
+        Rounds.run ~jitter:0.1 ~rng t 15;
+        let inc = Incremental.create ~dmax () in
+        let snap = Harness.Snapshotter.create () in
+        ignore
+          (Incremental.check inc
+             (Harness.Snapshotter.snapshot snap t (Rounds.graph t)));
+        (n, rng, mob, t, inc, snap))
+  in
   List.iter
-    (fun n ->
-      let rng = Rng.create (12000 + n) in
-      let spec = Vanet.spec_of Vanet.Highway ~n ~range ~speed in
-      let mob = Mobility.create (Rng.split rng) ~n spec in
-      for _ = 1 to 5 do
-        Mobility.step mob ~dt
-      done;
+    (fun (n, rng, mob, t, inc, snap) ->
       (* One untimed warm build per path (first-touch allocation), then the
          measured mean — a single cold rep is dominated by GC noise. *)
       ignore (Sys.opaque_identity (Mobility.graph_naive mob ~range));
@@ -62,13 +80,8 @@ let run ?(quick = false) ?(jobs = 1) () =
           Table.cell_float ~decimals:1 grid_ms;
           Printf.sprintf "%.1fx" (naive_ms /. Float.max 1e-6 grid_ms);
         ];
-      (* Warm the protocol into a grouped regime, then measure polls across
-         genuine mobility perturbations: step, rebuild, one round, poll. *)
-      let t = Rounds.create ~config (Mobility.graph mob ~range) in
-      Rounds.run ~jitter:0.1 ~rng t 15;
-      let inc = Incremental.create ~dmax () in
-      let snap = Harness.Snapshotter.create () in
-      ignore (Incremental.check inc (Harness.Snapshotter.snapshot snap t (Rounds.graph t)));
+      (* Measure polls across genuine mobility perturbations: step,
+         rebuild, one round, poll. *)
       let steps = if quick then 3 else 5 in
       let full_ms = ref 0.0 and churn_ms = ref 0.0 and groups = ref 0 in
       for _ = 1 to steps do
@@ -104,5 +117,5 @@ let run ?(quick = false) ?(jobs = 1) () =
              Printf.sprintf "%.0fx" (per !full_ms /. Float.max 1e-6 steady_ms)
            else "–");
         ])
-    sizes;
+    prepared;
   [ build_table; oracle_table ]

@@ -11,3 +11,9 @@
     the regime a monitoring oracle actually lives in. *)
 
 val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list
+(** [jobs] (default 1) parallelizes the untimed prepare phase — mobility
+    warm-in, protocol warmup, the oracle's first poll — one task per
+    problem size on {!Dgs_parallel.Pool}.  All timed measurements run
+    sequentially in the caller afterwards, so the tables' deterministic
+    columns (n, groups, speedup denominators' inputs) are byte-identical
+    for any [jobs]; only wall-clock cells move. *)

@@ -25,12 +25,11 @@ module Snapshotter = struct
      in O(1) and the persistent map shares every untouched subtree.  A poll
      over n nodes with k view changes costs O(n) pointer checks plus
      O(k log n) rebuilt map spine, instead of building an n-entry map. *)
-  let snapshot s runner graph =
-    let ids = Rounds.node_ids runner in
+  let snapshot_views s ~ids ~view graph =
     let views =
       List.fold_left
         (fun acc v ->
-          let view = Grp_node.view (Rounds.node runner v) in
+          let view = view v in
           match Node_id.Map.find_opt v acc with
           | Some old when old == view -> acc
           | _ -> Node_id.Map.add v view acc)
@@ -47,6 +46,11 @@ module Snapshotter = struct
     in
     s.views <- views;
     Cfg.make ~graph ~views
+
+  let snapshot s runner graph =
+    snapshot_views s ~ids:(Rounds.node_ids runner)
+      ~view:(fun v -> Grp_node.view (Rounds.node runner v))
+      graph
 end
 
 type convergence = {

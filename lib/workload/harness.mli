@@ -26,6 +26,17 @@ module Snapshotter : sig
   val snapshot : t -> Dgs_sim.Rounds.t -> Dgs_graph.Graph.t -> Dgs_spec.Configuration.t
   (** Like {!val:Harness.snapshot}, sharing all unchanged views with the
       previous call's result. *)
+
+  val snapshot_views :
+    t ->
+    ids:Dgs_core.Node_id.t list ->
+    view:(Dgs_core.Node_id.t -> Dgs_core.Node_id.Set.t) ->
+    Dgs_graph.Graph.t ->
+    Dgs_spec.Configuration.t
+  (** Runner-agnostic form: [ids] are the nodes present and [view] reads a
+      node's current view — how {!Dgs_workload.Vanet} polls a
+      {!Dgs_sim.Sharded} run.  {!snapshot} is this with the
+      {!Dgs_sim.Rounds} accessors. *)
 end
 
 type convergence = {

@@ -1,5 +1,6 @@
 module Mobility = Dgs_mobility.Mobility
 module Rounds = Dgs_sim.Rounds
+module Sharded = Dgs_sim.Sharded
 module Cfg = Dgs_spec.Configuration
 module P = Dgs_spec.Predicates
 module Incremental = Dgs_spec.Incremental
@@ -45,6 +46,8 @@ type report = {
   scenario : string;
   nodes : int;
   rounds : int;
+  jobs : int;
+  shards : int;
   wall_s : float;
   messages : int;
   computes : int;
@@ -53,6 +56,7 @@ type report = {
   graph_build_s : float;
   round_s : float;
   oracle_s : float;
+  barrier_s : float;
   oracle_polls : int;
   mean_degree : float;
   groups : int;
@@ -66,24 +70,36 @@ type report = {
 
 let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
     ?(jitter = 0.1) ?(warmup = 10) ?(rounds = 50) ?(oracle = (`Incremental : oracle))
-    ?(oracle_every = 5) ?(cross_check_limit = 64) ?(naive_graph = false) ~scenario ~n
-    () =
+    ?(oracle_every = 5) ?(cross_check_limit = 64) ?(naive_graph = false)
+    ?(jobs = 1) ?shards ~scenario ~n () =
+  let jobs = if jobs <= 0 then Dgs_parallel.Pool.default_jobs () else jobs in
+  let shards = match shards with Some s -> max 1 s | None -> jobs in
   let rng = Rng.create seed in
   let spec = spec_of scenario ~n ~range ~speed in
   let mob = Mobility.create (Rng.split rng) ~n spec in
   let build = if naive_graph then Mobility.graph_naive else Mobility.graph in
   let config = Config.make ~dmax () in
-  let t = Rounds.create ~config (build mob ~range) in
-  for _ = 1 to warmup do
-    ignore (Rounds.round ~jitter ~rng t)
-  done;
+  (* Spatial partition from the initial placement: vehicles drift within
+     their slab over a run of tens of rounds, so the boundary set stays
+     thin without re-homing node state across domains. *)
+  let shard_of =
+    Sharded.spatial_partition ~shards ~range (Mobility.positions mob)
+  in
+  let t = Sharded.create ~config ~shards ~jobs ~seed ~shard_of (build mob ~range) in
+  Sharded.run ~jitter t warmup;
   let inc =
     match oracle with
     | `Incremental -> Some (Incremental.create ~cross_check_limit ~dmax ())
     | `Full | `Off -> None
   in
   let snap = Harness.Snapshotter.create () in
-  let messages0 = Rounds.messages_sent t in
+  let snapshot g =
+    Harness.Snapshotter.snapshot_views snap ~ids:(Sharded.node_ids t)
+      ~view:(fun v -> Grp_node.view (Sharded.node t v))
+      g
+  in
+  let messages0 = Sharded.messages_sent t in
+  let barrier0 = Sharded.barrier_s t in
   let graph_build_s = ref 0.0
   and round_s = ref 0.0
   and oracle_s = ref 0.0
@@ -96,7 +112,7 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
   and maximality_ok = ref true in
   let poll g =
     let t0 = Unix.gettimeofday () in
-    let c = Harness.Snapshotter.snapshot snap t g in
+    let c = snapshot g in
     (match (oracle, inc) with
     | `Incremental, Some inc ->
         let v = Incremental.check inc c in
@@ -117,9 +133,9 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
     let t0 = Unix.gettimeofday () in
     let g = build mob ~range in
     graph_build_s := !graph_build_s +. (Unix.gettimeofday () -. t0);
-    Rounds.set_graph t g;
+    Sharded.set_graph t g;
     let t1 = Unix.gettimeofday () in
-    let infos = Rounds.round ~jitter ~rng t in
+    let infos = Sharded.round ~jitter t in
     round_s := !round_s +. (Unix.gettimeofday () -. t1);
     Node_id.Map.iter
       (fun v i ->
@@ -133,16 +149,18 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
       infos;
     if oracle <> `Off && round mod oracle_every = 0 then poll g
   done;
-  let g = Rounds.graph t in
+  let g = Sharded.graph t in
   if oracle <> `Off && rounds mod oracle_every <> 0 then poll g;
   let wall_s = Unix.gettimeofday () -. wall0 in
-  let messages = Rounds.messages_sent t - messages0 in
+  let messages = Sharded.messages_sent t - messages0 in
   let events = messages + !computes in
-  let final_c = Harness.Snapshotter.snapshot snap t g in
+  let final_c = snapshot g in
   {
     scenario = scenario_name scenario;
     nodes = n;
     rounds;
+    jobs;
+    shards;
     wall_s;
     messages;
     computes = !computes;
@@ -152,6 +170,7 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
     graph_build_s = !graph_build_s;
     round_s = !round_s;
     oracle_s = !oracle_s;
+    barrier_s = Sharded.barrier_s t -. barrier0;
     oracle_polls = !oracle_polls;
     mean_degree =
       (if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.edge_count g) /. float_of_int n);
@@ -166,14 +185,15 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>vanet %s: n=%d rounds=%d wall=%.2fs@,\
+    "@[<v>vanet %s: n=%d rounds=%d jobs=%d shards=%d wall=%.2fs@,\
      throughput: %.0f events/s, %.0f node·steps/s (%d messages, %d computes)@,\
-     time split: graph %.2fs, rounds %.2fs, oracle %.2fs over %d polls@,\
+     time split: graph %.2fs, rounds %.2fs, oracle %.2fs over %d polls, barrier %.2fs@,\
      topology: mean degree %.1f, %d groups@,\
      final verdicts: agreement=%b safety=%b maximality=%b (evictions %d, additions %d)"
-    r.scenario r.nodes r.rounds r.wall_s r.events_per_s r.node_steps_per_s r.messages
-    r.computes r.graph_build_s r.round_s r.oracle_s r.oracle_polls r.mean_degree
-    r.groups r.agreement_ok r.safety_ok r.maximality_ok r.evictions r.additions;
+    r.scenario r.nodes r.rounds r.jobs r.shards r.wall_s r.events_per_s
+    r.node_steps_per_s r.messages r.computes r.graph_build_s r.round_s r.oracle_s
+    r.oracle_polls r.barrier_s r.mean_degree r.groups r.agreement_ok r.safety_ok
+    r.maximality_ok r.evictions r.additions;
   match r.oracle_stats with
   | None -> Format.fprintf ppf "@]"
   | Some s ->

@@ -31,6 +31,8 @@ type report = {
   scenario : string;  (** {!scenario_name} of the scenario run *)
   nodes : int;  (** n *)
   rounds : int;  (** measured rounds (warmup excluded) *)
+  jobs : int;  (** worker domains ([--jobs], 0 resolved to core count) *)
+  shards : int;  (** logical shards the node set was partitioned into *)
   wall_s : float;  (** wall-clock of the measured loop *)
   messages : int;  (** directed deliveries attempted *)
   computes : int;  (** node compute steps executed *)
@@ -39,6 +41,7 @@ type report = {
   graph_build_s : float;  (** time rebuilding the unit-disk graph *)
   round_s : float;  (** time in protocol rounds *)
   oracle_s : float;  (** time in snapshot + oracle polls *)
+  barrier_s : float;  (** time in the sharded barrier exchange *)
   oracle_polls : int;  (** polls taken *)
   mean_degree : float;  (** 2·|E|/n of the final topology *)
   groups : int;  (** Ω groups in the final configuration *)
@@ -64,6 +67,8 @@ val run :
   ?oracle_every:int ->
   ?cross_check_limit:int ->
   ?naive_graph:bool ->
+  ?jobs:int ->
+  ?shards:int ->
   scenario:scenario ->
   n:int ->
   unit ->
@@ -74,7 +79,16 @@ val run :
     the per-round rebuild to the O(n²) reference scan — the baseline leg of
     the scaling comparisons.  A final poll is added when [rounds] is not a
     multiple of [oracle_every] so the verdict fields always reflect the last
-    configuration. *)
+    configuration.
+
+    The round loop runs on {!Dgs_sim.Sharded}: the node set is cut into
+    [shards] spatially compact slabs ({!Dgs_sim.Sharded.spatial_partition}
+    over the initial placement) executed by [jobs] worker domains
+    ([jobs <= 0] resolves to the core count; [shards] defaults to the
+    resolved [jobs]).  Verdicts, view evolution, message counts and the
+    events/s denominator are identical for every [jobs]/[shards] choice —
+    only the wall-clock split changes; [barrier_s] isolates the exchange
+    overhead. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Multi-line human-readable rendering, used by [grp_sim vanet]. *)

@@ -9,6 +9,7 @@ let () =
       ("grp-node", Test_grp_node.suite);
       ("wire", Test_wire.suite);
       ("sim", Test_sim.suite);
+      ("sharded", Test_sharded.suite);
       ("spec", Test_spec.suite);
       ("spatial", Test_spatial.suite);
       ("incremental", Test_incremental.suite);

@@ -81,6 +81,60 @@ let test_engine_run_all_guard () =
   Engine.run_all e ~max_events:50;
   check_int "bounded" 50 !count
 
+(* [run_all]'s budget bounds agenda pops, not fired callbacks: a cancelled
+   prefix consumes budget too, so a pathological agenda full of cancelled
+   entries cannot do unbounded work inside the guard. *)
+let test_engine_run_all_cancelled_budget () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let cancelled_ids = ref [] in
+  for i = 1 to 10 do
+    cancelled_ids :=
+      Engine.schedule_at e (float_of_int i) (fun () -> assert false)
+      :: !cancelled_ids
+  done;
+  ignore (Engine.schedule_at e 11.0 (fun () -> incr fired));
+  ignore (Engine.schedule_at e 12.0 (fun () -> incr fired));
+  List.iter (Engine.cancel e) !cancelled_ids;
+  Engine.run_all e ~max_events:10;
+  check_int "budget consumed by cancelled pops" 0 !fired;
+  check_int "cancelled prefix reclaimed" 0 (Engine.cancelled_backlog e);
+  Engine.run_all e ~max_events:10;
+  check_int "remaining events fire on the next budget" 2 !fired
+
+(* A cancelled entry at or before the horizon must not cause the event
+   behind it — possibly beyond the horizon — to fire. *)
+let test_engine_run_until_cancelled_prefix () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule_at e 1.0 (fun () -> assert false) in
+  ignore (Engine.schedule_at e 5.0 (fun () -> fired := true));
+  Engine.cancel e id;
+  Engine.run_until e 2.0;
+  check "beyond-horizon event untouched" false !fired;
+  check_int "cancelled entry reclaimed" 0 (Engine.cancelled_backlog e);
+  check_float "clock advanced to horizon" 2.0 (Engine.now e);
+  Engine.run_until e 5.0;
+  check "fires once in range" true !fired
+
+(* Skipped (cancelled) pops emit no [Event_fired] — the dgs_check
+   fire-budget oracle counts trace events, so its budget semantics are
+   unchanged by run_all counting cancelled pops. *)
+let test_engine_skips_emit_no_fire_events () =
+  let counting = Trace.Counting.create () in
+  let e = Engine.create ~trace:(Trace.Counting.sink counting) () in
+  let ids =
+    List.init 3 (fun i ->
+        Engine.schedule_at e (float_of_int (i + 1)) (fun () -> ()))
+  in
+  ignore (Engine.schedule_at e 4.0 (fun () -> ()));
+  List.iter (Engine.cancel e) ids;
+  Engine.run_all e ~max_events:10;
+  check_int "only real fires traced" 1
+    (Trace.Counting.count counting ~kind:"Event_fired");
+  check_int "all schedules traced" 4
+    (Trace.Counting.count counting ~kind:"Event_scheduled")
+
 (* --- medium --- *)
 
 let make_medium ?(loss = 0.0) ~audience () =
@@ -134,6 +188,42 @@ let test_medium_stats_reset () =
   Medium.reset_stats medium;
   let s = Medium.stats medium in
   check_int "reset" 0 (s.Medium.broadcasts + s.Medium.deliveries + s.Medium.losses)
+
+(* Copies in flight across a [reset_stats] are still delivered to the
+   protocol but must not leak into the new stats window. *)
+let test_medium_reset_fences_inflight () =
+  let engine, medium, received = make_medium ~audience:(fun _ -> [ 1; 2 ]) () in
+  Medium.broadcast medium ~src:0 "old";
+  (* Reset while both copies are still in flight (delays are ≤ 0.01). *)
+  Medium.reset_stats medium;
+  Engine.run_until engine 1.0;
+  check_int "protocol still saw the in-flight copies" 2 (List.length !received);
+  let s = Medium.stats medium in
+  check_int "new window deliveries start at zero" 0 s.Medium.deliveries;
+  check_int "new window broadcasts start at zero" 0 s.Medium.broadcasts;
+  Alcotest.(check (list int)) "per-dest breakdown stays empty" []
+    (List.map (fun d -> d.Medium.dst) (Medium.stats_by_dest medium));
+  (* The next window counts normally. *)
+  Medium.broadcast medium ~src:0 "new";
+  Engine.run_until engine 2.0;
+  let s = Medium.stats medium in
+  check_int "fresh window counts its own copies" 2 s.Medium.deliveries;
+  check_int "fresh window broadcast" 1 s.Medium.broadcasts
+
+let test_medium_inject () =
+  let engine, medium, received = make_medium ~audience:(fun _ -> []) () in
+  Medium.inject medium ~at:0.5 ~src:7 ~dst:1 "remote";
+  Engine.run_until engine 0.25;
+  check_int "not before its time" 0 (List.length !received);
+  Engine.run_until engine 1.0;
+  Alcotest.(check (list (pair int string)))
+    "delivered at the prescribed time" [ (1, "remote") ] !received;
+  let s = Medium.stats medium in
+  check_int "counts as a delivery" 1 s.Medium.deliveries;
+  check_int "not as a local broadcast" 0 s.Medium.broadcasts;
+  check_int "no loss draw" 0 s.Medium.losses;
+  Alcotest.(check (list int)) "per-dest cell updated" [ 1 ]
+    (List.map (fun d -> d.Medium.dst) (Medium.stats_by_dest medium))
 
 (* --- rounds runner --- *)
 
@@ -454,11 +544,16 @@ let suite =
     ("engine cascading events", `Quick, test_engine_cascading);
     ("engine rejects the past", `Quick, test_engine_past_rejected);
     ("engine run_all guard", `Quick, test_engine_run_all_guard);
+    ("engine run_all cancelled budget", `Quick, test_engine_run_all_cancelled_budget);
+    ("engine run_until cancelled prefix", `Quick, test_engine_run_until_cancelled_prefix);
+    ("engine skips emit no fire events", `Quick, test_engine_skips_emit_no_fire_events);
     ("medium broadcast", `Quick, test_medium_broadcast);
     ("medium excludes sender", `Quick, test_medium_excludes_sender);
     ("medium total loss", `Quick, test_medium_loss);
     ("medium loss rate", `Quick, test_medium_loss_rate);
     ("medium stats reset", `Quick, test_medium_stats_reset);
+    ("medium reset fences in-flight", `Quick, test_medium_reset_fences_inflight);
+    ("medium inject", `Quick, test_medium_inject);
     ("rounds message count", `Quick, test_rounds_message_count);
     ("rounds stabilizes a pair", `Quick, test_rounds_stabilizes_pair);
     ("rounds loss needs rng", `Quick, test_rounds_loss_requires_rng);
