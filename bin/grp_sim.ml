@@ -437,14 +437,14 @@ let experiment_cmd =
         match Experiments.find id with
         | Some e -> run_one reg quick jobs csv e
         | None ->
-            Printf.eprintf "unknown experiment %S (e1..e11 or all)\n" id;
+            Printf.eprintf "unknown experiment %S (e1..e13 or all)\n" id;
             exit 1));
     match metrics_file with
     | None -> ()
     | Some path -> write_metrics path [ Registry.snapshot ~jobs reg ]
   in
   let id =
-    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (e1..e11, all).")
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc:"Experiment id (e1..e13, all).")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sizes and fewer repetitions.")
@@ -460,7 +460,7 @@ let experiment_cmd =
     Term.(const run $ id $ quick $ jobs_arg $ csv $ metrics_arg)
 
 let fuzz_cmd =
-  let run seed runs max_actions jobs replay strict repro_dir trace_file
+  let run seed runs max_actions jobs replay strict coverage repro_dir trace_file
       trace_filter metrics_file =
     let jobs = resolve_jobs jobs in
     if trace_file <> None && replay = None then begin
@@ -499,7 +499,7 @@ let fuzz_cmd =
     | None ->
         let s =
           Dgs_check.Fuzz.campaign ~oracle ~jobs ~seed ~runs ~max_actions
-            ~metrics:(metrics_file <> None) ()
+            ~metrics:(metrics_file <> None) ~coverage ()
         in
         Format.printf "%a@." Dgs_check.Fuzz.pp_summary s;
         (match (metrics_file, s.Dgs_check.Fuzz.metrics) with
@@ -547,6 +547,18 @@ let fuzz_cmd =
       & info [ "strict-continuity" ]
           ~doc:"Treat every view eviction as a failure (no calm-window gating).")
   in
+  let coverage =
+    Arg.(
+      value & flag
+      & info [ "coverage" ]
+          ~doc:
+            "Coverage-guided campaign: generate scenarios (including mobility \
+             and ramp actions) from evolving per-action-family weights that \
+             chase unseen rare protocol states, and print the coverage \
+             summary.  Deterministic for every --jobs value; uses a \
+             different scenario stream than an unguided campaign with the \
+             same seed.")
+  in
   let repro_dir =
     Arg.(
       value
@@ -562,7 +574,7 @@ let fuzz_cmd =
           still-failing script.  Exits non-zero when a violation was found.")
     Term.(
       const run $ seed_arg $ runs $ max_actions $ jobs_arg $ replay $ strict
-      $ repro_dir $ trace_arg $ trace_filter_arg $ metrics_arg)
+      $ coverage $ repro_dir $ trace_arg $ trace_filter_arg $ metrics_arg)
 
 let report_cmd =
   let read_lines path =

@@ -1,0 +1,186 @@
+module Registry = Dgs_metrics.Registry
+module Names = Dgs_metrics.Names
+
+let rare_families =
+  [
+    Names.grp_quarantine_enter_total;
+    Names.grp_quarantine_admit_total;
+    Names.grp_gate_conviction_total;
+    Names.grp_gate_starvation_total;
+    Names.grp_contest_win_total;
+    Names.grp_contest_freeze_total;
+  ]
+
+let livelock_family = "livelock"
+
+(* Log-spaced hit buckets per rare family.  A family's first hit, its
+   eighth and its sixty-fourth are distinct coverage points, so guided
+   campaigns keep receiving novelty signal (and keep boosting the
+   responsible action families) long after every family has fired once. *)
+let buckets = [ (1, "ge1"); (8, "ge8"); (64, "ge64") ]
+let point family tag = family ^ ":" ^ tag
+
+type signature = {
+  points : string list;
+  rare_hits : int;
+  used : Scenario.family list;
+}
+
+let of_run (sc : Scenario.t) (report : Oracle.report)
+    (snap : Registry.snapshot) : signature =
+  let counter name =
+    match List.assoc_opt name snap.Registry.counters with
+    | Some v -> v
+    | None -> 0
+  in
+  let points =
+    List.concat_map
+      (fun fam ->
+        let v = counter fam in
+        List.filter_map
+          (fun (lo, tag) -> if v >= lo then Some (point fam tag) else None)
+          buckets)
+      rare_families
+  in
+  let points =
+    if report.Oracle.livelock_period <> None then
+      point livelock_family "ge1" :: points
+    else points
+  in
+  let rare_hits =
+    List.fold_left (fun acc fam -> acc + counter fam) 0 rare_families
+  in
+  let used =
+    let present = List.map Scenario.family_of_action sc.Scenario.actions in
+    List.filter (fun f -> List.mem f present) Scenario.families
+  in
+  { points = List.sort_uniq String.compare points; rare_hits; used }
+
+(* Weight evolution.  The update rule is deliberately novelty-only: a
+   signature whose every point is already in the seen-set must leave the
+   weights bit-identical (the non-vacuity pin in test_check), so guided
+   and uniform campaigns provably differ only where coverage actually
+   grew.  On novelty, every action family the scenario used gets a
+   multiplicative boost, then the vector is clamped and renormalized to
+   mean 1 — weights stay positive and summable no matter the stream. *)
+
+let nfam = List.length Scenario.families
+let boost = 1.25
+let w_min = 0.05
+let w_max = 8.0
+
+let family_index =
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun i f -> Hashtbl.replace tbl f i) Scenario.families;
+  fun f -> Hashtbl.find tbl f
+
+type t = {
+  seen : (string, unit) Hashtbl.t;
+  weights : float array;
+  mutable new_points : int;
+  mutable new_coverage_runs : int;
+  mutable rare_hits : int;
+  mutable runs : int;
+  mutable trace : float array list;  (* after each observe, newest first *)
+}
+
+let create () =
+  {
+    seen = Hashtbl.create 64;
+    weights = Array.make nfam 1.0;
+    new_points = 0;
+    new_coverage_runs = 0;
+    rare_hits = 0;
+    runs = 0;
+    trace = [];
+  }
+
+let weights t = Array.copy t.weights
+
+let observe ?(evolve = true) t sigs =
+  let changed = ref false in
+  List.iter
+    (fun (s : signature) ->
+      t.runs <- t.runs + 1;
+      t.rare_hits <- t.rare_hits + s.rare_hits;
+      let fresh =
+        List.filter (fun p -> not (Hashtbl.mem t.seen p)) s.points
+      in
+      if fresh <> [] then begin
+        t.new_coverage_runs <- t.new_coverage_runs + 1;
+        t.new_points <- t.new_points + List.length fresh;
+        List.iter (fun p -> Hashtbl.replace t.seen p ()) fresh;
+        if evolve then begin
+          List.iter
+            (fun f ->
+              let i = family_index f in
+              t.weights.(i) <- Float.min w_max (t.weights.(i) *. boost))
+            s.used;
+          changed := true
+        end
+      end)
+    sigs;
+  if !changed then begin
+    Array.iteri
+      (fun i w -> t.weights.(i) <- Float.max w_min (Float.min w_max w))
+      t.weights;
+    let sum = Array.fold_left ( +. ) 0.0 t.weights in
+    let scale = float_of_int nfam /. sum in
+    Array.iteri (fun i w -> t.weights.(i) <- w *. scale) t.weights
+  end;
+  t.trace <- Array.copy t.weights :: t.trace
+
+type report = {
+  runs : int;
+  points : string list;
+  new_points : int;
+  new_coverage_runs : int;
+  rare_hits : int;
+  rare_families_hit : string list;
+  final_weights : (string * float) list;
+  weight_trace : float array list;
+}
+
+let report t =
+  let points = List.sort String.compare (Hashtbl.fold (fun p () acc -> p :: acc) t.seen []) in
+  let rare_families_hit =
+    List.sort_uniq String.compare
+      (List.filter_map
+         (fun p ->
+           match String.index_opt p ':' with
+           | Some i when String.sub p (i + 1) (String.length p - i - 1) = "ge1"
+             ->
+               Some (String.sub p 0 i)
+           | _ -> None)
+         points)
+  in
+  {
+    runs = t.runs;
+    points;
+    new_points = t.new_points;
+    new_coverage_runs = t.new_coverage_runs;
+    rare_hits = t.rare_hits;
+    rare_families_hit;
+    final_weights =
+      List.map
+        (fun f -> (Scenario.family_name f, t.weights.(family_index f)))
+        Scenario.families;
+    weight_trace = List.rev t.trace;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>coverage: %d point(s), %d rare famil%s, %d rare hit(s), %d run(s) \
+     with new coverage@,"
+    (List.length r.points)
+    (List.length r.rare_families_hit)
+    (if List.length r.rare_families_hit = 1 then "y" else "ies")
+    r.rare_hits r.new_coverage_runs;
+  Format.fprintf ppf "rare families hit: %s@,"
+    (match r.rare_families_hit with
+    | [] -> "(none)"
+    | fs -> String.concat " " fs);
+  Format.fprintf ppf "final weights:";
+  List.iter (fun (name, w) -> Format.fprintf ppf " %s=%.3f" name w)
+    r.final_weights;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,79 @@
+(** Coverage signal and weight evolution for guided fuzzing.
+
+    A run's {e coverage signature} is extracted from its private
+    {!Dgs_metrics.Registry} snapshot: for each rare protocol family
+    (quarantine enter/admit, gate convictions/starvations, contest
+    wins/freezes) and each log-spaced hit bucket (>=1, >=8, >=64 hits),
+    the pair is a {e coverage point}; a livelock verdict contributes a
+    pseudo-family point of its own.  A campaign accumulates the points it
+    has seen and evolves per-action-family generation weights toward
+    schedules that light unseen points (see {!Fuzz}).
+
+    Everything here is a pure function of the signature stream: the
+    evolver consumes signatures in run order and never reads a clock or
+    an ambient RNG, so a guided campaign's weights — and therefore its
+    generated scenarios — are byte-identical for every [--jobs] value. *)
+
+val rare_families : string list
+(** The watched metric families, a subset of {!Dgs_metrics.Names.all}. *)
+
+val livelock_family : string
+(** The pseudo-family credited when a run's verdict is a livelock — not
+    a registry metric. *)
+
+type signature = {
+  points : string list;  (** sorted, deduplicated coverage points *)
+  rare_hits : int;  (** total rare-family increments of the run *)
+  used : Scenario.family list;
+      (** distinct action families the scenario used, in
+          {!Scenario.families} order *)
+}
+
+val of_run :
+  Scenario.t -> Oracle.report -> Dgs_metrics.Registry.snapshot -> signature
+
+(** {2 Campaign state} *)
+
+type t
+(** Seen-set plus the evolving weight vector (mean 1, one entry per
+    {!Scenario.families} element). *)
+
+val create : unit -> t
+(** Uniform weights, empty seen-set. *)
+
+val weights : t -> float array
+(** The current weight vector (a copy), ready for
+    {!Scenario.generate_weighted}. *)
+
+val observe : ?evolve:bool -> t -> signature list -> unit
+(** Fold one generation's signatures (in run order) into the state.  Each
+    signature containing at least one unseen point boosts the weight of
+    every family that scenario used; after a generation with any novelty
+    the vector is clamped and renormalized to mean 1.  A generation whose
+    points were all already seen leaves the weights bit-identical.
+
+    [~evolve:false] updates the seen-set and the coverage statistics but
+    never touches the weights — the uniform baseline leg of the guided
+    vs. uniform comparison (E13). *)
+
+(** {2 Reporting} *)
+
+type report = {
+  runs : int;  (** signatures observed *)
+  points : string list;  (** every coverage point seen, sorted *)
+  new_points : int;
+  new_coverage_runs : int;  (** runs that contributed >= 1 new point *)
+  rare_hits : int;  (** total rare-family increments, all runs *)
+  rare_families_hit : string list;
+      (** distinct families with at least one hit (includes
+          {!livelock_family} when a livelock was seen) *)
+  final_weights : (string * float) list;
+      (** family keyword -> evolved weight, in {!Scenario.families}
+          order *)
+  weight_trace : float array list;
+      (** weight vector after each {!observe}, oldest first — the
+          determinism tests compare these across [--jobs] values *)
+}
+
+val report : t -> report
+val pp_report : Format.formatter -> report -> unit

@@ -1,6 +1,7 @@
 module Graph = Dgs_graph.Graph
 module Int_set = Dgs_util.Int_set
 module Rng = Dgs_util.Rng
+module Mobility = Dgs_mobility.Mobility
 module Trace = Dgs_trace.Trace
 module Engine = Dgs_sim.Engine
 module Medium = Dgs_sim.Medium
@@ -12,6 +13,39 @@ open Dgs_core
 let tau_c = 1.0
 let tau_s = 0.4
 let initial_grace = 20.0
+
+(* Unit-disk radius and box for scheduled mobility models: the box area
+   grows with the node count so the fuzzing-sized scenarios (3-9 nodes)
+   keep a mean degree that makes both merges and partitions reachable. *)
+let mob_range = 2.0
+
+let mob_spec model ~n ~speed =
+  let box = Float.max 4.0 (2.0 *. sqrt (float_of_int n)) in
+  let speed = Float.max 0.01 (Float.min 2.0 speed) in
+  match model with
+  | Scenario.Mob_waypoint ->
+      Mobility.Waypoint
+        {
+          xmax = box;
+          ymax = box;
+          vmin = (speed /. 2.0) +. 1e-9;
+          vmax = (speed *. 1.5) +. 2e-9;
+          pause = 1.0;
+        }
+  | Scenario.Mob_walk ->
+      Mobility.Walk { xmax = box; ymax = box; speed; turn_sigma = 0.5 }
+  | Scenario.Mob_highway ->
+      Mobility.Highway
+        {
+          lanes = 2;
+          lane_gap = mob_range /. 2.0;
+          length = 2.0 *. box;
+          vmin = speed /. 2.0;
+          vmax = (speed *. 1.5) +. 1e-9;
+          bidirectional = true;
+        }
+  | Scenario.Mob_manhattan ->
+      Mobility.Manhattan { blocks_x = 3; blocks_y = 3; block = mob_range; speed }
 
 type net_stats = Net.stats
 
@@ -43,6 +77,10 @@ let run ?(oracle = Oracle.default) ?(protocol = Fun.id)
   in
   let engine = Engine.create ~trace:engine_trace ~metrics () in
   let rng = Rng.create sc.seed in
+  (* Derived without advancing [rng]: mobility consumes its own stream, so
+     scenarios (and their on-disk repros) that never install a model replay
+     byte-identically to before mobility existed. *)
+  let mob_rng = Rng.split_at rng 9973 in
   let graph = Scenario.build sc.topology in
   let config = protocol (Config.make ~dmax:sc.dmax ()) in
   let net =
@@ -76,6 +114,8 @@ let run ?(oracle = Oracle.default) ?(protocol = Fun.id)
     calm_from := max !calm_from (Engine.now engine +. horizon ())
   in
   let current_loss = ref sc.loss in
+  let current_corruption = ref sc.corruption in
+  let mob = ref None in
   (* Engine-fire budget, accumulated per activation episode. *)
   let rate = (1.0 /. tau_c) +. (1.0 /. tau_s) in
   let budget = ref 8.0 in
@@ -112,7 +152,8 @@ let run ?(oracle = Oracle.default) ?(protocol = Fun.id)
       let removed = info.Grp_node.view_removed in
       if cfg.Oracle.check_continuity && not (Node_id.Set.is_empty removed) then begin
         let calm =
-          !current_loss = 0.0 && sc.corruption = 0.0 && time >= !calm_from
+          !current_loss = 0.0 && !current_corruption = 0.0
+          && time >= !calm_from
         in
         if cfg.Oracle.strict_continuity || calm then
           add "continuity" time
@@ -121,6 +162,13 @@ let run ?(oracle = Oracle.default) ?(protocol = Fun.id)
                (if calm then " in a calm window" else ""))
       end);
   let known v = List.exists (Int.equal v) (Net.node_ids net) in
+  (* Did a rewire from [before] to the current [graph] break ΠT? *)
+  let topology_broken before =
+    let views = Net.views net in
+    let c = Configuration.make ~graph:before ~views in
+    let c' = Configuration.make ~graph ~views in
+    Predicates.topology_preserved ~dmax:sc.dmax c c' <> None
+  in
   let apply = function
     | Scenario.Pause d ->
         if d > 0.0 then Net.run_until net (Engine.now engine +. d)
@@ -175,15 +223,62 @@ let run ?(oracle = Oracle.default) ?(protocol = Fun.id)
         if Graph.mem_edge graph u v then begin
           let before = Graph.copy graph in
           Graph.remove_edge graph u v;
-          let views = Net.views net in
-          let c = Configuration.make ~graph:before ~views in
-          let c' = Configuration.make ~graph ~views in
           (* ΠT-preserving rewires guarantee ΠC (paper Proposition 14):
              only a rewire that actually breaks ΠT excuses evictions. *)
-          match Predicates.topology_preserved ~dmax:sc.dmax c c' with
-          | Some _ -> disrupt ()
-          | None -> ()
+          if topology_broken before then disrupt ()
         end
+    | Scenario.Mob_start (model, speed) ->
+        (* (Re)install a model over the ids currently in the topology; a
+           fresh install replaces any previous one.  Pointless below two
+           nodes, and skipping keeps the report meaningful. *)
+        let ids = Graph.nodes graph in
+        if List.length ids >= 2 then begin
+          let spec = mob_spec model ~n:(List.length ids) ~speed in
+          mob :=
+            Some
+              (Mobility.Driver.create (Rng.split mob_rng) ~ids ~spec
+                 ~range:mob_range)
+        end
+    | Scenario.Mob_step k -> (
+        match !mob with
+        | None -> ()  (* no model installed: declared a no-op *)
+        | Some driver ->
+            let k = max 1 (min 32 k) in
+            for _ = 1 to k do
+              Mobility.Driver.step driver ~dt:1.0;
+              let before = Graph.copy graph in
+              if Mobility.Driver.apply driver graph && topology_broken before
+              then disrupt ();
+              Net.run_until net (Engine.now engine +. tau_c)
+            done)
+    | Scenario.Ramp_loss (target, steps) ->
+        let target = Float.max 0.0 (Float.min 1.0 target) in
+        let steps = max 1 (min 32 steps) in
+        let from = !current_loss in
+        for i = 1 to steps do
+          let p = from +. ((target -. from) *. float_of_int i /. float_of_int steps) in
+          let p = Float.max 0.0 (Float.min 1.0 p) in
+          Net.set_loss net p;
+          if p <> !current_loss then begin
+            current_loss := p;
+            disrupt ()
+          end;
+          Net.run_until net (Engine.now engine +. tau_c)
+        done
+    | Scenario.Ramp_corruption (target, steps) ->
+        let target = Float.max 0.0 (Float.min 1.0 target) in
+        let steps = max 1 (min 32 steps) in
+        let from = !current_corruption in
+        for i = 1 to steps do
+          let p = from +. ((target -. from) *. float_of_int i /. float_of_int steps) in
+          let p = Float.max 0.0 (Float.min 1.0 p) in
+          Net.set_corruption net p;
+          if p <> !current_corruption then begin
+            current_corruption := p;
+            disrupt ()
+          end;
+          Net.run_until net (Engine.now engine +. tau_c)
+        done
   in
   List.iter apply sc.actions;
   (* Quiescence phase: lossless channel, wait for the state signature to
@@ -191,6 +286,15 @@ let run ?(oracle = Oracle.default) ?(protocol = Fun.id)
   Net.set_loss net 0.0;
   if !current_loss <> 0.0 then begin
     current_loss := 0.0;
+    disrupt ()
+  end;
+  (* Corruption is reset the same way: quiescence is judged over a fully
+     clean channel, so a livelock verdict indicts the protocol, never the
+     channel (a persistent corruption stream can otherwise drive a
+     perfectly periodic drop -> eviction -> re-admission cycle). *)
+  Net.set_corruption net 0.0;
+  if !current_corruption <> 0.0 then begin
+    current_corruption := 0.0;
     disrupt ()
   end;
   let confirm =

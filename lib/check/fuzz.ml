@@ -21,6 +21,7 @@ type summary = {
   maximality_gaps : int;
   run_snapshots : Registry.snapshot list;
   metrics : Registry.snapshot option;
+  coverage : Coverage.report option;
 }
 
 let replay ?oracle ?trace ?metrics sc = Executor.run ?oracle ?trace ?metrics sc
@@ -40,13 +41,10 @@ let replay ?oracle ?trace ?metrics sc = Executor.run ?oracle ?trace ?metrics sc
    [domain_reg], the per-domain registry of whichever pool worker claimed
    the task.  Shrink replays run unmetered: the per-run snapshot describes
    the original execution only. *)
-let run_one ~oracle ~shrink_attempts ~max_actions ~master ~with_metrics
-    domain_reg run =
+let execute_one ~oracle ~shrink_attempts ~with_metrics domain_reg run sc =
   let d_runs = Registry.counter domain_reg Names.fuzz_run_total in
   let d_failures = Registry.counter domain_reg Names.fuzz_failure_total in
   let d_run_ns = Registry.timer domain_reg Names.fuzz_run_ns in
-  let rng = Rng.split_at master run in
-  let sc = Scenario.generate rng ~max_actions in
   let reg = if with_metrics then Registry.create () else Registry.null in
   Registry.Counter.incr d_runs;
   let t0 = Registry.Timer.start d_run_ns in
@@ -71,14 +69,72 @@ let run_one ~oracle ~shrink_attempts ~max_actions ~master ~with_metrics
   let snap = if with_metrics then Some (Registry.snapshot reg) else None in
   (sc, report, failure, snap)
 
+let run_one ~oracle ~shrink_attempts ~max_actions ~master ~with_metrics
+    domain_reg run =
+  let rng = Rng.split_at master run in
+  let sc = Scenario.generate rng ~max_actions in
+  execute_one ~oracle ~shrink_attempts ~with_metrics domain_reg run sc
+
+(* Generations per weight update in guided mode.  Generation happens in
+   the caller with the weights current at the start of the batch, the
+   batch executes on the pool, and the evolver folds the batch's
+   signatures in run order at the barrier — so the signature stream (and
+   hence every weight vector and every generated scenario) is independent
+   of [jobs] and of worker interleaving. *)
+let coverage_batch = 50
+
+let guided ~oracle ~shrink_attempts ~jobs ~make ~evolve ~runs ~max_actions
+    ~master =
+  let cov = Coverage.create () in
+  let results = ref [] in
+  let domain_regs = ref [] in
+  let base = ref 0 in
+  while !base < runs do
+    let b = min coverage_batch (runs - !base) in
+    let start = !base in
+    let weights = Coverage.weights cov in
+    let scs =
+      Array.init b (fun i ->
+          Scenario.generate_weighted
+            (Rng.split_at master (start + i))
+            ~max_actions ~weights)
+    in
+    let batch_results, dregs =
+      Pool.map_ctx ~jobs ~make b (fun dreg i ->
+          (* Per-run metrics are always live here: the coverage signature
+             is read off the run's snapshot. *)
+          execute_one ~oracle ~shrink_attempts ~with_metrics:true dreg
+            (start + i) scs.(i))
+    in
+    let sigs =
+      List.mapi
+        (fun i (_, report, _, snap) ->
+          Coverage.of_run scs.(i) report (Option.get snap))
+        batch_results
+    in
+    Coverage.observe ~evolve cov sigs;
+    results := List.rev_append batch_results !results;
+    domain_regs := List.rev_append dregs !domain_regs;
+    base := start + b
+  done;
+  (List.rev !results, List.rev !domain_regs, Some (Coverage.report cov))
+
 let campaign ?(oracle = Oracle.default) ?(shrink_attempts = 400) ?(jobs = 1)
-    ?(metrics = false) ~seed ~runs ~max_actions ?(on_run = fun _ _ _ -> ()) () =
+    ?(metrics = false) ?(coverage = false) ?(evolve = true) ~seed ~runs
+    ~max_actions ?(on_run = fun _ _ _ -> ()) () =
   let master = Rng.create seed in
   let make () = if metrics then Registry.create () else Registry.null in
-  let results, domain_regs =
-    Pool.map_ctx ~jobs ~make runs
-      (run_one ~oracle ~shrink_attempts ~max_actions ~master
-         ~with_metrics:metrics)
+  let results, domain_regs, coverage_report =
+    if coverage then
+      guided ~oracle ~shrink_attempts ~jobs ~make ~evolve ~runs ~max_actions
+        ~master
+    else
+      let r, d =
+        Pool.map_ctx ~jobs ~make runs
+          (run_one ~oracle ~shrink_attempts ~max_actions ~master
+             ~with_metrics:metrics)
+      in
+      (r, d, None)
   in
   (* Aggregation walks the ordered results in the caller, so the summary
      (and every [on_run] observation) is byte-identical for every [jobs]. *)
@@ -94,18 +150,47 @@ let campaign ?(oracle = Oracle.default) ?(shrink_attempts = 400) ?(jobs = 1)
       if report.Oracle.maximality_gap then incr maximality_gaps;
       match failure with None -> () | Some f -> failures := f :: !failures)
     results;
-  let run_snapshots = List.filter_map (fun (_, _, _, s) -> s) results in
+  let run_snapshots =
+    (* Guided runs are always metered internally (for signatures); the
+       snapshots are only published when the caller asked for metrics. *)
+    if metrics then List.filter_map (fun (_, _, _, s) -> s) results else []
+  in
+  let coverage_snapshot =
+    match coverage_report with
+    | Some r when metrics ->
+        let reg = Registry.create () in
+        Registry.Counter.add
+          (Registry.counter reg Names.fuzz_coverage_new_total)
+          r.Coverage.new_points;
+        Registry.Counter.add
+          (Registry.counter reg Names.fuzz_rare_hit_total)
+          r.Coverage.rare_hits;
+        Registry.Gauge.set
+          (Registry.gauge reg Names.fuzz_coverage_rare_families)
+          (float_of_int (List.length r.Coverage.rare_families_hit));
+        List.iter
+          (fun (name, w) ->
+            Registry.Gauge.set
+              (Registry.gauge reg
+                 (Registry.labelled Names.fuzz_generator_weight
+                    [ ("family", name) ]))
+              w)
+          r.Coverage.final_weights;
+        [ Registry.snapshot reg ]
+    | _ -> []
+  in
   let merged =
     if not metrics then None
     else
       (* Domain registries hold only the fuzz_* runner families, per-run
-         registries only the simulation families, so summing both sides
-         never double-counts; every counter in the merge is a sum of
-         jobs-independent contributions. *)
+         registries only the simulation families (and the coverage
+         snapshot only the campaign-level fuzz_coverage_* families), so
+         summing all sides never double-counts; every counter in the
+         merge is a sum of jobs-independent contributions. *)
       Some
         (Registry.merge
            (List.map (fun r -> Registry.snapshot ~jobs r) domain_regs
-           @ run_snapshots))
+           @ run_snapshots @ coverage_snapshot))
   in
   {
     master_seed = seed;
@@ -117,6 +202,7 @@ let campaign ?(oracle = Oracle.default) ?(shrink_attempts = 400) ?(jobs = 1)
     maximality_gaps = !maximality_gaps;
     run_snapshots;
     metrics = merged;
+    coverage = coverage_report;
   }
 
 let save_repro ~dir f =
@@ -133,6 +219,9 @@ let pp_summary ppf s =
   Format.fprintf ppf
     "stabilized %d/%d runs, %d evictions total, %d maximality gaps@,"
     s.stabilized_runs s.runs s.total_evictions s.maximality_gaps;
+  (match s.coverage with
+  | Some r -> Format.fprintf ppf "%a@," Coverage.pp_report r
+  | None -> ());
   (match s.failures with
   | [] -> Format.fprintf ppf "no violations"
   | fs ->

@@ -38,10 +38,16 @@ type summary = {
   metrics : Dgs_metrics.Registry.snapshot option;
       (** whole-campaign merge: every run snapshot plus the per-domain
           campaign-runner registries ([fuzz_run_total] /
-          [fuzz_failure_total] / [fuzz_run_ns]); counter sections are
+          [fuzz_failure_total] / [fuzz_run_ns]) plus, for guided
+          campaigns, the campaign-level coverage families
+          ([fuzz_coverage_*], [fuzz_rare_hit_total],
+          [fuzz_generator_weight{family=...}]); counter sections are
           byte-identical across [jobs] values
           ({!Dgs_metrics.Registry.counters_to_json}), timer values are
           wall clock.  [None] unless [~metrics:true] *)
+  coverage : Coverage.report option;
+      (** the guided campaign's coverage report; [None] unless
+          [~coverage:true] *)
 }
 
 val campaign :
@@ -49,6 +55,8 @@ val campaign :
   ?shrink_attempts:int ->
   ?jobs:int ->
   ?metrics:bool ->
+  ?coverage:bool ->
+  ?evolve:bool ->
   seed:int ->
   runs:int ->
   max_actions:int ->
@@ -61,7 +69,25 @@ val campaign :
     [metrics] (default [false]) meters every run into its own registry
     (see {!summary.run_snapshots}) and the campaign runner into
     per-domain registries via {!Dgs_parallel.Pool.map_ctx}; shrink
-    replays of failures are never metered. *)
+    replays of failures are never metered.
+
+    [coverage] (default [false]) switches generation to
+    {!Scenario.generate_weighted} driven by a {!Coverage} evolver:
+    scenarios are generated in the caller in batches with the weights
+    current at each batch start, the batch executes on the pool, and the
+    batch's signatures are folded into the evolver at the barrier, in run
+    order.  The signature stream is therefore a pure function of the
+    seed, and a guided campaign is byte-identical for every [jobs]
+    value.  Guided campaigns use a different scenario stream than
+    unguided ones (weighted generation draws differently), so a seed's
+    failures are comparable only within the same mode.
+
+    [evolve] (default [true], only meaningful with [~coverage:true]):
+    [~evolve:false] keeps the weights uniform for the whole campaign
+    while still collecting the coverage report — the baseline leg of the
+    guided vs. uniform comparison (E13); since generation uses the same
+    weighted sampler in both modes, the two legs differ exactly in the
+    weight evolution. *)
 
 val replay :
   ?oracle:Oracle.config ->

@@ -13,6 +13,8 @@ type topology =
   | Loop of int * int
   | Er of int * float * int
 
+type mob_model = Mob_waypoint | Mob_walk | Mob_highway | Mob_manhattan
+
 type action =
   | Pause of float
   | Deactivate of int
@@ -23,6 +25,10 @@ type action =
   | Set_loss of float
   | Add_edge of int * int
   | Remove_edge of int * int
+  | Mob_start of mob_model * float
+  | Mob_step of int
+  | Ramp_loss of float * int
+  | Ramp_corruption of float * int
 
 type t = {
   seed : int;
@@ -53,16 +59,88 @@ let build = function
 let mentioned = function
   | Deactivate v | Activate v | Reset v | Remove v | Add v -> [ v ]
   | Add_edge (u, v) | Remove_edge (u, v) -> [ u; v ]
-  | Pause _ | Set_loss _ -> []
+  | Pause _ | Set_loss _ | Mob_start _ | Mob_step _ | Ramp_loss _
+  | Ramp_corruption _ ->
+      []
 
 let universe sc =
   let base = List.init (node_count sc.topology) Fun.id in
   List.sort_uniq compare (base @ List.concat_map mentioned sc.actions)
 
+(* Mobility steps and ramp stairs each advance the simulation one compute
+   period (Executor.tau_c = 1.0), so they count toward the schedule's
+   simulated span like pauses do. *)
 let duration sc =
   List.fold_left
-    (fun acc -> function Pause d -> acc +. d | _ -> acc)
+    (fun acc -> function
+      | Pause d -> acc +. d
+      | Mob_step k -> acc +. float_of_int (max 0 k)
+      | Ramp_loss (_, steps) | Ramp_corruption (_, steps) ->
+          acc +. float_of_int (max 1 steps)
+      | _ -> acc)
     0.0 sc.actions
+
+type family =
+  | F_pause
+  | F_deactivate
+  | F_activate
+  | F_reset
+  | F_remove
+  | F_add
+  | F_set_loss
+  | F_add_edge
+  | F_remove_edge
+  | F_mob_start
+  | F_mob_step
+  | F_ramp_loss
+  | F_ramp_corruption
+
+let families =
+  [
+    F_pause;
+    F_deactivate;
+    F_activate;
+    F_reset;
+    F_remove;
+    F_add;
+    F_set_loss;
+    F_add_edge;
+    F_remove_edge;
+    F_mob_start;
+    F_mob_step;
+    F_ramp_loss;
+    F_ramp_corruption;
+  ]
+
+let family_name = function
+  | F_pause -> "pause"
+  | F_deactivate -> "deactivate"
+  | F_activate -> "activate"
+  | F_reset -> "reset"
+  | F_remove -> "remove"
+  | F_add -> "add"
+  | F_set_loss -> "loss"
+  | F_add_edge -> "add-edge"
+  | F_remove_edge -> "remove-edge"
+  | F_mob_start -> "mob-start"
+  | F_mob_step -> "mob-step"
+  | F_ramp_loss -> "ramp-loss"
+  | F_ramp_corruption -> "ramp-corruption"
+
+let family_of_action = function
+  | Pause _ -> F_pause
+  | Deactivate _ -> F_deactivate
+  | Activate _ -> F_activate
+  | Reset _ -> F_reset
+  | Remove _ -> F_remove
+  | Add _ -> F_add
+  | Set_loss _ -> F_set_loss
+  | Add_edge _ -> F_add_edge
+  | Remove_edge _ -> F_remove_edge
+  | Mob_start _ -> F_mob_start
+  | Mob_step _ -> F_mob_step
+  | Ramp_loss _ -> F_ramp_loss
+  | Ramp_corruption _ -> F_ramp_corruption
 
 let generate rng ~max_actions =
   let seed = Rng.int rng 1_000_000_000 in
@@ -100,6 +178,95 @@ let generate rng ~max_actions =
         | x when x < 78 -> Set_loss (if Rng.bool rng then 0.0 else Rng.float rng 0.4)
         | x when x < 89 -> Add_edge (node (), node ())
         | _ -> Remove_edge (node (), node ())
+      in
+      make (k - 1) (a :: acc)
+  in
+  { seed; dmax; loss; corruption; topology; actions = make count [] }
+
+(* The coverage-guided generator: same topology/channel prelude as
+   [generate], but each action's family is drawn from an explicit weight
+   vector (one weight per [families] entry, in order) instead of the fixed
+   percentages above — the knob the campaign-level weight evolver turns.
+   Kept separate from [generate] so the legacy uniform stream (and every
+   seed-pinned campaign built on it) stays byte-identical.
+
+   One structural rule: a [Mob_step] before any [Mob_start] would replay
+   as a no-op, so the first mobility draw of a schedule always materializes
+   as the [Mob_start]; the mob-step weight therefore also buys mobility
+   models into schedules that would otherwise never install one. *)
+let generate_weighted rng ~max_actions ~weights =
+  let nf = List.length families in
+  if Array.length weights <> nf then
+    invalid_arg "Scenario.generate_weighted: weight vector size mismatch";
+  Array.iter
+    (fun w ->
+      if not (Float.is_finite w) || w <= 0.0 then
+        invalid_arg "Scenario.generate_weighted: weights must be positive")
+    weights;
+  let seed = Rng.int rng 1_000_000_000 in
+  let dmax = Rng.int_in rng 1 3 in
+  let topology =
+    match Rng.int rng 9 with
+    | 0 -> Line (Rng.int_in rng 3 8)
+    | 1 -> Ring (Rng.int_in rng 3 8)
+    | 2 -> Grid (Rng.int_in rng 2 3, Rng.int_in rng 2 3)
+    | 3 -> Star (Rng.int_in rng 3 7)
+    | 4 -> Complete (Rng.int_in rng 3 6)
+    | 5 -> Btree (Rng.int_in rng 3 9)
+    | 6 -> Chain (Rng.int_in rng 2 3, Rng.int_in rng 2 3)
+    | 7 -> Loop (3, Rng.int_in rng 2 3)
+    | _ -> Er (Rng.int_in rng 5 9, Rng.float_in rng 0.25 0.6, Rng.int rng 1_000_000)
+  in
+  let loss = if Rng.bernoulli rng 0.3 then Rng.float rng 0.3 else 0.0 in
+  let corruption = if Rng.bernoulli rng 0.15 then Rng.float rng 0.05 else 0.0 in
+  let n = node_count topology in
+  let node () = Rng.int rng (n + 3) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let pick_family () =
+    let x = Rng.float rng total in
+    let rec go i acc =
+      if i >= nf - 1 then List.nth families (nf - 1)
+      else
+        let acc = acc +. weights.(i) in
+        if x < acc then List.nth families i else go (i + 1) acc
+    in
+    go 0 0.0
+  in
+  let mob_models = [| Mob_waypoint; Mob_walk; Mob_highway; Mob_manhattan |] in
+  let mob_start () =
+    let model = mob_models.(Rng.int rng 4) in
+    Mob_start (model, Rng.float_in rng 0.05 0.6)
+  in
+  let started = ref false in
+  let count = Rng.int_in rng 1 (max 1 max_actions) in
+  let rec make k acc =
+    if k = 0 then List.rev acc
+    else
+      let a =
+        match pick_family () with
+        | F_pause -> Pause (Rng.float_in rng 0.5 12.0)
+        | F_deactivate -> Deactivate (node ())
+        | F_activate -> Activate (node ())
+        | F_reset -> Reset (node ())
+        | F_remove -> Remove (node ())
+        | F_add -> Add (node ())
+        | F_set_loss -> Set_loss (if Rng.bool rng then 0.0 else Rng.float rng 0.4)
+        | F_add_edge -> Add_edge (node (), node ())
+        | F_remove_edge -> Remove_edge (node (), node ())
+        | F_mob_start ->
+            started := true;
+            mob_start ()
+        | F_mob_step ->
+            if !started then Mob_step (Rng.int_in rng 1 6)
+            else begin
+              started := true;
+              mob_start ()
+            end
+        | F_ramp_loss ->
+            let target = if Rng.bool rng then 0.0 else Rng.float rng 0.4 in
+            Ramp_loss (target, Rng.int_in rng 2 8)
+        | F_ramp_corruption ->
+            Ramp_corruption (Rng.float rng 0.05, Rng.int_in rng 2 8)
       in
       make (k - 1) (a :: acc)
   in
@@ -149,6 +316,19 @@ let topology_of_string s =
       | _ -> None)
   | _ -> None
 
+let mob_model_to_string = function
+  | Mob_waypoint -> "waypoint"
+  | Mob_walk -> "walk"
+  | Mob_highway -> "highway"
+  | Mob_manhattan -> "manhattan"
+
+let mob_model_of_string = function
+  | "waypoint" -> Some Mob_waypoint
+  | "walk" -> Some Mob_walk
+  | "highway" -> Some Mob_highway
+  | "manhattan" -> Some Mob_manhattan
+  | _ -> None
+
 let action_to_string = function
   | Pause d -> Printf.sprintf "pause %s" (num d)
   | Deactivate v -> Printf.sprintf "deactivate %d" v
@@ -159,6 +339,12 @@ let action_to_string = function
   | Set_loss p -> Printf.sprintf "loss %s" (num p)
   | Add_edge (u, v) -> Printf.sprintf "add-edge %d %d" u v
   | Remove_edge (u, v) -> Printf.sprintf "remove-edge %d %d" u v
+  | Mob_start (m, speed) ->
+      Printf.sprintf "mob-start %s %s" (mob_model_to_string m) (num speed)
+  | Mob_step k -> Printf.sprintf "mob-step %d" k
+  | Ramp_loss (p, steps) -> Printf.sprintf "ramp-loss %s %d" (num p) steps
+  | Ramp_corruption (p, steps) ->
+      Printf.sprintf "ramp-corruption %s %d" (num p) steps
 
 let action_of_string s =
   let int = int_of_string_opt and flt = float_of_string_opt in
@@ -177,6 +363,19 @@ let action_of_string s =
   | [ "remove-edge"; u; v ] -> (
       match (int u, int v) with
       | Some u, Some v -> Some (Remove_edge (u, v))
+      | _ -> None)
+  | [ "mob-start"; m; speed ] -> (
+      match (mob_model_of_string m, flt speed) with
+      | Some m, Some speed -> Some (Mob_start (m, speed))
+      | _ -> None)
+  | [ "mob-step"; k ] -> Option.map (fun k -> Mob_step k) (int k)
+  | [ "ramp-loss"; p; steps ] -> (
+      match (flt p, int steps) with
+      | Some p, Some steps -> Some (Ramp_loss (p, steps))
+      | _ -> None)
+  | [ "ramp-corruption"; p; steps ] -> (
+      match (flt p, int steps) with
+      | Some p, Some steps -> Some (Ramp_corruption (p, steps))
       | _ -> None)
   | _ -> None
 

@@ -23,6 +23,10 @@ type topology =
   | Loop of int * int  (** like [Chain] but closed into a loop *)
   | Er of int * float * int  (** [Er (n, p, seed)] — G(n,p) from its own seed *)
 
+(** Mobility models a schedule may install mid-run (the fuzzing-sized
+    counterparts of the {!Dgs_mobility} presets). *)
+type mob_model = Mob_waypoint | Mob_walk | Mob_highway | Mob_manhattan
+
 type action =
   | Pause of float  (** advance simulation time *)
   | Deactivate of int  (** node crashes, memory kept *)
@@ -33,6 +37,20 @@ type action =
   | Set_loss of float  (** channel loss rate from now on *)
   | Add_edge of int * int
   | Remove_edge of int * int
+  | Mob_start of mob_model * float
+      (** [Mob_start (model, speed)] — (re)install a mobility model over
+          the nodes currently in the topology, seeded from the scenario
+          seed; positions replace the edge set on the next [Mob_step] *)
+  | Mob_step of int
+      (** advance the installed model by that many unit steps, rewiring
+          the unit-disk topology and running one compute period after
+          each; a no-op when no model is installed *)
+  | Ramp_loss of float * int
+      (** [Ramp_loss (target, steps)] — stair the channel loss linearly
+          from its current rate to [target] over [steps] compute
+          periods *)
+  | Ramp_corruption of float * int
+      (** same staircase for the frame-corruption probability *)
 
 type t = {
   seed : int;  (** feeds timer phases, channel and corruption streams *)
@@ -54,17 +72,64 @@ val universe : t -> int list
     a few spare ids for [Add] actions. *)
 
 val duration : t -> float
-(** Total scheduled pause time — how far the action phase advances. *)
+(** Total scheduled simulated span of the action phase: pauses plus one
+    compute period per mobility step and per ramp stair. *)
 
 val generate : Dgs_util.Rng.t -> max_actions:int -> t
 (** Sample a random scenario: a topology family, channel parameters and
     between 1 and [max_actions] actions.  Consumes the given generator;
-    the scenario's own [seed] is drawn from it. *)
+    the scenario's own [seed] is drawn from it.  This is the legacy
+    fixed-distribution generator (it never emits mobility or ramp
+    actions); its stream is pinned byte-identical across releases so
+    seed-reported campaigns reproduce.  Coverage-guided campaigns use
+    {!generate_weighted}. *)
+
+(** {2 Action families and weighted generation}
+
+    The coverage-guided fuzzer samples each action's {e family} from an
+    explicit weight vector and evolves those weights between generations
+    (see {!Coverage}).  [families] fixes the vocabulary and its order —
+    the index of a family in this list is its index in every weight
+    vector. *)
+
+type family =
+  | F_pause
+  | F_deactivate
+  | F_activate
+  | F_reset
+  | F_remove
+  | F_add
+  | F_set_loss
+  | F_add_edge
+  | F_remove_edge
+  | F_mob_start
+  | F_mob_step
+  | F_ramp_loss
+  | F_ramp_corruption
+
+val families : family list
+(** All families, in weight-vector order. *)
+
+val family_name : family -> string
+(** The action keyword ("pause", "mob-step", ...). *)
+
+val family_of_action : action -> family
+
+val generate_weighted :
+  Dgs_util.Rng.t -> max_actions:int -> weights:float array -> t
+(** Like {!generate} (same topology and channel prelude) but each
+    action's family is drawn proportionally to [weights] (one strictly
+    positive entry per {!families} element, in order; the vector need not
+    be normalized).  The first mobility draw of a schedule always
+    materializes as a [Mob_start] so a [Mob_step] never precedes its
+    model.  Raises [Invalid_argument] on a malformed weight vector. *)
 
 (** {2 Encoding} *)
 
 val topology_to_string : topology -> string
 val topology_of_string : string -> topology option
+val mob_model_to_string : mob_model -> string
+val mob_model_of_string : string -> mob_model option
 val action_to_string : action -> string
 val action_of_string : string -> action option
 

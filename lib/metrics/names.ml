@@ -42,6 +42,10 @@ let oracle_poll_ns = "oracle_poll_ns"
 let fuzz_run_total = "fuzz_run_total"
 let fuzz_failure_total = "fuzz_failure_total"
 let fuzz_run_ns = "fuzz_run_ns"
+let fuzz_coverage_new_total = "fuzz_coverage_new_total"
+let fuzz_rare_hit_total = "fuzz_rare_hit_total"
+let fuzz_coverage_rare_families = "fuzz_coverage_rare_families"
+let fuzz_generator_weight = "fuzz_generator_weight"
 
 (* CLI-level experiment metrics (labelled with {id="e1"} etc.) *)
 let experiment_ns = "experiment_ns"
@@ -79,6 +83,10 @@ let all =
     fuzz_run_total;
     fuzz_failure_total;
     fuzz_run_ns;
+    fuzz_coverage_new_total;
+    fuzz_rare_hit_total;
+    fuzz_coverage_rare_families;
+    fuzz_generator_weight;
     experiment_ns;
     experiment_tables_total;
   ]

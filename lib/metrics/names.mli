@@ -36,6 +36,10 @@ val oracle_poll_ns : string
 val fuzz_run_total : string
 val fuzz_failure_total : string
 val fuzz_run_ns : string
+val fuzz_coverage_new_total : string
+val fuzz_rare_hit_total : string
+val fuzz_coverage_rare_families : string
+val fuzz_generator_weight : string
 val experiment_ns : string
 val experiment_tables_total : string
 

@@ -65,3 +65,51 @@ let spec_name = function
   | Walk _ -> "walk"
   | Highway _ -> "highway"
   | Manhattan _ -> "manhattan"
+
+(* Driving a mobility model as schedule steps over a live, mutable graph:
+   the fuzzer's executor (and any other event-driven runner that owns its
+   topology) installs a driver over the node ids it wants animated, then
+   alternates [step] and [apply].  The driver owns the id -> position-slot
+   assignment, so ids need not be dense; ids that later leave the graph
+   are simply skipped by [apply], and nodes the driver does not track keep
+   whatever edges they have. *)
+module Driver = struct
+  type nonrec t = { model : t; ids : int array; range : float }
+
+  let create rng ~ids ~spec ~range =
+    if range <= 0.0 then invalid_arg "Mobility.Driver.create: range <= 0";
+    let ids = Array.of_list (List.sort_uniq compare ids) in
+    { model = create rng ~n:(Array.length ids) spec; ids; range }
+
+  let ids t = Array.to_list t.ids
+  let range t = t.range
+  let positions t = positions t.model
+  let step t ~dt = step t.model ~dt
+
+  let apply t graph =
+    let module Graph = Dgs_graph.Graph in
+    let pos = positions t in
+    let r2 = t.range *. t.range in
+    let changed = ref false in
+    let n = Array.length t.ids in
+    for i = 0 to n - 1 do
+      let u = t.ids.(i) in
+      if Graph.mem_node graph u then
+        for j = i + 1 to n - 1 do
+          let v = t.ids.(j) in
+          if Graph.mem_node graph v then begin
+            let within = Geom.dist2 pos.(i) pos.(j) <= r2 in
+            let have = Graph.mem_edge graph u v in
+            if within && not have then begin
+              Graph.add_edge graph u v;
+              changed := true
+            end
+            else if (not within) && have then begin
+              Graph.remove_edge graph u v;
+              changed := true
+            end
+          end
+        done
+    done;
+    !changed
+end

@@ -40,3 +40,33 @@ val graph_naive : t -> range:float -> Dgs_graph.Graph.t
     the E12 scaling experiment and the VANET benchmarks. *)
 
 val spec_name : spec -> string
+
+(** Schedule-step driving of a mobility model over a live, mutable graph.
+
+    A driver animates a fixed set of (not necessarily dense) node ids and
+    projects their unit-disk connectivity onto a graph owned by the
+    caller: {!Dgs_check}'s executor runs one as scenario actions, any
+    event-driven runner that owns its topology can do the same.  The
+    caller alternates {!Driver.step} (advance positions) and
+    {!Driver.apply} (rewire). *)
+module Driver : sig
+  type nonrec t
+
+  val create :
+    Dgs_util.Rng.t -> ids:int list -> spec:spec -> range:float -> t
+  (** Tracks [ids] (deduplicated, sorted; slot [i] of the model animates
+      the [i]-th id).  Raises [Invalid_argument] when [range <= 0] or, for
+      [Static p], when [Array.length p] differs from the id count. *)
+
+  val step : t -> dt:float -> unit
+
+  val apply : t -> Dgs_graph.Graph.t -> bool
+  (** Set, among the tracked ids still present in the graph, exactly the
+      edges whose endpoints lie within [range] of each other; edges
+      touching untracked or departed nodes are left alone.  Returns
+      whether any edge changed. *)
+
+  val ids : t -> int list
+  val range : t -> float
+  val positions : t -> Dgs_util.Geom.point array
+end

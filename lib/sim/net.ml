@@ -33,6 +33,7 @@ type t = {
   gens : (Node_id.t, int) Hashtbl.t;
   mutable next_gen : int;
   mutable medium : Message.t Medium.t option;
+  mutable corruption : float;
   mutable computes : int;
   mutable view_additions : int;
   mutable view_removals : int;
@@ -128,6 +129,7 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
       gens = Hashtbl.create 64;
       next_gen = 0;
       medium = None;
+      corruption;
       computes = 0;
       view_additions = 0;
       view_removals = 0;
@@ -148,7 +150,7 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
              wire format; a frame mutated out of the grammar is dropped,
              one mutated into validity reaches the protocol and is handled
              by its own checks. *)
-          if corruption > 0.0 && Rng.bernoulli corrupt_rng corruption then begin
+          if t.corruption > 0.0 && Rng.bernoulli corrupt_rng t.corruption then begin
             match Wire.of_string (Wire.corrupt corrupt_rng (Wire.to_string msg)) with
             | Some msg' ->
                 Grp_node.receive n msg';
@@ -197,6 +199,12 @@ let remove_node t v =
   Hashtbl.remove t.active v;
   Hashtbl.remove t.gens v
 let set_loss t loss = Medium.set_loss (medium t) loss
+
+let set_corruption t c =
+  if c < 0.0 || c > 1.0 then invalid_arg "Net.set_corruption: rate out of [0,1]";
+  t.corruption <- c
+
+let corruption t = t.corruption
 let on_step t f = t.observer <- Some f
 
 let stats t =

@@ -95,6 +95,15 @@ val remove_node : t -> Dgs_core.Node_id.t -> unit
 val set_loss : t -> float -> unit
 (** Change the channel loss rate mid-run. *)
 
+val set_corruption : t -> float -> unit
+(** Change the frame-corruption probability mid-run (loss/corruption ramps
+    in fuzzed schedules).  Copies already in flight are judged with the
+    rate current at their delivery time.  Raises [Invalid_argument]
+    outside [\[0,1\]]. *)
+
+val corruption : t -> float
+(** The current frame-corruption probability. *)
+
 val on_step :
   t ->
   (time:float -> Dgs_core.Grp_node.t -> Dgs_core.Grp_node.step_info -> unit) ->

@@ -1,0 +1,10 @@
+(** E13: coverage-guided vs uniform fuzzing.
+
+    Runs the same weighted scenario generator on the same seeds twice —
+    once with evolving per-family weights ({!Dgs_check.Coverage}), once
+    with the weights pinned uniform — and tabulates the rare-oracle-state
+    coverage each campaign reaches (distinct coverage points, distinct
+    rare families, total rare-counter increments).  Deterministic for
+    every [jobs] value. *)
+
+val run : ?quick:bool -> ?jobs:int -> unit -> Dgs_metrics.Table.t list

@@ -18,6 +18,7 @@ let all =
     { id = "e10"; title = "Node churn"; run = E10_churn.run };
     { id = "e11"; title = "Parallel campaign speedup and determinism"; run = E11_parallel.run };
     { id = "e12"; title = "Scaling: spatial grid and incremental oracle"; run = E12_scaling.run };
+    { id = "e13"; title = "Coverage-guided vs uniform fuzzing"; run = E13_coverage.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

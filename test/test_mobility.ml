@@ -124,6 +124,89 @@ let test_spec_names () =
           { lanes = 1; lane_gap = 1.0; length = 1.0; vmin = 0.0; vmax = 0.0; bidirectional = false })
     = "highway")
 
+(* --- schedule-step driver (Dgs_check executor integration point) --- *)
+
+module Graph = Dgs_graph.Graph
+
+let static_driver pts ~ids ~range =
+  Mobility.Driver.create (Rng.create 11) ~ids ~spec:(Mobility.Static pts)
+    ~range
+
+let test_driver_applies_unit_disk () =
+  (* Tracked ids 2,5,9 sit at distances 1 (2-5) and 4 (5-9): apply must
+     create exactly the close edge and report the change; a second apply
+     with unchanged positions is a clean no-op. *)
+  let pts = [| Geom.make 0.0 0.0; Geom.make 1.0 0.0; Geom.make 5.0 0.0 |] in
+  let d = static_driver pts ~ids:[ 9; 2; 5; 2 ] ~range:2.0 in
+  check "ids deduplicated and sorted" true
+    (Mobility.Driver.ids d = [ 2; 5; 9 ]);
+  let g = Graph.of_edges ~nodes:[ 2; 5; 9 ] [] in
+  check "first apply rewires" true (Mobility.Driver.apply d g);
+  check "close pair linked" true (Graph.mem_edge g 2 5);
+  check "far pair not linked" false (Graph.mem_edge g 5 9);
+  check "idempotent on static positions" false (Mobility.Driver.apply d g)
+
+let test_driver_leaves_untracked_alone () =
+  (* Node 7 is not tracked: its edges — including one to a tracked node
+     far outside range — must survive an apply. *)
+  let pts = [| Geom.make 0.0 0.0; Geom.make 10.0 0.0 |] in
+  let d = static_driver pts ~ids:[ 0; 1 ] ~range:1.0 in
+  let g = Graph.of_edges ~nodes:[ 0; 1; 7 ] [ (0, 7); (1, 7); (0, 1) ] in
+  check "apply drops the out-of-range tracked edge" true
+    (Mobility.Driver.apply d g);
+  check "tracked far pair removed" false (Graph.mem_edge g 0 1);
+  check "untracked edge 0-7 kept" true (Graph.mem_edge g 0 7);
+  check "untracked edge 1-7 kept" true (Graph.mem_edge g 1 7)
+
+let test_driver_skips_departed () =
+  (* A tracked id that has left the graph is skipped, not resurrected. *)
+  let pts = [| Geom.make 0.0 0.0; Geom.make 1.0 0.0 |] in
+  let d = static_driver pts ~ids:[ 0; 1 ] ~range:2.0 in
+  let g = Graph.of_edges ~nodes:[ 0 ] [] in
+  check "nothing to rewire" false (Mobility.Driver.apply d g);
+  check "departed node not re-added" false (Graph.mem_node g 1)
+
+let test_driver_validation () =
+  let pts = [| Geom.make 0.0 0.0 |] in
+  Alcotest.check_raises "range must be positive"
+    (Invalid_argument "Mobility.Driver.create: range <= 0") (fun () ->
+      ignore (static_driver pts ~ids:[ 0 ] ~range:0.0));
+  Alcotest.check_raises "static size mismatch"
+    (Invalid_argument "Mobility.create: Static size mismatch") (fun () ->
+      ignore (static_driver pts ~ids:[ 0; 1 ] ~range:1.0))
+
+let test_driver_step_moves_topology () =
+  (* Under a live model, stepping long enough eventually changes some
+     edge of a dense-in-range start — the executor's Mob_step loop in one
+     assertion.  Deterministic seed, bounded iterations. *)
+  let d =
+    Mobility.Driver.create (Rng.create 12) ~ids:[ 0; 1; 2; 3 ]
+      ~spec:
+        (Mobility.Waypoint
+           { xmax = 4.0; ymax = 4.0; vmin = 0.5; vmax = 1.0; pause = 0.0 })
+      ~range:1.0
+  in
+  let g = Graph.of_edges ~nodes:[ 0; 1; 2; 3 ] [] in
+  ignore (Mobility.Driver.apply d g);
+  let changed = ref false in
+  for _ = 1 to 50 do
+    Mobility.Driver.step d ~dt:1.0;
+    if Mobility.Driver.apply d g then changed := true
+  done;
+  check "mobility eventually rewires" true !changed;
+  (* Every edge the driver maintains respects the unit-disk rule. *)
+  let pos = Mobility.Driver.positions d in
+  let ids = Array.of_list (Mobility.Driver.ids d) in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j then
+            check "edge iff within range" true
+              (Graph.mem_edge g a b = (Geom.dist pos.(i) pos.(j) <= 1.0)))
+        ids)
+    ids
+
 let suite =
   [
     ("waypoint stays in box", `Quick, test_waypoint_bounds);
@@ -137,4 +220,9 @@ let suite =
     ("static spec", `Quick, test_static_spec);
     ("mobility graph", `Quick, test_mobility_graph);
     ("spec names", `Quick, test_spec_names);
+    ("driver applies the unit-disk rule", `Quick, test_driver_applies_unit_disk);
+    ("driver leaves untracked edges alone", `Quick, test_driver_leaves_untracked_alone);
+    ("driver skips departed ids", `Quick, test_driver_skips_departed);
+    ("driver validation", `Quick, test_driver_validation);
+    ("driver steps rewire the graph", `Quick, test_driver_step_moves_topology);
   ]

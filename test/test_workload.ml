@@ -8,7 +8,7 @@ module Table = Dgs_metrics.Table
 let check = Alcotest.(check bool)
 
 let test_registry () =
-  check "twelve experiments" true (List.length Experiments.all = 12);
+  check "thirteen experiments" true (List.length Experiments.all = 13);
   List.iteri
     (fun i e ->
       check "ids ordered" true (e.Experiments.id = Printf.sprintf "e%d" (i + 1)))
