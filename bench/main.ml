@@ -17,7 +17,7 @@
 
    --jobs N spreads the experiments' independent repetitions over N domains
    (output is identical to --jobs 1; see Dgs_parallel.Pool).  --json PATH
-   additionally writes a machine-readable snapshot (schema 4) of the micro
+   additionally writes a machine-readable snapshot (schema 5) of the micro
    ns/op numbers, a timed fuzz-campaign section, and a [vanet] section
    timing a large highway scenario (10k nodes; 2k under --quick) through
    the spatial-grid rebuild and incremental oracle, once at jobs=1 and
@@ -264,6 +264,37 @@ let bench_maxmin =
   Test.make ~name:"e6 baseline: maxmin(d=2, 30 nodes)"
     (Staged.stage (fun () -> Dgs_baselines.Maxmin.run ~d:2 g))
 
+let bench_engine =
+  (* Simulator datapath micro rows: scheduling plus firing one event
+     through the arena/calendar agenda — a closure thunk, then the typed
+     delivery record the medium hot path uses (allocation-free once warm;
+     the zero-alloc pin in test_sim.ml asserts that, these rows price it). *)
+  let module Engine = Dgs_sim.Engine in
+  let e_thunk : unit Engine.t = Engine.create () in
+  let e_del : int Engine.t = Engine.create () in
+  Engine.set_deliver e_del (fun ~src:_ ~dst:_ ~gen:_ (_ : int) -> ());
+  [
+    Test.make ~name:"engine: schedule+fire thunk"
+      (Staged.stage (fun () ->
+           ignore (Engine.schedule_after e_thunk 0.0 ignore);
+           ignore (Engine.step e_thunk)));
+    Test.make ~name:"engine: schedule+fire delivery"
+      (Staged.stage (fun () ->
+           Engine.schedule_deliver e_del ~at:(Engine.now e_del) ~src:1 ~dst:2
+             ~gen:0 7;
+           ignore (Engine.step e_del)));
+  ]
+
+let bench_receive =
+  (* The receive side of one directed copy: appending a message to the
+     node's flat inbox (pure array writes once the buffer has grown). *)
+  let config = Config.make ~dmax:3 () in
+  let node = Grp_node.create ~config 1 in
+  let peer = Grp_node.create ~config 2 in
+  let msg = Grp_node.make_message peer in
+  Test.make ~name:"grp: receive (flat inbox append)"
+    (Staged.stage (fun () -> Grp_node.receive node msg))
+
 let micro_benchmarks ~quick () =
   let tests =
     [ bench_ant_merge; bench_compute ]
@@ -279,6 +310,7 @@ let micro_benchmarks ~quick () =
       bench_churn_step;
       bench_maxmin;
     ]
+    @ bench_engine @ [ bench_receive ]
   in
   let quota = Time.second (if quick then 0.05 else 0.5) in
   let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 100) () in
@@ -336,7 +368,7 @@ let write_json path ~micro ~campaigns ~vanet =
   let tm = Unix.gmtime (Unix.time ()) in
   Buffer.add_string b
     (Printf.sprintf
-       "{\n  \"schema\": 4,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+       "{\n  \"schema\": 5,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
        (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
        tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec);
   Buffer.add_string b
@@ -369,17 +401,22 @@ let write_json path ~micro ~campaigns ~vanet =
            "    {\"scenario\": %S, \"nodes\": %d, \"rounds\": %d, \"jobs\": \
             %d, \"shards\": %d, \"wall_s\": %.3f, \"events_per_s\": %.1f, \
             \"node_steps_per_s\": %.1f, \"graph_build_s\": %.3f, \
-            \"round_s\": %.3f, \"oracle_s\": %.3f, \"barrier_s\": %.3f, \
-            \"oracle_polls\": %d, \"messages\": %d, \"mean_degree\": %.2f, \
+            \"set_graph_s\": %.3f, \"round_s\": %.3f, \"broadcast_s\": %.3f, \
+            \"deliver_s\": %.3f, \"oracle_s\": %.3f, \"barrier_s\": %.3f, \
+            \"oracle_polls\": %d, \"minor_words_per_round\": %.0f, \
+            \"messages\": %d, \"mean_degree\": %.2f, \
             \"groups\": %d, \"legitimate\": %b}%s\n"
            r.Dgs_workload.Vanet.scenario r.Dgs_workload.Vanet.nodes
            r.Dgs_workload.Vanet.rounds r.Dgs_workload.Vanet.jobs
            r.Dgs_workload.Vanet.shards r.Dgs_workload.Vanet.wall_s
            r.Dgs_workload.Vanet.events_per_s
            r.Dgs_workload.Vanet.node_steps_per_s
-           r.Dgs_workload.Vanet.graph_build_s r.Dgs_workload.Vanet.round_s
+           r.Dgs_workload.Vanet.graph_build_s
+           r.Dgs_workload.Vanet.set_graph_s r.Dgs_workload.Vanet.round_s
+           r.Dgs_workload.Vanet.broadcast_s r.Dgs_workload.Vanet.deliver_s
            r.Dgs_workload.Vanet.oracle_s r.Dgs_workload.Vanet.barrier_s
            r.Dgs_workload.Vanet.oracle_polls
+           r.Dgs_workload.Vanet.minor_words_per_round
            r.Dgs_workload.Vanet.messages r.Dgs_workload.Vanet.mean_degree
            r.Dgs_workload.Vanet.groups
            (r.Dgs_workload.Vanet.agreement_ok

@@ -700,13 +700,14 @@ let vanet_cmd =
     Arg.conv (parse, fun ppf sc -> Format.pp_print_string ppf (Vanet.scenario_name sc))
   in
   let run scenario n dmax seed speed range rounds warmup oracle oracle_every naive_graph
-      jobs shards =
+      jobs shards jitter profile =
     let jobs = resolve_jobs jobs in
     let r =
       Vanet.run ~seed ~dmax ~range ~speed ~rounds ~warmup ~oracle ~oracle_every
-        ~naive_graph ~jobs ?shards ~scenario ~n ()
+        ~naive_graph ~jobs ?shards ~jitter ~scenario ~n ()
     in
-    Format.printf "%a@." Vanet.pp_report r
+    if profile then Format.printf "%a@." Vanet.pp_profile r
+    else Format.printf "%a@." Vanet.pp_report r
   in
   let scenario =
     Arg.(
@@ -761,6 +762,26 @@ let vanet_cmd =
              resolved --jobs).  Results are independent of the choice; more \
              shards than jobs trades locality for load balance.")
   in
+  let jitter =
+    Arg.(
+      value & opt float 0.1
+      & info [ "jitter" ] ~docv:"P"
+          ~doc:
+            "Per-node probability of skipping a compute each round (the \
+             asynchrony knob of the round model); 0 makes every node compute \
+             every round, 1 disables computes entirely (delivery-path \
+             measurements).")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Append the round-time attribution lane to the report: the \
+             set_graph / broadcast / barrier / deliver+compute split of the \
+             round time, plus GC minor/promoted/major words per round \
+             (full-workload at --jobs 1, main domain only above).")
+  in
   Cmd.v
     (Cmd.info "vanet"
        ~doc:
@@ -771,7 +792,8 @@ let vanet_cmd =
           overhead).")
     Term.(
       const run $ scenario $ nodes $ dmax_arg $ seed_arg $ speed $ range $ rounds
-      $ warmup $ oracle $ oracle_every $ naive_graph $ jobs_arg $ shards)
+      $ warmup $ oracle $ oracle_every $ naive_graph $ jobs_arg $ shards $ jitter
+      $ profile)
 
 let list_cmd =
   let run () =

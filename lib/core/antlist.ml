@@ -115,6 +115,13 @@ let fold_entries t ~init ~f =
     t.lvls;
   !acc
 
+let fold_level t i ~init ~f =
+  if i < 0 || i >= Array.length t.lvls then init
+  else Array.fold_left (fun acc e -> f acc e.id e.mark) init t.lvls.(i)
+
+let level_size t i =
+  if i < 0 || i >= Array.length t.lvls then 0 else Array.length t.lvls.(i)
+
 let ids t =
   match t.cache.ids_s with
   | Some s -> s
@@ -159,29 +166,59 @@ let warm t =
   ignore (entries t)
 
 (* Filter a level in one pass, sharing the input array when nothing is
-   dropped. *)
+   dropped.  The keep-set fits an int bitmask for every level the protocol
+   actually produces (inline up to 62 entries); the boxed bool array only
+   appears on the synthetic giant levels of the scalability workloads.
+   The predicate may be stateful (merge's first-occurrence check), so it
+   is called exactly once per element in index order. *)
 let filter_level p l =
   let n = Array.length l in
-  let kept = ref 0 in
-  let keep = Array.make n false in
-  for j = 0 to n - 1 do
-    if p l.(j) then begin
-      keep.(j) <- true;
-      incr kept
-    end
-  done;
-  if !kept = n then l
-  else if !kept = 0 then [||]
-  else begin
-    let out = Array.make !kept l.(0) in
-    let k = ref 0 in
+  if n = 0 then l
+  else if n <= 62 then begin
+    let mask = ref 0 in
+    let kept = ref 0 in
     for j = 0 to n - 1 do
-      if keep.(j) then begin
-        out.(!k) <- l.(j);
-        incr k
+      if p l.(j) then begin
+        mask := !mask lor (1 lsl j);
+        incr kept
       end
     done;
-    out
+    if !kept = n then l
+    else if !kept = 0 then [||]
+    else begin
+      let out = Array.make !kept l.(0) in
+      let k = ref 0 in
+      for j = 0 to n - 1 do
+        if !mask land (1 lsl j) <> 0 then begin
+          out.(!k) <- l.(j);
+          incr k
+        end
+      done;
+      out
+    end
+  end
+  else begin
+    let kept = ref 0 in
+    let keep = Array.make n false in
+    for j = 0 to n - 1 do
+      if p l.(j) then begin
+        keep.(j) <- true;
+        incr kept
+      end
+    done;
+    if !kept = n then l
+    else if !kept = 0 then [||]
+    else begin
+      let out = Array.make !kept l.(0) in
+      let k = ref 0 in
+      for j = 0 to n - 1 do
+        if keep.(j) then begin
+          out.(!k) <- l.(j);
+          incr k
+        end
+      done;
+      out
+    end
   end
 
 let strip_marked ~keep t =
@@ -200,46 +237,6 @@ let strip_marked ~keep t =
   if !unchanged then t else mk (Array.sub lvls' 0 !n)
 
 let has_empty_level t = Array.exists (fun l -> Array.length l = 0) t.lvls
-
-(* Positionwise union of two sorted-unique levels: a linear two-pointer
-   merge; duplicate ids take the most severe mark. *)
-let union_level a b =
-  let na = Array.length a and nb = Array.length b in
-  if na = 0 then b
-  else if nb = 0 then a
-  else begin
-    let out = Array.make (na + nb) a.(0) in
-    let i = ref 0 and j = ref 0 and k = ref 0 in
-    while !i < na && !j < nb do
-      let ea = a.(!i) and eb = b.(!j) in
-      let c = Node_id.compare ea.id eb.id in
-      if c < 0 then begin
-        out.(!k) <- ea;
-        incr i
-      end
-      else if c > 0 then begin
-        out.(!k) <- eb;
-        incr j
-      end
-      else begin
-        out.(!k) <- { id = ea.id; mark = Mark.max ea.mark eb.mark };
-        incr i;
-        incr j
-      end;
-      incr k
-    done;
-    while !i < na do
-      out.(!k) <- a.(!i);
-      incr i;
-      incr k
-    done;
-    while !j < nb do
-      out.(!k) <- b.(!j);
-      incr j;
-      incr k
-    done;
-    if !k = na + nb then out else Array.sub out 0 !k
-  end
 
 (* The [⊕] operator: union the levels positionwise, then keep only the
    first occurrence of every id, walking levels in distance order.  A level
@@ -288,17 +285,63 @@ let merge_off off a b =
     end
   in
   let pred e = fresh e.id in
+  (* Overlapping levels fuse the positionwise union with the
+     first-occurrence filter in the one two-pointer pass: the separate
+     union array the historical code built was immediately consumed by the
+     filter and thrown away, one allocation per level per merge on the ant
+     fold's hottest path.  The predicate sees the same merged entries in
+     the same order as the two-pass version, which is what keeps the
+     stateful first-occurrence check equivalent. *)
+  let union_filter a b =
+    let ka = Array.length a and kb = Array.length b in
+    let out = Array.make (ka + kb) a.(0) in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    let push e =
+      if pred e then begin
+        out.(!k) <- e;
+        incr k
+      end
+    in
+    while !i < ka && !j < kb do
+      let ea = a.(!i) and eb = b.(!j) in
+      let c = Node_id.compare ea.id eb.id in
+      if c < 0 then begin
+        push ea;
+        incr i
+      end
+      else if c > 0 then begin
+        push eb;
+        incr j
+      end
+      else begin
+        push { id = ea.id; mark = Mark.max ea.mark eb.mark };
+        incr i;
+        incr j
+      end
+    done;
+    while !i < ka do
+      push a.(!i);
+      incr i
+    done;
+    while !j < kb do
+      push b.(!j);
+      incr j
+    done;
+    if !k = ka + kb then out else Array.sub out 0 !k
+  in
   let out = ref [] in
   let levels_out = ref 0 in
   (try
      for i = 0 to n - 1 do
        let bi = i - off in
-       let l =
-         if i >= na then if bi >= 0 && bi < nb then lb.(bi) else [||]
-         else if bi < 0 || bi >= nb then la.(i)
-         else union_level la.(i) lb.(bi)
+       let l' =
+         if i >= na then
+           if bi >= 0 && bi < nb then filter_level pred lb.(bi) else [||]
+         else if bi < 0 || bi >= nb then filter_level pred la.(i)
+         else if Array.length la.(i) = 0 then filter_level pred lb.(bi)
+         else if Array.length lb.(bi) = 0 then filter_level pred la.(i)
+         else union_filter la.(i) lb.(bi)
        in
-       let l' = filter_level pred l in
        if Array.length l' = 0 then raise Exit;
        out := l' :: !out;
        incr levels_out

@@ -62,6 +62,13 @@ val level : t -> int -> entry list
 
 val level_ids : t -> int -> Node_id.Set.t
 
+val level_size : t -> int -> int
+(** Entry count of level [i]; 0 when out of range. *)
+
+val fold_level : t -> int -> init:'a -> f:('a -> Node_id.t -> Mark.t -> 'a) -> 'a
+(** Allocation-free fold over one level in id order — the hot-path
+    replacement for [level] (which materializes an entry list per call). *)
+
 val mem : t -> Node_id.t -> bool
 
 val find : t -> Node_id.t -> (int * Mark.t) option

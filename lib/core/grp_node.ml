@@ -53,10 +53,20 @@ type t = {
   trace : Trace.t;
   metrics : metrics;
   mutable antlist : Antlist.t;
+  (* Raw arrival buffer: messages land here in order, duplicates and all,
+     at zero allocation per copy (amortized — the array doubles).  At the
+     top of [compute] the buffer is folded into [msg_set], keeping the
+     last message per sender — exactly the map the old per-receive
+     [Map.add] built, at a fraction of the per-message cost. *)
+  mutable inbox : Message.t array;
+  mutable inbox_n : int;
   mutable msg_set : Message.t Node_id.Map.t;
   mutable quarantine : int Node_id.Map.t;
   mutable view : Node_id.Set.t;
-  mutable prio_table : Priority.t Node_id.Map.t;
+  (* Reusable across computes: [merge_priority_tables] clears and refills
+     it instead of rebuilding a persistent map.  Every consumer reads it
+     by key, so the unordered representation is unobservable. *)
+  prio_table : (Node_id.t, Priority.t) Hashtbl.t;
   mutable own_priority : Priority.t;
   (* Membership re-validation testimony: sender -> (consecutive exclusion
      reports, computes since the last one).  See [update_conflicts]. *)
@@ -94,16 +104,20 @@ type step_info = {
 
 let create ~config ?(trace = Trace.null) ?(metrics = Registry.null) id =
   let own_priority = Priority.initial id in
+  let prio_table = Hashtbl.create 16 in
+  Hashtbl.replace prio_table id own_priority;
   {
     id;
     config;
     trace;
     metrics = metrics_of metrics;
     antlist = Antlist.singleton id;
+    inbox = [||];
+    inbox_n = 0;
     msg_set = Node_id.Map.empty;
     quarantine = Node_id.Map.singleton id 0;
     view = Node_id.Set.singleton id;
-    prio_table = Node_id.Map.singleton id own_priority;
+    prio_table;
     own_priority;
     conflict = Node_id.Map.empty;
     starve = Node_id.Map.empty;
@@ -119,22 +133,53 @@ let antlist t = t.antlist
 let own_priority t = t.own_priority
 let quarantine_of t v = Node_id.Map.find_opt v t.quarantine
 let quarantines t = t.quarantine
-let known_priority t v = Node_id.Map.find_opt v t.prio_table
+let known_priority t v = Hashtbl.find_opt t.prio_table v
 
 let pending_senders t =
-  Node_id.Map.fold (fun s _ acc -> Node_id.Set.add s acc) t.msg_set Node_id.Set.empty
+  let acc = ref Node_id.Set.empty in
+  for i = 0 to t.inbox_n - 1 do
+    acc := Node_id.Set.add t.inbox.(i).Message.sender !acc
+  done;
+  !acc
 
 let group_priority t =
   Node_id.Set.fold
     (fun member acc ->
-      match Node_id.Map.find_opt member t.prio_table with
+      match Hashtbl.find_opt t.prio_table member with
       | None -> acc
       | Some p -> Priority.min p acc)
     t.view t.own_priority
 
 let receive t msg =
-  if not (Node_id.equal msg.Message.sender t.id) then
-    t.msg_set <- Node_id.Map.add msg.Message.sender msg t.msg_set
+  if not (Node_id.equal msg.Message.sender t.id) then begin
+    let cap = Array.length t.inbox in
+    if t.inbox_n = cap then
+      if cap = 0 then t.inbox <- Array.make 8 msg
+      else begin
+        let a = Array.make (2 * cap) msg in
+        Array.blit t.inbox 0 a 0 cap;
+        t.inbox <- a
+      end;
+    t.inbox.(t.inbox_n) <- msg;
+    t.inbox_n <- t.inbox_n + 1
+  end
+
+(* Fold the arrival buffer into [msg_set], last message per sender
+   winning (the one-message channel).  Scanning from the newest end and
+   keeping the first occurrence of each sender builds exactly the map the
+   old incremental [Map.add]-per-receive produced, so everything
+   downstream — including iteration order — is unchanged.  Entries are
+   left in the buffer (overwritten by the next round's arrivals); only
+   the length is reset. *)
+let ingest t =
+  let m = ref t.msg_set in
+  for i = t.inbox_n - 1 downto 0 do
+    let msg = t.inbox.(i) in
+    if not (Node_id.Map.mem msg.Message.sender !m) then
+      m := Node_id.Map.add msg.Message.sender msg !m
+  done;
+  t.msg_set <- !m;
+  t.inbox_n <- 0
 
 (* The priority table is rebuilt from scratch out of the current round's
    reports: among gossiped entries the larger oldness wins (oldness only
@@ -150,32 +195,31 @@ let receive t msg =
    Lamport clock the node syncs its own counter to while solo. *)
 let merge_priority_tables t =
   let clock = ref 0 in
-  let table = ref (Node_id.Map.singleton t.id t.own_priority) in
+  let table = t.prio_table in
+  Hashtbl.clear table;
+  Hashtbl.replace table t.id t.own_priority;
   Node_id.Map.iter
     (fun _ msg ->
       Node_id.Map.iter
         (fun v p ->
           if p.Priority.oldness > !clock then clock := p.Priority.oldness;
           if not (Node_id.equal v t.id) then
-            match Node_id.Map.find_opt v !table with
-            | Some q when q.Priority.oldness >= p.Priority.oldness -> ()
-            | _ -> table := Node_id.Map.add v p !table)
+            match Hashtbl.find table v with
+            | q -> if q.Priority.oldness < p.Priority.oldness then Hashtbl.replace table v p
+            | exception Not_found -> Hashtbl.replace table v p)
         msg.Message.priorities)
     t.msg_set;
   Node_id.Map.iter
     (fun sender msg ->
-      match Node_id.Map.find_opt sender msg.Message.priorities with
-      | Some p -> table := Node_id.Map.add sender p !table
-      | None -> ())
+      match Node_id.Map.find sender msg.Message.priorities with
+      | p -> Hashtbl.replace table sender p
+      | exception Not_found -> ())
     t.msg_set;
-  t.prio_table <- !table;
   !clock
 
 let clear_level_ids lst i =
-  List.fold_left
-    (fun acc e ->
-      if e.Antlist.mark = Mark.Clear then Node_id.Set.add e.Antlist.id acc else acc)
-    Node_id.Set.empty (Antlist.level lst i)
+  Antlist.fold_level lst i ~init:Node_id.Set.empty ~f:(fun acc id mark ->
+      if mark = Mark.Clear then Node_id.Set.add id acc else acc)
 
 let good_list t ~sender lst =
   (* The sender's list is usable when it acknowledges me: unmarked or
@@ -186,15 +230,15 @@ let good_list t ~sender lst =
      member whenever mobility creates a fresh direct link between two
      group-mates (DESIGN.md Section 5). *)
   let self_ok =
-    List.exists
-      (fun e -> Node_id.equal e.Antlist.id t.id && e.Antlist.mark <> Mark.Double)
-      (Antlist.level lst 1)
+    Antlist.fold_level lst 1 ~init:false ~f:(fun acc id mark ->
+        acc || (Node_id.equal id t.id && mark <> Mark.Double))
     || List.exists
          (fun (v, _, mark) -> Node_id.equal v t.id && mark = Mark.Clear)
          (Antlist.entries lst)
   in
   self_ok
-  && Node_id.Set.equal (Antlist.level_ids lst 0) (Node_id.Set.singleton sender)
+  && Antlist.level_size lst 0 = 1
+  && Antlist.fold_level lst 0 ~init:false ~f:(fun _ id _ -> Node_id.equal id sender)
   && Antlist.clear_size lst <= t.config.Config.dmax + 1
   && not (Antlist.has_empty_level lst)
 
@@ -230,30 +274,39 @@ let established_extent t ~established =
 let foreign_view_extent t ~sender_view lst =
   (* Marked entries count as known too: they only occur at levels 0-1 of my
      list, i.e. they are physically adjacent, so a sender echoing them back
-     is not stretching the merge. *)
-  let known = Node_id.Set.add t.id (Antlist.ids t.antlist) in
-  let foreign_positions =
-    List.filter_map
-      (fun (v, pos, mark) ->
+     is not stretching the merge.  One max-tracking pass; -1 encodes "no
+     foreign member" without materializing the position list. *)
+  let my_ids = Antlist.ids t.antlist in
+  let best =
+    List.fold_left
+      (fun best (v, pos, mark) ->
         if
           mark = Mark.Clear
           && Node_id.Set.mem v sender_view
-          && not (Node_id.Set.mem v known)
-        then Some pos
-        else None)
-      (Antlist.entries lst)
+          && (not (Node_id.equal v t.id))
+          && not (Node_id.Set.mem v my_ids)
+        then max best pos
+        else best)
+      (-1) (Antlist.entries lst)
   in
-  match foreign_positions with
-  | [] -> None
-  | ps -> Some (List.fold_left max 0 ps)
+  if best < 0 then None else Some best
 
-let compatible_list t ~sender_view lst =
+(* [env] memoizes the sender-independent half of the admission tests for
+   one compute: the established set spans every advertised view in this
+   round's msgSet, so it is the same for all of the round's senders, and
+   computing it per sender made compatibleList the dominant allocation
+   site of the whole protocol at VANET scale. *)
+let compatible_env t =
+  lazy
+    (let established = established_set t in
+     (established, established_extent t ~established))
+
+let compatible_list_env t ~env ~sender_view lst =
   let dmax = t.config.Config.dmax in
   match foreign_view_extent t ~sender_view lst with
   | None -> true (* nothing new: accepting cannot stretch the group *)
   | Some q ->
-      let established = established_set t in
-      let p = established_extent t ~established in
+      let established, p = Lazy.force env in
       if p + q + 1 <= dmax then true
       else if not t.config.Config.compat_shortcut_enabled then false
       else
@@ -278,6 +331,9 @@ let compatible_list t ~sender_view lst =
         in
         scan 1
 
+let compatible_list t ~sender_view lst =
+  compatible_list_env t ~env:(compatible_env t) ~sender_view lst
+
 (* Lines 1-9 of compute(): strip link-local marks, then replace unusable
    lists by a single-marked sender (goodList) and incompatible ones by a
    double-marked sender (compatibleList). *)
@@ -290,13 +346,16 @@ let compatible_list t ~sender_view lst =
    (DESIGN.md Section 5). *)
 let same_group t sender (msg : Message.t) =
   Node_id.Set.mem sender t.view
-  || not
-       (Node_id.Set.is_empty
-          (Node_id.Set.remove t.id
-             (Node_id.Set.remove sender (Node_id.Set.inter msg.view t.view))))
+  || Node_id.Set.exists
+       (fun v ->
+         (not (Node_id.equal v t.id))
+         && (not (Node_id.equal v sender))
+         && Node_id.Set.mem v t.view)
+       msg.view
 
 let check_each_incoming t =
   let tracing = Trace.enabled t.trace in
+  let env = compatible_env t in
   Node_id.Map.mapi
     (fun sender msg ->
       if tracing && not (Node_id.Set.mem sender t.view) then
@@ -329,7 +388,7 @@ let check_each_incoming t =
       in
       let incompatible () =
         (not (same_group t sender msg))
-        && not (compatible_list t ~sender_view:msg.Message.view raw)
+        && not (compatible_list_env t ~env ~sender_view:msg.Message.view raw)
       in
       match my_mark with
       | None ->
@@ -364,74 +423,6 @@ let check_each_incoming t =
    never rejected here — they are the group compatibleList protects — and
    among new senders the oldest group is kept (DESIGN.md Section 5). *)
 let cross_check t checked =
-  let my_ids = Node_id.Set.add t.id t.view in
-  (* The foreign group a sender brings: the clear members of its own view,
-     minus the established members we already hold.  "Hold" means the
-     view, not the whole clear list: after a collapsed merge the list
-     still spans the entire neighborhood (everything really is within
-     Dmax+1 hops of a bridge node), and measuring foreignness against it
-     leaves no foreign part at all — blinding the extent test exactly
-     when the next admission race begins (the 6-path bridge livelock).
-     Speculative list entries outside the sender's view are ignored
-     here; individual checks and the too-far contest police those. *)
-  let my_level v =
-    List.find_map
-      (fun (u, pos, mark) ->
-        if Node_id.equal u v && mark <> Mark.Double then Some pos else None)
-      (Antlist.entries t.antlist)
-  in
-  let foreign_part sender =
-    match Node_id.Map.find_opt sender t.msg_set with
-    | None -> None
-    | Some msg ->
-        (* Reach: everything the sender's raw list vouches a usable
-           connection to — the overlap test joins two sides that meet
-           anywhere off-board, not only through me.  Single-marked entries
-           count (a handshake in progress is a live adjacency); double-
-           marked ones do not (a rejected edge carries no group path).
-           Extent: established (view, clear) members only, so speculative
-           tails do not block growth. *)
-        let foreign =
-          List.filter
-            (fun (v, _, mark) ->
-              mark <> Mark.Double && not (Node_id.Set.mem v my_ids))
-            (Antlist.entries msg.Message.antlist)
-        in
-        (* Split horizon for the overlap test: an entry whose depth in the
-           sender's list is explainable as a route through me (the
-           sender's level of me plus my own level of the entry) may be
-           nothing but the echo of my previous advertisement — after a
-           failed bridge, the two sides would keep "meeting" through such
-           ghosts for a round and bypass the joint extent check forever
-           (the lockstep grid3x3 cycle).  Genuinely off-board meetings are
-           strictly shorter than the me-route and survive the filter. *)
-        let sender_level_of_me =
-          List.find_map
-            (fun (v, pos, _) -> if Node_id.equal v t.id then Some pos else None)
-            (Antlist.entries msg.Message.antlist)
-        in
-        let echo (v, pos, _) =
-          match (sender_level_of_me, my_level v) with
-          | Some mp, Some lv -> pos >= mp + lv
-          | _ -> false
-        in
-        let reach =
-          Node_id.Set.of_list
-            (List.filter_map
-               (fun e -> if echo e then None else Some (let v, _, _ = e in v))
-               foreign)
-        in
-        let view_positions =
-          List.filter_map
-            (fun (v, pos, mark) ->
-              if mark = Mark.Clear && Node_id.Set.mem v msg.Message.view then Some pos
-              else None)
-            foreign
-        in
-        match view_positions with
-        | [] -> None
-        | ps -> Some (reach, List.fold_left max 0 ps)
-  in
   (* Senders already rejected by the individual checks (their list was
      replaced by a marked singleton) are not being admitted, so they
      neither need joint clearance nor may veto anybody else. *)
@@ -452,6 +443,87 @@ let cross_check t checked =
         else if mates sender then ((sender, lst) :: in_view, fresh)
         else (in_view, (sender, lst) :: fresh))
       checked ([], [])
+  in
+  match fresh with
+  | [] ->
+      (* Nothing new to vet: the admission fold below would return
+         [checked] unchanged, and the in-view foreign parts it consults
+         are never looked at.  In steady state every sender is a mate, so
+         this skips the whole joint-extent machinery on the common path. *)
+      checked
+  | _ :: _ ->
+  let my_ids = Node_id.Set.add t.id t.view in
+  (* The foreign group a sender brings: the clear members of its own view,
+     minus the established members we already hold.  "Hold" means the
+     view, not the whole clear list: after a collapsed merge the list
+     still spans the entire neighborhood (everything really is within
+     Dmax+1 hops of a bridge node), and measuring foreignness against it
+     leaves no foreign part at all — blinding the extent test exactly
+     when the next admission race begins (the 6-path bridge livelock).
+     Speculative list entries outside the sender's view are ignored
+     here; individual checks and the too-far contest police those. *)
+  (* First usable (non-Double) occurrence of each id in my list, built once
+     per cross check — [my_level] runs per foreign entry, and the per-call
+     list scan it replaces was quadratic in the list size. *)
+  let my_level_tbl =
+    lazy
+      (let h = Hashtbl.create 16 in
+       List.iter
+         (fun (u, pos, mark) ->
+           if mark <> Mark.Double && not (Hashtbl.mem h u) then Hashtbl.add h u pos)
+         (Antlist.entries t.antlist);
+       h)
+  in
+  let my_level v = Hashtbl.find_opt (Lazy.force my_level_tbl) v in
+  let foreign_part sender =
+    match Node_id.Map.find_opt sender t.msg_set with
+    | None -> None
+    | Some msg ->
+        (* Reach: everything the sender's raw list vouches a usable
+           connection to — the overlap test joins two sides that meet
+           anywhere off-board, not only through me.  Single-marked entries
+           count (a handshake in progress is a live adjacency); double-
+           marked ones do not (a rejected edge carries no group path).
+           Extent: established (view, clear) members only, so speculative
+           tails do not block growth.
+
+           Split horizon for the overlap test: an entry whose depth in the
+           sender's list is explainable as a route through me (the
+           sender's level of me plus my own level of the entry) may be
+           nothing but the echo of my previous advertisement — after a
+           failed bridge, the two sides would keep "meeting" through such
+           ghosts for a round and bypass the joint extent check forever
+           (the lockstep grid3x3 cycle).  Genuinely off-board meetings are
+           strictly shorter than the me-route and survive the filter.
+
+           Reach set and extent are accumulated in the one pass over the
+           sender's entries (this runs per sender per compute, and the
+           intermediate foreign/position lists it used to build were a top
+           allocation site); -1 encodes "no established foreign member". *)
+        let sender_level_of_me =
+          (* [Antlist.find] answers from the memoized first-occurrence
+             index — the same closest-position answer the entries scan
+             gave, without materializing the entry list. *)
+          match Antlist.find msg.Message.antlist t.id with
+          | Some (pos, _) -> Some pos
+          | None -> None
+        in
+        let echo v pos =
+          match (sender_level_of_me, my_level v) with
+          | Some mp, Some lv -> pos >= mp + lv
+          | _ -> false
+        in
+        let reach = ref Node_id.Set.empty in
+        let ext = ref (-1) in
+        List.iter
+          (fun (v, pos, mark) ->
+            if mark <> Mark.Double && not (Node_id.Set.mem v my_ids) then begin
+              if not (echo v pos) then reach := Node_id.Set.add v !reach;
+              if mark = Mark.Clear && Node_id.Set.mem v msg.Message.view then
+                ext := max !ext pos
+            end)
+          (Antlist.entries msg.Message.antlist);
+        if !ext < 0 then None else Some (!reach, max !ext 0)
   in
   let order_key sender =
     match Node_id.Map.find_opt sender t.msg_set with
@@ -522,7 +594,7 @@ let defense_priority t ~providers =
 
 let too_far_priority t ~w ~providers =
   let pw =
-    match Node_id.Map.find_opt w t.prio_table with
+    match Hashtbl.find_opt t.prio_table w with
     | Some p -> p
     | None -> Priority.lowest
   in
@@ -544,7 +616,7 @@ let too_far_priority t ~w ~providers =
    straddle gets and stays cut — but not against a disjoint provider set:
    displacing a second, freshly formed pairing right after the first is
    the rotation signature, and those claims are silently truncated. *)
-let resolve_too_far t checked candidate =
+let resolve_too_far t checked ~folded candidate =
   let dmax = t.config.Config.dmax in
   if Antlist.clear_size candidate < dmax + 2 then
     (candidate, false, Node_id.Set.empty, [])
@@ -554,6 +626,24 @@ let resolve_too_far t checked candidate =
     let checked = ref checked in
     let rejected = ref Node_id.Set.empty in
     let wins = ref [] in
+    (* Per-sender facts are loop-invariant apart from cuts: hoist the
+       advertised view and the level-Dmax clear set out of the w loop
+       (recomputing the set per (w, sender) pair dominated this phase),
+       and track cut senders separately — a cut replaces the sender's list
+       by a marked singleton whose level-Dmax clear set is empty, so
+       membership in [cut] is exactly the difference the hoisting hides. *)
+    let sender_info =
+      List.rev
+        (Node_id.Map.fold
+           (fun sender lst acc ->
+             let view =
+               match Node_id.Map.find_opt sender t.msg_set with
+               | Some msg -> msg.Message.view
+               | None -> Node_id.Set.empty
+             in
+             (sender, view, clear_level_ids lst dmax) :: acc)
+           !checked [])
+    in
     Node_id.Set.iter
       (fun w ->
         (* Only providers that advertise w as an established member of
@@ -564,17 +654,15 @@ let resolve_too_far t checked candidate =
            silently truncated; their conflict resolves at their own entry
            point.  DESIGN.md Section 5. *)
         let providers =
-          Node_id.Map.fold
-            (fun sender lst acc ->
-              let established =
-                match Node_id.Map.find_opt sender t.msg_set with
-                | Some msg -> Node_id.Set.mem w msg.Message.view
-                | None -> false
-              in
-              if established && Node_id.Set.mem w (clear_level_ids lst dmax) then
-                sender :: acc
+          List.fold_left
+            (fun acc (sender, view, clear_dmax) ->
+              if
+                Node_id.Set.mem w view
+                && Node_id.Set.mem w clear_dmax
+                && not (Node_id.Set.mem sender !rejected)
+              then sender :: acc
               else acc)
-            !checked []
+            [] sender_info
         in
         if providers <> [] then begin
           let provider_set = Node_id.Set.of_list providers in
@@ -609,7 +697,15 @@ let resolve_too_far t checked candidate =
           end
         end)
       too_far;
-    let lst = Antlist.truncate (fold_ant t !checked) (dmax + 1) in
+    (* Re-fold only when a provider was actually cut: with [checked]
+       unchanged the fold is a deterministic function of the same inputs,
+       so its result is (structurally) [folded] again — and the overflow
+       branch without a contest winner is by far the common case under
+       mobility churn. *)
+    let lst =
+      if Node_id.Set.is_empty !rejected then Antlist.truncate folded (dmax + 1)
+      else Antlist.truncate (fold_ant t !checked) (dmax + 1)
+    in
     (lst, true, !rejected, !wins)
   end
 
@@ -776,9 +872,10 @@ let update_priorities t lst ~clock =
         t.own_priority <- Priority.bump (Priority.sync t.own_priority clock)
   | Config.Lowest_id -> ());
   let keep = Node_id.Set.add t.id (Antlist.ids lst) in
-  t.prio_table <-
-    Node_id.Map.filter (fun v _ -> Node_id.Set.mem v keep) t.prio_table;
-  t.prio_table <- Node_id.Map.add t.id t.own_priority t.prio_table
+  Hashtbl.filter_map_inplace
+    (fun v p -> if Node_id.Set.mem v keep then Some p else None)
+    t.prio_table;
+  Hashtbl.replace t.prio_table t.id t.own_priority
 
 (* Mark handshake and quarantine transitions, derived by diffing the
    protocol state across one compute — the list marks and the quarantine
@@ -843,6 +940,7 @@ let compute t =
   Registry.Counter.incr t.metrics.m_compute;
   let m_t0 = Registry.Timer.start t.metrics.m_compute_ns in
   let dmax = t.config.Config.dmax in
+  ingest t;
   let clock = merge_priority_tables t in
   t.contest_hold <-
     Node_id.Map.filter_map
@@ -872,7 +970,7 @@ let compute t =
   in
   let candidate = Antlist.truncate folded (dmax + 2) in
   let final_list, too_far_conflict, rejected_senders, contest_wins =
-    resolve_too_far t checked candidate
+    resolve_too_far t checked ~folded candidate
   in
   let final_list = Antlist.truncate final_list (dmax + 1) in
   let old_list = t.antlist in
@@ -918,7 +1016,7 @@ let make_message t =
   let priorities =
     Node_id.Set.fold
       (fun v acc ->
-        match Node_id.Map.find_opt v t.prio_table with
+        match Hashtbl.find_opt t.prio_table v with
         | None -> acc
         | Some p -> Node_id.Map.add v p acc)
       (Antlist.ids t.antlist) Node_id.Map.empty
@@ -937,7 +1035,7 @@ let corrupt_quarantine t qs =
 let corrupt_priority t p = t.own_priority <- p
 
 let corrupt_priority_table t ps =
-  t.prio_table <- List.fold_left (fun acc (v, p) -> Node_id.Map.add v p acc) t.prio_table ps
+  List.iter (fun (v, p) -> Hashtbl.replace t.prio_table v p) ps
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>node %a: list=%a@ view=%a pr=%a@]" Node_id.pp t.id Antlist.pp

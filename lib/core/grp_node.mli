@@ -65,11 +65,14 @@ val quarantines : t -> int Node_id.Map.t
 val known_priority : t -> Node_id.t -> Priority.t option
 
 val pending_senders : t -> Node_id.Set.t
-(** Senders currently buffered in [msgSet] (testing/inspection). *)
+(** Senders with a message buffered for the next {!compute}
+    (testing/inspection). *)
 
 val receive : t -> Message.t -> unit
-(** Store the message in [msgSet], overwriting any previous message of the
-    same sender (one-message channel). *)
+(** Buffer the message for the next {!compute}; among several messages
+    from one sender the last received wins (the one-message channel,
+    [msgSet] of the paper).  Appends to a reusable flat buffer —
+    allocation-free once the buffer has grown to the node's degree. *)
 
 val compute : t -> step_info
 (** Procedure [compute()] of the paper: check incoming lists (goodList,

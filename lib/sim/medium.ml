@@ -15,7 +15,7 @@ type dest_stats = {
 type cell = { mutable d : int; mutable l : int; mutable x : int }
 
 type 'msg t = {
-  engine : Engine.t;
+  engine : 'msg Engine.t;
   rng : Rng.t;
   trace : Trace.t;
   mutable loss : float;
@@ -23,11 +23,12 @@ type 'msg t = {
   delay_max : float;
   audience : int -> int list;
   deliver : dst:int -> 'msg -> bool;
+  per_dst_stats : bool;
   mutable broadcasts : int;
   mutable deliveries : int;
   mutable losses : int;
   mutable drops : int;
-  (* Stats-window generation, captured into every delivery closure at
+  (* Stats-window generation, carried by every in-flight copy from
      schedule time (the Net churn-timer idiom): a copy scheduled before a
      [reset_stats] must not leak into the counters of the window that
      follows it, even though it is still delivered to the protocol. *)
@@ -41,36 +42,6 @@ type 'msg t = {
   m_delivery_ns : Registry.Timer.t;
 }
 
-let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
-    ?(trace = Trace.null) ?(metrics = Registry.null) ~audience ~deliver () =
-  if loss < 0.0 || loss > 1.0 then invalid_arg "Medium.create: loss out of [0,1]";
-  if delay_min < 0.0 || delay_max < delay_min then
-    invalid_arg "Medium.create: bad delay bounds";
-  let m_loss_rate = Registry.gauge metrics Names.medium_loss_rate in
-  Registry.Gauge.set m_loss_rate loss;
-  {
-    engine;
-    rng;
-    trace;
-    loss;
-    delay_min;
-    delay_max;
-    audience;
-    deliver;
-    broadcasts = 0;
-    deliveries = 0;
-    losses = 0;
-    drops = 0;
-    stats_gen = 0;
-    by_dest = Hashtbl.create 64;
-    m_broadcast = Registry.counter metrics Names.medium_broadcast_total;
-    m_delivery = Registry.counter metrics Names.medium_delivery_total;
-    m_loss = Registry.counter metrics Names.medium_loss_total;
-    m_drop = Registry.counter metrics Names.medium_drop_total;
-    m_loss_rate;
-    m_delivery_ns = Registry.timer metrics Names.medium_delivery_ns;
-  }
-
 let cell_of t dst =
   match Hashtbl.find_opt t.by_dest dst with
   | Some c -> c
@@ -79,46 +50,86 @@ let cell_of t dst =
       Hashtbl.replace t.by_dest dst c;
       c
 
-(* Schedule one directed copy for delivery at absolute time [at].  The
-   stats generation is captured now, at schedule time: if [reset_stats]
-   runs while the copy is in flight, the copy is still delivered to the
-   protocol (the frame is already in the air), still traced, and still
-   counted in the cumulative registry — but it no longer belongs to the
-   new stats window, so the windowed counters and the per-destination
-   cells skip it. *)
+(* Fire one directed copy, [gen] being the stats window it was scheduled
+   in.  The runtime decides now whether the protocol actually sees the
+   copy (destination may have deactivated or been removed in flight, or
+   the frame may be corrupted out of the grammar); only copies it accepts
+   count as deliveries, so [deliveries] agrees with what
+   [Grp_node.receive] saw.  This is the engine's delivery handler —
+   installed once at creation, dispatched without any per-copy closure. *)
+let deliver_copy t ~src ~dst ~gen msg =
+  let m_t0 = Registry.Timer.start t.m_delivery_ns in
+  let accepted = t.deliver ~dst msg in
+  Registry.Timer.stop t.m_delivery_ns m_t0;
+  let current_window = gen = t.stats_gen in
+  if accepted then begin
+    Registry.Counter.incr t.m_delivery;
+    if current_window then begin
+      t.deliveries <- t.deliveries + 1;
+      if t.per_dst_stats then (cell_of t dst).d <- (cell_of t dst).d + 1
+    end
+  end
+  else begin
+    Registry.Counter.incr t.m_drop;
+    if current_window then begin
+      t.drops <- t.drops + 1;
+      if t.per_dst_stats then (cell_of t dst).x <- (cell_of t dst).x + 1
+    end
+  end;
+  if Trace.enabled t.trace then begin
+    Trace.set_time t.trace (Engine.now t.engine);
+    Trace.emit t.trace
+      (if accepted then Trace.Msg_delivered { src; dst }
+       else Trace.Msg_dropped { src; dst })
+  end
+
+let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
+    ?(trace = Trace.null) ?(metrics = Registry.null) ?(per_dst_stats = false)
+    ~audience ~deliver () =
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Medium.create: loss out of [0,1]";
+  if delay_min < 0.0 || delay_max < delay_min then
+    invalid_arg "Medium.create: bad delay bounds";
+  let m_loss_rate = Registry.gauge metrics Names.medium_loss_rate in
+  Registry.Gauge.set m_loss_rate loss;
+  let t =
+    {
+      engine;
+      rng;
+      trace;
+      loss;
+      delay_min;
+      delay_max;
+      audience;
+      deliver;
+      per_dst_stats;
+      broadcasts = 0;
+      deliveries = 0;
+      losses = 0;
+      drops = 0;
+      stats_gen = 0;
+      by_dest = Hashtbl.create 64;
+      m_broadcast = Registry.counter metrics Names.medium_broadcast_total;
+      m_delivery = Registry.counter metrics Names.medium_delivery_total;
+      m_loss = Registry.counter metrics Names.medium_loss_total;
+      m_drop = Registry.counter metrics Names.medium_drop_total;
+      m_loss_rate;
+      m_delivery_ns = Registry.timer metrics Names.medium_delivery_ns;
+    }
+  in
+  Engine.set_deliver engine (fun ~src ~dst ~gen msg ->
+      deliver_copy t ~src ~dst ~gen msg);
+  t
+
+(* Schedule one directed copy for delivery at absolute time [at] as a
+   typed engine event — no per-copy closure.  The stats generation is
+   captured now, at schedule time: if [reset_stats] runs while the copy
+   is in flight, the copy is still delivered to the protocol (the frame
+   is already in the air), still traced, and still counted in the
+   cumulative registry — but it no longer belongs to the new stats
+   window, so the windowed counters and the per-destination cells skip
+   it. *)
 let schedule_delivery t ~at ~src ~dst msg =
-  let gen = t.stats_gen in
-  ignore
-    (Engine.schedule_at t.engine at (fun () ->
-         (* The runtime decides at delivery time whether the protocol
-            actually sees the copy (destination may have deactivated or
-            been removed in flight, or the frame may be corrupted out of
-            the grammar); only copies it accepts count as deliveries, so
-            [deliveries] agrees with what [Grp_node.receive] saw. *)
-         let m_t0 = Registry.Timer.start t.m_delivery_ns in
-         let accepted = t.deliver ~dst msg in
-         Registry.Timer.stop t.m_delivery_ns m_t0;
-         let current_window = gen = t.stats_gen in
-         if accepted then begin
-           Registry.Counter.incr t.m_delivery;
-           if current_window then begin
-             t.deliveries <- t.deliveries + 1;
-             (cell_of t dst).d <- (cell_of t dst).d + 1
-           end
-         end
-         else begin
-           Registry.Counter.incr t.m_drop;
-           if current_window then begin
-             t.drops <- t.drops + 1;
-             (cell_of t dst).x <- (cell_of t dst).x + 1
-           end
-         end;
-         if Trace.enabled t.trace then begin
-           Trace.set_time t.trace (Engine.now t.engine);
-           Trace.emit t.trace
-             (if accepted then Trace.Msg_delivered { src; dst }
-              else Trace.Msg_dropped { src; dst })
-         end))
+  Engine.schedule_deliver t.engine ~at ~src ~dst ~gen:t.stats_gen msg
 
 let broadcast t ~src msg =
   t.broadcasts <- t.broadcasts + 1;
@@ -133,8 +144,10 @@ let broadcast t ~src msg =
         if Rng.bernoulli t.rng t.loss then begin
           t.losses <- t.losses + 1;
           Registry.Counter.incr t.m_loss;
-          let c = cell_of t dst in
-          c.l <- c.l + 1;
+          if t.per_dst_stats then begin
+            let c = cell_of t dst in
+            c.l <- c.l + 1
+          end;
           if Trace.enabled t.trace then
             Trace.emit t.trace (Trace.Msg_lost { src; dst })
         end
@@ -176,7 +189,7 @@ let reset_stats t =
   t.deliveries <- 0;
   t.losses <- 0;
   t.drops <- 0;
-  (* Fence out copies already in flight: their closures captured the old
-     generation, so they no longer touch the windowed counters. *)
+  (* Fence out copies already in flight: they carry the old generation,
+     so they no longer touch the windowed counters. *)
   t.stats_gen <- t.stats_gen + 1;
   Hashtbl.reset t.by_dest

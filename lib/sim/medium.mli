@@ -51,13 +51,14 @@ type dest_stats = {
 }
 
 val create :
-  engine:Engine.t ->
+  engine:'msg Engine.t ->
   rng:Dgs_util.Rng.t ->
   ?loss:float ->
   ?delay_min:float ->
   ?delay_max:float ->
   ?trace:Dgs_trace.Trace.t ->
   ?metrics:Dgs_metrics.Registry.t ->
+  ?per_dst_stats:bool ->
   audience:(int -> int list) ->
   deliver:(dst:int -> 'msg -> bool) ->
   unit ->
@@ -69,7 +70,14 @@ val create :
     [metrics] (default {!Dgs_metrics.Registry.null}) receives the
     [medium_*] counter families mirroring {!stats}, the
     [medium_loss_rate] gauge, and the [medium_delivery_ns] timer around
-    the [deliver] callback. *)
+    the [deliver] callback.  [per_dst_stats] (default [false]) turns on
+    the per-destination breakdown behind {!stats_by_dest}; off, the hot
+    path skips the per-copy cell lookup entirely and {!stats_by_dest}
+    returns [[]].
+
+    The medium installs itself as the engine's delivery handler
+    ({!Engine.set_deliver}): directed copies ride typed engine events,
+    one medium per engine. *)
 
 val broadcast : 'msg t -> src:int -> 'msg -> unit
 (** Send one message to the current audience of [src] (self-delivery is
@@ -95,13 +103,14 @@ val stats : 'msg t -> stats
 val stats_by_dest : 'msg t -> dest_stats list
 (** Per-receiver delivery/loss breakdown, sorted by node id — the ground
     truth the {!Dgs_trace.Trace.Counting} sink's per-node [Msg_delivered]
-    counters are validated against. *)
+    counters are validated against.  Empty unless the medium was created
+    with [~per_dst_stats:true]. *)
 
 val reset_stats : 'msg t -> unit
 (** Zero all counters, including the per-destination breakdown, and start
     a fresh stats window.  Copies already in flight are still delivered to
     the protocol and still traced, but are fenced out of the new window's
-    counters (each delivery closure captures the window generation at
-    schedule time), so windows never bleed into each other.  The
+    counters (each in-flight copy carries the window generation it was
+    scheduled in), so windows never bleed into each other.  The
     cumulative [metrics] registry counters are unaffected — they count
     since creation by design. *)

@@ -13,7 +13,7 @@ type stats = {
 }
 
 type t = {
-  engine : Engine.t;
+  engine : Message.t Engine.t;
   rng : Rng.t;
   config : Config.t;
   trace : Trace.t;
@@ -166,8 +166,11 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
   in
   t.medium <-
     Some
+      (* Per-destination accounting stays on here: the executor's
+         check_monotone_stats oracle cross-checks the per-dest sums
+         against the aggregates on every poll. *)
       (Medium.create ~engine ~rng:(Rng.split rng) ~loss ~delay_min ~delay_max ~trace
-         ~metrics ~audience ~deliver ());
+         ~metrics ~per_dst_stats:true ~audience ~deliver ());
   List.iter (install_node t) nodes;
   t
 

@@ -26,7 +26,7 @@ type stats = {
 }
 
 val create :
-  engine:Engine.t ->
+  engine:Dgs_core.Message.t Engine.t ->
   rng:Dgs_util.Rng.t ->
   config:Dgs_core.Config.t ->
   ?tau_c:float ->
@@ -50,7 +50,7 @@ val create :
     Raises [Invalid_argument] on [tau_s > tau_c] or a corruption rate
     outside [\[0,1\]]. *)
 
-val engine : t -> Engine.t
+val engine : t -> Dgs_core.Message.t Engine.t
 (** The engine driving this runtime's timers. *)
 
 val node : t -> Dgs_core.Node_id.t -> Dgs_core.Grp_node.t

@@ -14,7 +14,7 @@ open Dgs_core
    here needs synchronization. *)
 type shard = {
   sx : int;
-  engine : Engine.t;
+  engine : Message.t Engine.t;
   medium : Message.t Medium.t;
   nodes : (Node_id.t, Grp_node.t) Hashtbl.t;
   trace : Trace.t;
@@ -46,6 +46,11 @@ type t = {
   mutable graph : Graph.t;
   mutable now : float;
   mutable barrier_s : float;
+  (* Per-phase wall clock, measured on the main thread around each
+     parallel phase (so they include fork/join overhead) — the profile
+     lane's attribution of round time. *)
+  mutable broadcast_s : float;
+  mutable deliver_s : float;
 }
 
 let clamp_shard t sx = ((sx mod Array.length t.shards) + Array.length t.shards) mod Array.length t.shards
@@ -111,11 +116,13 @@ let create ~config ?(shards = 1) ?(jobs = 1) ?(delta = 0.5) ?(seed = 1)
                 (Graph.neighbors t.graph src) []
               |> List.rev)
         ~deliver:(fun ~dst msg ->
-          match Hashtbl.find_opt nodes dst with
-          | Some node ->
+          (* find + Not_found rather than find_opt: this runs once per
+             delivered copy and must not allocate a [Some]. *)
+          match Hashtbl.find nodes dst with
+          | node ->
               Grp_node.receive node msg;
               true
-          | None -> false)
+          | exception Not_found -> false)
         ()
     in
     {
@@ -144,6 +151,8 @@ let create ~config ?(shards = 1) ?(jobs = 1) ?(delta = 0.5) ?(seed = 1)
       graph;
       now = 0.0;
       barrier_s = 0.0;
+      broadcast_s = 0.0;
+      deliver_s = 0.0;
     }
   in
   t_ref := Some t;
@@ -156,6 +165,8 @@ let graph t = t.graph
 let shard_count t = Array.length t.shards
 let jobs t = t.jobs
 let barrier_s t = t.barrier_s
+let broadcast_s t = t.broadcast_s
+let deliver_s t = t.deliver_s
 
 let set_graph t g =
   t.graph <- g;
@@ -267,11 +278,15 @@ let round ?(jitter = 0.0) t =
   if jitter < 0.0 || jitter > 1.0 then
     invalid_arg "Sharded.round: jitter out of [0,1]";
   let n = Array.length t.shards in
+  let t0 = Unix.gettimeofday () in
   ignore (Pool.map ~jobs:t.jobs n (fun sx -> phase_broadcast t t.shards.(sx)));
+  t.broadcast_s <- t.broadcast_s +. (Unix.gettimeofday () -. t0);
   let incoming = exchange t in
+  let t1 = Unix.gettimeofday () in
   ignore
     (Pool.map ~jobs:t.jobs n (fun sx ->
          phase_deliver t jitter t.shards.(sx) incoming.(sx)));
+  t.deliver_s <- t.deliver_s +. (Unix.gettimeofday () -. t1);
   t.now <- t.now +. 1.0;
   Array.fold_left
     (fun acc sh ->

@@ -117,6 +117,17 @@ val barrier_s : t -> float
     exchange (routing + sorting boundary copies) — the coordination
     overhead the Vanet report splits out. *)
 
+val broadcast_s : t -> float
+(** Cumulative wall-clock seconds of the parallel broadcast phase
+    (message build + send scheduling), measured on the main thread around
+    the fork/join — one leg of the Vanet profile lane's round-time
+    attribution. *)
+
+val deliver_s : t -> float
+(** Cumulative wall-clock seconds of the parallel deliver + compute
+    phase, measured like {!broadcast_s}.  [broadcast_s + barrier_s +
+    deliver_s] accounts for (nearly) all of a round's wall clock. *)
+
 val spatial_partition :
   shards:int ->
   range:float ->

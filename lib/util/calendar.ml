@@ -1,0 +1,126 @@
+(* Two-lane agenda over (time, seq) keys and int payloads.
+
+   The fast lane is a single active bucket: a growable pair of int arrays
+   holding the payloads and sequence numbers of events that all share one
+   timestamp.  Synchronous-round simulations put almost every event there —
+   the whole T+delta delivery-and-compute cluster of a round lands on one
+   timestamp, in monotonically increasing seq order, so the bucket is
+   append-at-tail / pop-at-head with no allocation at all.  Everything
+   else (a second distinct timestamp while the bucket is occupied) falls
+   back to the pairing heap, keyed by the full (time, seq) tuple.
+
+   Exactness argument: the bucket holds events of exactly one timestamp
+   [bt], appended in increasing seq order (seq is globally monotonic), so
+   the bucket front is the bucket's (time, seq) minimum.  Every pop
+   compares the bucket front against the heap root under the same
+   (time, seq) order and takes the smaller, which is therefore the global
+   minimum — fire order is bit-identical to a single heap keyed by
+   (time, seq), whatever mix of lanes the adds used.
+
+   Floats that must mutate live in one-element float arrays ([bt], [lt]):
+   a mutable float field in a record with non-float fields is boxed, and
+   re-boxing on every assignment would put an allocation back on the
+   zero-alloc pop path. *)
+
+type t = {
+  heap : (float * int, int) Pqueue.t;
+  mutable b_seq : int array;
+  mutable b_val : int array;
+  mutable b_head : int;
+  mutable b_len : int;
+  (* bt.(0): timestamp shared by every bucket entry (meaningful when the
+     bucket is non-empty). *)
+  bt : float array;
+  (* lt.(0): timestamp of the most recently popped event. *)
+  lt : float array;
+  mutable size : int;
+}
+
+let cmp (t1, s1) (t2, s2) =
+  match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+
+let create () =
+  {
+    heap = Pqueue.create ~cmp;
+    b_seq = Array.make 16 0;
+    b_val = Array.make 16 0;
+    b_head = 0;
+    b_len = 0;
+    bt = [| 0.0 |];
+    lt = [| 0.0 |];
+    size = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let last_time t = t.lt.(0)
+let last_time_cell t = t.lt
+
+let grow_bucket t =
+  let cap = Array.length t.b_seq in
+  let seq = Array.make (2 * cap) 0 and v = Array.make (2 * cap) 0 in
+  Array.blit t.b_seq 0 seq 0 cap;
+  Array.blit t.b_val 0 v 0 cap;
+  t.b_seq <- seq;
+  t.b_val <- v
+
+let push_bucket t ~seq value =
+  if t.b_len = Array.length t.b_seq then grow_bucket t;
+  t.b_seq.(t.b_len) <- seq;
+  t.b_val.(t.b_len) <- value;
+  t.b_len <- t.b_len + 1
+
+let add t ~time ~seq value =
+  if t.b_head = t.b_len then begin
+    (* Empty bucket: restart it at this timestamp (head/len reset so the
+       arrays are reused from slot 0). *)
+    t.b_head <- 0;
+    t.b_len <- 0;
+    t.bt.(0) <- time;
+    push_bucket t ~seq value
+  end
+  else if time = t.bt.(0) then push_bucket t ~seq value
+  else Pqueue.add t.heap (time, seq) value;
+  t.size <- t.size + 1
+
+let pop_bucket t =
+  let v = t.b_val.(t.b_head) in
+  t.lt.(0) <- t.bt.(0);
+  t.b_head <- t.b_head + 1;
+  t.size <- t.size - 1;
+  v
+
+let pop_heap t =
+  match Pqueue.pop t.heap with
+  | Some ((time, _), v) ->
+      t.lt.(0) <- time;
+      t.size <- t.size - 1;
+      v
+  | None -> assert false
+
+(* Which lane holds the global (time, seq) minimum.  0 = empty,
+   1 = bucket, 2 = heap. *)
+let min_lane t =
+  let have_b = t.b_head < t.b_len in
+  if Pqueue.is_empty t.heap then if have_b then 1 else 0
+  else if not have_b then 2
+  else
+    let th, hs = Pqueue.min_key_exn t.heap in
+    let bt = t.bt.(0) in
+    if th < bt || (th = bt && hs < t.b_seq.(t.b_head)) then 2 else 1
+
+let pop_min t =
+  match min_lane t with 0 -> -1 | 1 -> pop_bucket t | _ -> pop_heap t
+
+let pop_upto t ~horizon =
+  match min_lane t with
+  | 0 -> -1
+  | 1 -> if t.bt.(0) <= horizon then pop_bucket t else -1
+  | _ -> (
+      (* The fused conditional pop: one root traversal decides and pops. *)
+      match Pqueue.pop_if t.heap (fun (time, _) -> time <= horizon) with
+      | Some ((time, _), v) ->
+          t.lt.(0) <- time;
+          t.size <- t.size - 1;
+          v
+      | None -> -1)

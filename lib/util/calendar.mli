@@ -1,0 +1,53 @@
+(** Two-lane event agenda: a same-timestamp bucket over a pairing-heap
+    fallback.
+
+    An agenda of [int] payloads ordered by [(time, seq)] — time ascending,
+    insertion sequence breaking ties — exactly the order of a single
+    {!Pqueue} keyed by the tuple, but with a fast lane for the dominant
+    pattern of synchronous-round simulation: long runs of events sharing
+    one timestamp, added in increasing [seq] order.  Those are appended to
+    a reusable flat bucket (no allocation); events at any other timestamp
+    while the bucket is occupied go to the heap.  Every pop compares the
+    bucket front with the heap root under [(time, seq)], so the fire order
+    is bit-identical to the plain heap whatever mix of lanes was used.
+
+    Callers must pass strictly increasing [seq] values (the engine's
+    global event sequence); the bucket relies on it to stay sorted by
+    appending. *)
+
+type t
+
+val create : unit -> t
+(** Empty agenda. *)
+
+val length : t -> int
+(** Queued events, O(1). *)
+
+val is_empty : t -> bool
+
+val add : t -> time:float -> seq:int -> int -> unit
+(** Queue a payload at [(time, seq)].  [seq] must exceed every previously
+    added sequence number.  Allocation-free whenever [time] equals the
+    active bucket's timestamp (or the bucket is empty) and the bucket has
+    capacity. *)
+
+val pop_min : t -> int
+(** Remove and return the payload with the smallest [(time, seq)], or
+    [-1] when empty (a sentinel, not an option, to keep the pop path
+    allocation-free). *)
+
+val pop_upto : t -> horizon:float -> int
+(** Like {!pop_min} but only when the minimum's time is [<= horizon];
+    returns [-1] (removing nothing) otherwise.  The heap lane uses
+    {!Pqueue.pop_if}, so the bound check and the pop share one root
+    traversal. *)
+
+val last_time : t -> float
+(** Timestamp of the most recently popped event (meaningful after a
+    successful pop; [0.0] initially). *)
+
+val last_time_cell : t -> float array
+(** The one-element cell backing {!last_time}.  Hot pop loops read
+    [cell.(0)] instead of calling {!last_time}: without flambda a
+    cross-module [float] return is boxed, which would put one allocation
+    per fired event back on the otherwise allocation-free path. *)

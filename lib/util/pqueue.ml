@@ -44,6 +44,22 @@ let pop t =
 let pop_exn t =
   match pop t with None -> invalid_arg "Pqueue.pop_exn: empty queue" | Some x -> x
 
+(* Conditional pop: the peek and the pop share one root traversal, so a
+   horizon-bounded event loop pays a single heap operation per event
+   instead of peek-then-pop's two. *)
+let pop_if t pred =
+  match t.root with
+  | Some r when pred r.key ->
+      t.root <- merge_pairs t.cmp r.children;
+      t.size <- t.size - 1;
+      Some (r.key, r.value)
+  | _ -> None
+
+let min_key_exn t =
+  match t.root with
+  | None -> invalid_arg "Pqueue.min_key_exn: empty queue"
+  | Some r -> r.key
+
 let clear t =
   t.root <- None;
   t.size <- 0

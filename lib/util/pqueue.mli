@@ -27,6 +27,17 @@ val pop : ('prio, 'a) t -> ('prio * 'a) option
 val pop_exn : ('prio, 'a) t -> 'prio * 'a
 (** Like {!pop} but raises [Invalid_argument] on an empty queue. *)
 
+val pop_if : ('prio, 'a) t -> ('prio -> bool) -> ('prio * 'a) option
+(** [pop_if t pred] removes and returns the smallest element when [pred]
+    holds on its key, and returns [None] (removing nothing) otherwise —
+    a peek and a pop fused into one root traversal, for horizon-bounded
+    event loops that would otherwise traverse the heap twice per event. *)
+
+val min_key_exn : ('prio, 'a) t -> 'prio
+(** Key of the smallest element without removing it — the existing key
+    value, not a copy, so callers on allocation-free paths can compare
+    against it.  Raises [Invalid_argument] on an empty queue. *)
+
 val clear : ('prio, 'a) t -> unit
 
 val to_sorted_list : ('prio, 'a) t -> ('prio * 'a) list

@@ -54,10 +54,16 @@ type report = {
   events_per_s : float;
   node_steps_per_s : float;
   graph_build_s : float;
+  set_graph_s : float;
   round_s : float;
+  broadcast_s : float;
+  deliver_s : float;
   oracle_s : float;
   barrier_s : float;
   oracle_polls : int;
+  minor_words_per_round : float;
+  major_words_per_round : float;
+  promoted_words_per_round : float;
   mean_degree : float;
   groups : int;
   agreement_ok : bool;
@@ -85,7 +91,9 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
   let shard_of =
     Sharded.spatial_partition ~shards ~range (Mobility.positions mob)
   in
-  let t = Sharded.create ~config ~shards ~jobs ~seed ~shard_of (build mob ~range) in
+  let t =
+    Sharded.create ~config ~shards ~jobs ~seed ~shard_of (build mob ~range)
+  in
   Sharded.run ~jitter t warmup;
   let inc =
     match oracle with
@@ -100,7 +108,10 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
   in
   let messages0 = Sharded.messages_sent t in
   let barrier0 = Sharded.barrier_s t in
+  let broadcast0 = Sharded.broadcast_s t in
+  let deliver0 = Sharded.deliver_s t in
   let graph_build_s = ref 0.0
+  and set_graph_s = ref 0.0
   and round_s = ref 0.0
   and oracle_s = ref 0.0
   and oracle_polls = ref 0
@@ -128,12 +139,15 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
     oracle_s := !oracle_s +. (Unix.gettimeofday () -. t0)
   in
   let wall0 = Unix.gettimeofday () in
+  let gc0 = Gc.quick_stat () in
   for round = 1 to rounds do
     Mobility.step mob ~dt;
     let t0 = Unix.gettimeofday () in
     let g = build mob ~range in
     graph_build_s := !graph_build_s +. (Unix.gettimeofday () -. t0);
+    let ts = Unix.gettimeofday () in
     Sharded.set_graph t g;
+    set_graph_s := !set_graph_s +. (Unix.gettimeofday () -. ts);
     let t1 = Unix.gettimeofday () in
     let infos = Sharded.round ~jitter t in
     round_s := !round_s +. (Unix.gettimeofday () -. t1);
@@ -152,6 +166,8 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
   let g = Sharded.graph t in
   if oracle <> `Off && rounds mod oracle_every <> 0 then poll g;
   let wall_s = Unix.gettimeofday () -. wall0 in
+  let gc1 = Gc.quick_stat () in
+  let per_round f = if rounds > 0 then f /. float_of_int rounds else 0.0 in
   let messages = Sharded.messages_sent t - messages0 in
   let events = messages + !computes in
   let final_c = snapshot g in
@@ -168,10 +184,17 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
     node_steps_per_s =
       (if wall_s > 0.0 then float_of_int (n * rounds) /. wall_s else 0.0);
     graph_build_s = !graph_build_s;
+    set_graph_s = !set_graph_s;
     round_s = !round_s;
+    broadcast_s = Sharded.broadcast_s t -. broadcast0;
+    deliver_s = Sharded.deliver_s t -. deliver0;
     oracle_s = !oracle_s;
     barrier_s = Sharded.barrier_s t -. barrier0;
     oracle_polls = !oracle_polls;
+    minor_words_per_round = per_round (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+    major_words_per_round = per_round (gc1.Gc.major_words -. gc0.Gc.major_words);
+    promoted_words_per_round =
+      per_round (gc1.Gc.promoted_words -. gc0.Gc.promoted_words);
     mean_degree =
       (if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.edge_count g) /. float_of_int n);
     groups = List.length (Cfg.groups final_c);
@@ -203,3 +226,17 @@ let pp_report ppf r =
         s.Incremental.polls s.Incremental.dirtied s.Incremental.agreements_checked
         s.Incremental.omegas_computed s.Incremental.diameters_computed
         s.Incremental.pairs_checked
+
+let pp_profile ppf r =
+  let mw w = w /. 1e6 in
+  pp_report ppf r;
+  Format.fprintf ppf
+    "@.@[<v>round profile: set_graph %.2fs, broadcast %.2fs, barrier %.2fs, \
+     deliver+compute %.2fs (round total %.2fs)@,\
+     gc per round: minor %.2f Mwords, promoted %.2f Mwords, major %.2f Mwords \
+     (main domain%s)@]"
+    r.set_graph_s r.broadcast_s r.barrier_s r.deliver_s r.round_s
+    (mw r.minor_words_per_round)
+    (mw r.promoted_words_per_round)
+    (mw r.major_words_per_round)
+    (if r.jobs > 1 then "; workers not counted at jobs>1" else "")

@@ -39,10 +39,18 @@ type report = {
   events_per_s : float;  (** (messages + computes) / wall *)
   node_steps_per_s : float;  (** n·rounds / wall *)
   graph_build_s : float;  (** time rebuilding the unit-disk graph *)
+  set_graph_s : float;  (** time installing each round's graph into the executor *)
   round_s : float;  (** time in protocol rounds *)
+  broadcast_s : float;  (** round time in the parallel broadcast phase *)
+  deliver_s : float;  (** round time in the parallel deliver + compute phase *)
   oracle_s : float;  (** time in snapshot + oracle polls *)
   barrier_s : float;  (** time in the sharded barrier exchange *)
   oracle_polls : int;  (** polls taken *)
+  minor_words_per_round : float;
+      (** main-domain minor allocation per measured round (words); covers
+          the whole run at [jobs = 1], the coordination thread only above *)
+  major_words_per_round : float;  (** main-domain major allocation per round *)
+  promoted_words_per_round : float;  (** main-domain promotion per round *)
   mean_degree : float;  (** 2·|E|/n of the final topology *)
   groups : int;  (** Ω groups in the final configuration *)
   agreement_ok : bool;  (** ΠA at the last poll (true when oracle off) *)
@@ -92,3 +100,11 @@ val run :
 
 val pp_report : Format.formatter -> report -> unit
 (** Multi-line human-readable rendering, used by [grp_sim vanet]. *)
+
+val pp_profile : Format.formatter -> report -> unit
+(** {!pp_report} followed by the round-time attribution lane: the
+    set_graph / broadcast / barrier / deliver+compute split of [round_s]
+    and the per-round GC allocation rates — what [grp_sim vanet
+    --profile] prints.  At [jobs = 1] every phase runs inline on the
+    main domain, so the GC words account for the full workload; at
+    [jobs > 1] worker-domain allocation is not included. *)

@@ -1,0 +1,114 @@
+(* The pre-arena discrete-event engine, vendored as an executable
+   specification.  This is the closure-per-event agenda over {!Pqueue}
+   that [lib/sim/engine.ml] replaced with the slot arena and the
+   two-lane calendar, kept verbatim apart from the typed-delivery
+   entry points ([set_deliver]/[schedule_deliver]), which are expressed
+   here the way the old engine ran deliveries: as ordinary closures.
+
+   The QCheck property in [test_sim.ml] drives this and the production
+   engine through identical random scripts and requires bit-identical
+   observable behavior — fire order, payloads, clocks, trace streams,
+   pending/backlog accounting.  Change the production engine freely;
+   change this file only to extend the common API surface. *)
+
+module Pqueue = Dgs_util.Pqueue
+module Trace = Dgs_trace.Trace
+
+type event_id = int
+
+type 'msg t = {
+  agenda : (float * int, event_id * (unit -> unit)) Pqueue.t;
+  (* Ids still on the agenda; [cancelled] is kept a subset of it so that
+     cancelling an id whose event already fired (or cancelling twice)
+     cannot leak an entry that no pop will ever reclaim. *)
+  live : (event_id, unit) Hashtbl.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  trace : Trace.t;
+  mutable on_deliver : src:int -> dst:int -> gen:int -> 'msg -> unit;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable next_id : event_id;
+}
+
+let cmp (t1, s1) (t2, s2) =
+  match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+
+let create ?(start = 0.0) ?(trace = Trace.null) () =
+  {
+    agenda = Pqueue.create ~cmp;
+    live = Hashtbl.create 16;
+    cancelled = Hashtbl.create 16;
+    trace;
+    on_deliver =
+      (fun ~src:_ ~dst:_ ~gen:_ _ ->
+        failwith "Engine: no delivery handler installed");
+    clock = start;
+    next_seq = 0;
+    next_id = 0;
+  }
+
+let now t = t.clock
+let trace t = t.trace
+let set_deliver t f = t.on_deliver <- f
+
+let schedule_at t time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Pqueue.add t.agenda (time, t.next_seq) (id, f);
+  t.next_seq <- t.next_seq + 1;
+  Hashtbl.replace t.live id ();
+  if Trace.enabled t.trace then
+    Trace.emit t.trace (Trace.Event_scheduled { id; at = time });
+  id
+
+let schedule_after t delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t (t.clock +. delay) f
+
+let schedule_deliver t ~at ~src ~dst ~gen msg =
+  ignore (schedule_at t at (fun () -> t.on_deliver ~src ~dst ~gen msg))
+
+let cancel t id =
+  if Hashtbl.mem t.live id then Hashtbl.replace t.cancelled id ()
+
+let cancelled_backlog t = Hashtbl.length t.cancelled
+let pending t = Pqueue.length t.agenda
+
+let pop_once t =
+  match Pqueue.pop t.agenda with
+  | None -> `Empty
+  | Some ((time, _), (id, f)) ->
+      Hashtbl.remove t.live id;
+      if Hashtbl.mem t.cancelled id then (
+        Hashtbl.remove t.cancelled id;
+        `Skipped)
+      else (
+        t.clock <- time;
+        if Trace.enabled t.trace then begin
+          Trace.set_time t.trace time;
+          Trace.emit t.trace (Trace.Event_fired { id; at = time })
+        end;
+        f ();
+        `Fired)
+
+let rec step t =
+  match pop_once t with `Empty -> false | `Skipped -> step t | `Fired -> true
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Pqueue.peek t.agenda with
+    | Some ((time, _), _) when time <= horizon -> ignore (pop_once t)
+    | _ -> continue := false
+  done;
+  if horizon > t.clock then t.clock <- horizon
+
+let run_all t ~max_events =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue && !n < max_events do
+    match pop_once t with
+    | `Empty -> continue := false
+    | `Skipped | `Fired -> incr n
+  done

@@ -141,8 +141,10 @@ let make_medium ?(loss = 0.0) ~audience () =
   let engine = Engine.create () in
   let received = ref [] in
   let medium =
+    (* Per-destination accounting is opt-in since the datapath flattening;
+       these tests assert on [stats_by_dest], so they opt in. *)
     Medium.create ~engine ~rng:(Rng.create 1) ~loss ~delay_min:0.001 ~delay_max:0.01
-      ~audience
+      ~per_dst_stats:true ~audience
       ~deliver:(fun ~dst msg ->
         received := (dst, msg) :: !received;
         true)
@@ -535,6 +537,207 @@ let test_net_inflight_drop_accounting () =
   check "trace agrees with the medium's drop counter" true
     (Trace.Counting.count counting ~kind:"Msg_dropped" = after.Medium.drops)
 
+(* --- engine equivalence vs the vendored closure engine --- *)
+
+(* The arena/calendar engine must be observationally identical to the
+   closure-per-event engine it replaced (vendored in engine_reference.ml):
+   same fire order and payloads, same clocks, same trace streams, same
+   pending/backlog accounting — under arbitrary interleavings of
+   scheduling, typed deliveries, cancellation (including from inside
+   callbacks), step, run_until and run_all. *)
+
+module type ENGINE_S = sig
+  type 'msg t
+  type event_id
+
+  val create : ?start:float -> ?trace:Trace.t -> unit -> 'msg t
+  val now : 'msg t -> float
+  val schedule_after : 'msg t -> float -> (unit -> unit) -> event_id
+  val set_deliver : 'msg t -> (src:int -> dst:int -> gen:int -> 'msg -> unit) -> unit
+
+  val schedule_deliver :
+    'msg t -> at:float -> src:int -> dst:int -> gen:int -> 'msg -> unit
+
+  val cancel : 'msg t -> event_id -> unit
+  val cancelled_backlog : 'msg t -> int
+  val pending : 'msg t -> int
+  val step : 'msg t -> bool
+  val run_until : 'msg t -> float -> unit
+  val run_all : 'msg t -> max_events:int -> unit
+end
+
+module Prod_engine : ENGINE_S = struct
+  include Engine
+
+  let create ?start ?trace () = Engine.create ?start ?trace ()
+end
+
+module Ref_engine : ENGINE_S = Engine_reference
+
+type script_cmd =
+  | Thunk of float  (** plain callback after a delay *)
+  | Cascade of float * float  (** callback that schedules a child *)
+  | Cancel_on_fire of float * int  (** callback that cancels handle #k *)
+  | Deliver of float * int * int * int  (** typed delivery: delay, src, dst, msg *)
+  | Cancel of int  (** cancel handle #k now *)
+  | Run_until of float  (** advance by a delay *)
+  | Step
+  | Run_all of int
+
+let show_cmd = function
+  | Thunk d -> Printf.sprintf "Thunk %g" d
+  | Cascade (d, d2) -> Printf.sprintf "Cascade (%g, %g)" d d2
+  | Cancel_on_fire (d, k) -> Printf.sprintf "Cancel_on_fire (%g, %d)" d k
+  | Deliver (d, src, dst, m) -> Printf.sprintf "Deliver (%g, %d, %d, %d)" d src dst m
+  | Cancel k -> Printf.sprintf "Cancel %d" k
+  | Run_until d -> Printf.sprintf "Run_until %g" d
+  | Step -> "Step"
+  | Run_all b -> Printf.sprintf "Run_all %d" b
+
+module Drive (E : ENGINE_S) = struct
+  (* Interpret a script, returning the observation log and the trace
+     stream.  Everything observable is recorded: callback identities in
+     fire order, delivery payloads, step results, and after every command
+     the pending/backlog counts and the clock. *)
+  let run script =
+    let log = ref [] in
+    let out s = log := s :: !log in
+    let tlog = ref [] in
+    let trace =
+      Trace.make (fun ~time ev ->
+          tlog := Format.asprintf "%g %a" time Trace.pp_event ev :: !tlog)
+    in
+    let e = E.create ~trace () in
+    E.set_deliver e (fun ~src ~dst ~gen m ->
+        out (Printf.sprintf "deliver %d->%d g%d m%d @%g" src dst gen m (E.now e)));
+    (* Handles in allocation order (most recent first); callbacks allocate
+       tokens and push handles at fire time, so an equivalence violation
+       shows up as diverging logs rather than driver nondeterminism. *)
+    let handles = ref [] and n_handles = ref 0 in
+    let push h =
+      handles := h :: !handles;
+      incr n_handles
+    in
+    let nth_handle k =
+      if !n_handles = 0 then None else Some (List.nth !handles (k mod !n_handles))
+    in
+    let tok = ref 0 in
+    let fresh () =
+      let t = !tok in
+      incr tok;
+      t
+    in
+    let fire kind token () = out (Printf.sprintf "%s %d @%g" kind token (E.now e)) in
+    List.iter
+      (fun c ->
+        (match c with
+        | Thunk d ->
+            let token = fresh () in
+            push (E.schedule_after e d (fire "thunk" token))
+        | Cascade (d, d2) ->
+            let token = fresh () in
+            push
+              (E.schedule_after e d (fun () ->
+                   fire "cascade" token ();
+                   let child = fresh () in
+                   push (E.schedule_after e d2 (fire "child" child))))
+        | Cancel_on_fire (d, k) ->
+            let token = fresh () in
+            push
+              (E.schedule_after e d (fun () ->
+                   fire "canceller" token ();
+                   match nth_handle k with
+                   | None -> ()
+                   | Some h -> E.cancel e h))
+        | Deliver (d, src, dst, m) ->
+            E.schedule_deliver e ~at:(E.now e +. d) ~src ~dst ~gen:0 m
+        | Cancel k -> (
+            match nth_handle k with None -> () | Some h -> E.cancel e h)
+        | Run_until d -> E.run_until e (E.now e +. d)
+        | Step -> out (Printf.sprintf "step %b" (E.step e))
+        | Run_all b -> E.run_all e ~max_events:b);
+        out
+          (Printf.sprintf "| pending=%d backlog=%d now=%g" (E.pending e)
+             (E.cancelled_backlog e) (E.now e)))
+      script;
+    E.run_all e ~max_events:10_000;
+    out
+      (Printf.sprintf "end pending=%d backlog=%d now=%g" (E.pending e)
+         (E.cancelled_backlog e) (E.now e));
+    (List.rev !log, List.rev !tlog)
+end
+
+module Drive_prod = Drive (Prod_engine)
+module Drive_ref = Drive (Ref_engine)
+
+let gen_script =
+  QCheck.Gen.(
+    let delay = oneofl [ 0.0; 0.25; 0.5; 1.0; 2.0 ] in
+    let cmd =
+      frequency
+        [
+          (3, map (fun d -> Thunk d) delay);
+          (2, map2 (fun d d2 -> Cascade (d, d2)) delay delay);
+          (1, map2 (fun d k -> Cancel_on_fire (d, k)) delay (int_bound 12));
+          (3, map3 (fun d s m -> Deliver (d, s, s + 1, m)) delay (int_bound 5) (int_bound 99));
+          (2, map (fun k -> Cancel k) (int_bound 12));
+          (2, map (fun d -> Run_until d) delay);
+          (1, return Step);
+          (1, map (fun b -> Run_all b) (int_bound 8));
+        ]
+    in
+    list_size (int_range 1 40) cmd)
+
+let print_script script = String.concat "; " (List.map show_cmd script)
+
+let engine_equivalence =
+  QCheck.Test.make ~name:"arena engine ≡ closure engine (log + trace)" ~count:300
+    (QCheck.make ~print:print_script gen_script)
+    (fun script -> Drive_prod.run script = Drive_ref.run script)
+
+(* --- zero-allocation pins --- *)
+
+(* The delivery datapath must not allocate once warm: a steady-state
+   burst of typed deliveries through the arena and the calendar bucket —
+   trace and metrics off — moves [Gc.minor_words] by exactly zero. *)
+let test_engine_delivery_zero_alloc () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.set_deliver e (fun ~src:_ ~dst:_ ~gen:_ (_ : int) -> incr hits);
+  (* Warm-up: grow the arena, the calendar bucket and the free list. *)
+  for i = 1 to 20_000 do
+    Engine.schedule_deliver e ~at:1.0 ~src:i ~dst:i ~gen:0 7
+  done;
+  Engine.run_until e 1.0;
+  let w0 = Gc.minor_words () in
+  for i = 1 to 20_000 do
+    Engine.schedule_deliver e ~at:2.0 ~src:i ~dst:i ~gen:0 7
+  done;
+  Engine.run_until e 2.0;
+  let delta = Gc.minor_words () -. w0 in
+  check_int "all delivered" 40_000 !hits;
+  check_float "minor words delta" 0.0 delta
+
+(* [Grp_node.receive] appends to the reusable flat inbox: after the
+   buffer has grown to the burst size, receiving is pure array writes. *)
+let test_receive_zero_alloc () =
+  let config = Config.make ~dmax:3 () in
+  let node = Grp_node.create ~config 1 in
+  let peer = Grp_node.create ~config 2 in
+  let msg = Grp_node.make_message peer in
+  (* Warm-up burst grows the inbox; compute drains it (and is the only
+     allocating step, outside the measured window). *)
+  for _ = 1 to 10_000 do
+    Grp_node.receive node msg
+  done;
+  ignore (Grp_node.compute node);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Grp_node.receive node msg
+  done;
+  let delta = Gc.minor_words () -. w0 in
+  check_float "minor words delta" 0.0 delta
+
 let suite =
   [
     ("engine time order", `Quick, test_engine_order);
@@ -573,4 +776,7 @@ let suite =
     ("net in-flight drop accounting", `Quick, test_net_inflight_drop_accounting);
     ("rounds runner is deterministic", `Quick, test_rounds_deterministic);
     ("net runtime is deterministic", `Quick, test_net_deterministic);
+    ("engine delivery burst allocates nothing", `Quick, test_engine_delivery_zero_alloc);
+    ("receive burst allocates nothing", `Quick, test_receive_zero_alloc);
   ]
+  @ List.map QCheck_alcotest.to_alcotest [ engine_equivalence ]

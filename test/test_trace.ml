@@ -132,7 +132,7 @@ let test_counting_matches_medium () =
   let engine = Engine.create () in
   let medium =
     Medium.create ~engine ~rng:(Rng.create 11) ~loss:0.4 ~delay_min:0.001
-      ~delay_max:0.01
+      ~delay_max:0.01 ~per_dst_stats:true
       ~trace:(Trace.Counting.sink counting)
       ~audience:(fun _ -> [ 1; 2; 3 ])
       ~deliver:(fun ~dst _ -> dst <> 3)
