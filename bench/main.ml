@@ -78,8 +78,15 @@ let bench_compute_traced =
      an explicit null sink (what an untraced run pays), a counting sink
      (cheapest real sink) and a ring sink.  docs/OBSERVABILITY.md claims
      < 5% overhead for the null sink against the untraced baseline above;
-     EXPERIMENTS.md records the measured numbers. *)
-  let subject ~name trace =
+     EXPERIMENTS.md records the measured numbers.
+
+     The two ring-sink rows split the traced cost by provenance: the
+     "provenance off" row feeds messages without lineage ids (every
+     decision event carries cause = -1), "provenance on" attaches a
+     packed lid to each received message ({!Grp_node.receive_lid}), so
+     the delta is exactly the lineage-attribution bookkeeping the causal
+     DAG rides on — the traced half of the <= 5% acceptance bar. *)
+  let subject ~name ?(lid = fun _ -> None) trace =
     let config = Config.make ~dmax:3 () in
     let nodes = List.init 6 (fun i -> Grp_node.create ~config ~trace i) in
     for _ = 1 to 5 do
@@ -91,14 +98,22 @@ let bench_compute_traced =
     let msgs = List.map Grp_node.make_message (List.tl nodes) in
     Test.make ~name
       (Staged.stage (fun () ->
-           List.iter (Grp_node.receive target) msgs;
+           List.iteri
+             (fun i m ->
+               match lid i with
+               | Some l -> Grp_node.receive_lid target ~lid:l m
+               | None -> Grp_node.receive target m)
+             msgs;
            Grp_node.compute target))
   in
   [
     subject ~name:"e3: compute() null trace" Trace.null;
     subject ~name:"e3: compute() counting trace"
       (Trace.Counting.sink (Trace.Counting.create ()));
-    subject ~name:"e3: compute() ring trace"
+    subject ~name:"e3: compute() ring trace provenance off"
+      (Trace.Ring.sink (Trace.Ring.create ~capacity:4096));
+    subject ~name:"e3: compute() ring trace provenance on"
+      ~lid:(fun i -> Some (((i + 2) lsl 20) lor 7))
       (Trace.Ring.sink (Trace.Ring.create ~capacity:4096));
   ]
 
@@ -272,7 +287,7 @@ let bench_engine =
   let module Engine = Dgs_sim.Engine in
   let e_thunk : unit Engine.t = Engine.create () in
   let e_del : int Engine.t = Engine.create () in
-  Engine.set_deliver e_del (fun ~src:_ ~dst:_ ~gen:_ (_ : int) -> ());
+  Engine.set_deliver e_del (fun ~src:_ ~dst:_ ~gen:_ ~lid:_ (_ : int) -> ());
   [
     Test.make ~name:"engine: schedule+fire thunk"
       (Staged.stage (fun () ->
@@ -281,7 +296,7 @@ let bench_engine =
     Test.make ~name:"engine: schedule+fire delivery"
       (Staged.stage (fun () ->
            Engine.schedule_deliver e_del ~at:(Engine.now e_del) ~src:1 ~dst:2
-             ~gen:0 7;
+             ~gen:0 ~lid:(-1) 7;
            ignore (Engine.step e_del)));
   ]
 
@@ -352,23 +367,47 @@ let campaign_timings ~quick () =
    in a full run (the committed baseline row), 2k under --quick.  Two rows:
    jobs=1, and the simulation sharded across the core count (at least two
    shards, so the barrier path is exercised even on a single-core host —
-   the "cores" header field tells a reader how to weigh the speedup). *)
+   the "cores" header field tells a reader how to weigh the speedup).
+   A third row runs 1k nodes with live per-shard ring sinks — the traced
+   end-to-end cost including provenance stamping (lid minting, cause
+   attribution, cross-shard lineage), against its untraced twin. *)
 let vanet_timings ~quick () =
   let n = if quick then 2_000 else 10_000 in
   let rounds = if quick then 10 else 20 in
   let warmup = if quick then 2 else 5 in
-  List.map
-    (fun jobs ->
-      Dgs_workload.Vanet.run ~scenario:Dgs_workload.Vanet.Highway ~n ~rounds
-        ~warmup ~oracle_every:5 ~jobs ())
-    [ 1; max 2 (Dgs_parallel.Pool.default_jobs ()) ]
+  let untraced =
+    List.map
+      (fun jobs ->
+        ( false,
+          Dgs_workload.Vanet.run ~scenario:Dgs_workload.Vanet.Highway ~n ~rounds
+            ~warmup ~oracle_every:5 ~jobs () ))
+      [ 1; max 2 (Dgs_parallel.Pool.default_jobs ()) ]
+  in
+  let traced_pair =
+    let n = if quick then 500 else 1_000 in
+    List.map
+      (fun traced ->
+        let make_trace =
+          if traced then
+            Some
+              (fun (_ : int) ->
+                Dgs_trace.Trace.Ring.sink
+                  (Dgs_trace.Trace.Ring.create ~capacity:65536))
+          else None
+        in
+        ( traced,
+          Dgs_workload.Vanet.run ~scenario:Dgs_workload.Vanet.Highway ~n ~rounds
+            ~warmup ~oracle_every:5 ~jobs:1 ?make_trace () ))
+      [ false; true ]
+  in
+  untraced @ traced_pair
 
 let write_json path ~micro ~campaigns ~vanet =
   let b = Buffer.create 2048 in
   let tm = Unix.gmtime (Unix.time ()) in
   Buffer.add_string b
     (Printf.sprintf
-       "{\n  \"schema\": 5,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+       "{\n  \"schema\": 6,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
        (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
        tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec);
   Buffer.add_string b
@@ -395,18 +434,19 @@ let write_json path ~micro ~campaigns ~vanet =
     campaigns;
   Buffer.add_string b "  ],\n  \"vanet\": [\n";
   List.iteri
-    (fun i (r : Dgs_workload.Vanet.report) ->
+    (fun i ((traced : bool), (r : Dgs_workload.Vanet.report)) ->
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"scenario\": %S, \"nodes\": %d, \"rounds\": %d, \"jobs\": \
-            %d, \"shards\": %d, \"wall_s\": %.3f, \"events_per_s\": %.1f, \
+           "    {\"scenario\": %S, \"traced\": %b, \"nodes\": %d, \"rounds\": \
+            %d, \"jobs\": %d, \"shards\": %d, \"wall_s\": %.3f, \
+            \"events_per_s\": %.1f, \
             \"node_steps_per_s\": %.1f, \"graph_build_s\": %.3f, \
             \"set_graph_s\": %.3f, \"round_s\": %.3f, \"broadcast_s\": %.3f, \
             \"deliver_s\": %.3f, \"oracle_s\": %.3f, \"barrier_s\": %.3f, \
             \"oracle_polls\": %d, \"minor_words_per_round\": %.0f, \
             \"messages\": %d, \"mean_degree\": %.2f, \
             \"groups\": %d, \"legitimate\": %b}%s\n"
-           r.Dgs_workload.Vanet.scenario r.Dgs_workload.Vanet.nodes
+           r.Dgs_workload.Vanet.scenario traced r.Dgs_workload.Vanet.nodes
            r.Dgs_workload.Vanet.rounds r.Dgs_workload.Vanet.jobs
            r.Dgs_workload.Vanet.shards r.Dgs_workload.Vanet.wall_s
            r.Dgs_workload.Vanet.events_per_s
@@ -484,7 +524,7 @@ let () =
         let ic = open_in_bin tmp in
         let ((campaigns, vanet)
               : (int * bool * int * int * float * int) list
-                * Dgs_workload.Vanet.report list) =
+                * (bool * Dgs_workload.Vanet.report) list) =
           Marshal.from_channel ic
         in
         close_in ic;

@@ -10,6 +10,7 @@
      fuzz        random churn/rewiring/loss scenarios against the invariant
                  oracles, with shrinking and replayable repro files
      report      post-mortem analysis of a recorded trace / metrics file
+     explain     root-cause queries over a trace's message-lineage DAG
      list        list available experiments and topologies
 
    Observability: --trace FILE records a JSONL event trace, --metrics FILE
@@ -119,6 +120,16 @@ let trace_filter_arg =
            'view_changed,quarantine_admit'); case-insensitive.  Default: all \
            kinds.")
 
+let trace_max_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-max-mb" ] ~docv:"MB"
+        ~doc:
+          "With --trace, rotate the file when it would exceed $(docv) \
+           megabytes, keeping the last 3 files (FILE, FILE.1, FILE.2 — \
+           newest events always in FILE).  Default: unbounded.")
+
 let metrics_arg =
   Arg.(
     value
@@ -175,10 +186,10 @@ let write_metrics path snaps =
         Printf.eprintf "grp_sim: cannot write metrics: %s\n" msg;
         exit 2)
 
-(* Run [k] with the sink the --trace/--trace-filter options ask for, teeing
-   an unfiltered ring capture of the view changes out of which the
-   convergence timeline is computed. *)
-let with_trace_sink trace_file trace_filter k =
+(* Run [k] with the sink the --trace/--trace-filter/--trace-max-mb options
+   ask for, teeing an unfiltered ring capture of the view changes out of
+   which the convergence timeline is computed. *)
+let with_trace_sink ?trace_max_mb trace_file trace_filter k =
   let ring = Trace.Ring.create ~capacity:65536 in
   let views_only = Trace.filter_kinds [ "View_changed" ] (Trace.Ring.sink ring) in
   let apply_filter sink =
@@ -189,8 +200,17 @@ let with_trace_sink trace_file trace_filter k =
   match trace_file with
   | None -> k Trace.null ring
   | Some path -> (
+      let with_file f =
+        match trace_max_mb with
+        | Some mb when mb > 0 ->
+            Trace.Rotating.with_file path ~max_bytes:(mb * 1024 * 1024) ~keep:3 f
+        | Some _ ->
+            Printf.eprintf "grp_sim: --trace-max-mb must be positive\n";
+            exit 2
+        | None -> Trace.Jsonl.with_file path f
+      in
       try
-        Trace.Jsonl.with_file path (fun file_sink ->
+        with_file (fun file_sink ->
             let r = k (Trace.tee (apply_filter file_sink) views_only) ring in
             Printf.printf "trace written to %s\n" path;
             r)
@@ -229,13 +249,13 @@ let report_config c dmax =
     ]
 
 let converge_term =
-  let run (tname, tf) n dmax seed verbose trace_file trace_filter metrics_file
-      metrics_interval trace_list =
+  let run (tname, tf) n dmax seed verbose trace_file trace_filter trace_max_mb
+      metrics_file metrics_interval trace_list =
     if trace_list then List.iter print_endline Trace.kinds
     else begin
       let g = tf n seed in
       let config = Config.make ~dmax () in
-      with_trace_sink trace_file trace_filter (fun sink ring ->
+      with_trace_sink ?trace_max_mb trace_file trace_filter (fun sink ring ->
           let reg = metrics_registry metrics_file in
           let t = Rounds.create ~config ~trace:sink ~metrics:reg g in
           let rng = Dgs_util.Rng.create seed in
@@ -308,7 +328,8 @@ let converge_term =
   in
   Term.(
     const run $ topology $ nodes_arg $ dmax_arg $ seed_arg $ verbose_arg $ trace_arg
-    $ trace_filter_arg $ metrics_arg $ metrics_interval_arg $ trace_list_arg)
+    $ trace_filter_arg $ trace_max_mb_arg $ metrics_arg $ metrics_interval_arg
+    $ trace_list_arg)
 
 let converge_cmd =
   Cmd.v (Cmd.info "converge" ~doc:"Run GRP on a static topology until quiescent.")
@@ -342,7 +363,8 @@ let mobility_specs speed =
   ]
 
 let mobility_cmd =
-  let run model n dmax seed speed rounds trace_file trace_filter metrics_file =
+  let run model n dmax seed speed rounds trace_file trace_filter trace_max_mb
+      metrics_file =
     match List.assoc_opt model (mobility_specs speed) with
     | None ->
         Printf.eprintf "unknown mobility model %S (try: highway, waypoint, walk, manhattan)\n"
@@ -351,7 +373,7 @@ let mobility_cmd =
     | Some spec ->
         let config = Config.make ~dmax () in
         let r =
-          with_trace_sink trace_file trace_filter (fun sink ring ->
+          with_trace_sink ?trace_max_mb trace_file trace_filter (fun sink ring ->
               let reg = metrics_registry metrics_file in
               let r =
                 Harness.run_mobility ~trace:sink ~metrics:reg ~config ~seed
@@ -392,7 +414,7 @@ let mobility_cmd =
     (Cmd.info "mobility" ~doc:"Run GRP under a mobility model and report continuity.")
     Term.(
       const run $ model $ nodes_arg $ dmax_arg $ seed_arg $ speed $ rounds $ trace_arg
-      $ trace_filter_arg $ metrics_arg)
+      $ trace_filter_arg $ trace_max_mb_arg $ metrics_arg)
 
 let experiment_cmd =
   let export dir e tables =
@@ -461,7 +483,7 @@ let experiment_cmd =
 
 let fuzz_cmd =
   let run seed runs max_actions jobs replay strict coverage repro_dir trace_file
-      trace_filter metrics_file =
+      trace_filter trace_max_mb metrics_file =
     let jobs = resolve_jobs jobs in
     if trace_file <> None && replay = None then begin
       Printf.eprintf
@@ -485,7 +507,8 @@ let fuzz_cmd =
             Format.printf "replaying %a@." Dgs_check.Scenario.pp sc;
             let reg = metrics_registry metrics_file in
             let r =
-              with_trace_sink trace_file trace_filter (fun sink _ring ->
+              with_trace_sink ?trace_max_mb trace_file trace_filter
+                (fun sink _ring ->
                   Dgs_check.Fuzz.replay ~oracle ~trace:sink ~metrics:reg sc)
             in
             Format.printf "%a@." Dgs_check.Oracle.pp_report r;
@@ -574,7 +597,8 @@ let fuzz_cmd =
           still-failing script.  Exits non-zero when a violation was found.")
     Term.(
       const run $ seed_arg $ runs $ max_actions $ jobs_arg $ replay $ strict
-      $ coverage $ repro_dir $ trace_arg $ trace_filter_arg $ metrics_arg)
+      $ coverage $ repro_dir $ trace_arg $ trace_filter_arg $ trace_max_mb_arg
+      $ metrics_arg)
 
 let report_cmd =
   let read_lines path =
@@ -677,6 +701,182 @@ let report_cmd =
           snapshots — without re-running the simulation.")
     Term.(const run $ trace $ metrics $ csv)
 
+let explain_cmd =
+  let module Causal = Dgs_trace.Causal in
+  (* Query values are "node=N" so the command line reads like the question:
+     `explain --eviction node=3`. *)
+  let node_query_conv =
+    let parse s =
+      match String.split_on_char '=' s with
+      | [ "node"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> Ok n
+          | _ -> Error (`Msg (Printf.sprintf "bad node id %S" n)))
+      | _ -> Error (`Msg (Printf.sprintf "expected node=N, got %S" s))
+    in
+    Arg.conv (parse, fun ppf n -> Format.fprintf ppf "node=%d" n)
+  in
+  let write_dot dot ids dag =
+    match dot with
+    | None -> ()
+    | Some path -> (
+        try
+          let oc = open_out path in
+          output_string oc (Causal.to_dot dag ids);
+          close_out oc;
+          Printf.printf "dot written to %s\n" path
+        with Sys_error msg ->
+          Printf.eprintf "grp_sim: cannot write dot: %s\n" msg;
+          exit 2)
+  in
+  let explain_chain dag ~what ~target ids dot =
+    Printf.printf "%s\n" what;
+    Format.printf "  matched %a@." Causal.pp_step (dag, target);
+    Printf.printf "causal chain (%d hops, trace event ids in [#..]):\n"
+      (List.length ids);
+    Format.printf "%a@." Causal.pp_chain (dag, ids);
+    write_dot dot ids dag
+  in
+  let run trace_file eviction view_change livelock at dot =
+    let queries =
+      (match eviction with Some _ -> 1 | None -> 0)
+      + (match view_change with Some _ -> 1 | None -> 0)
+      + if livelock then 1 else 0
+    in
+    if queries <> 1 then begin
+      Printf.eprintf
+        "grp_sim explain: give exactly one of --eviction node=N, \
+         --view-change node=N, --livelock\n";
+      exit 2
+    end;
+    let dag =
+      match Causal.of_file trace_file with
+      | dag -> dag
+      | exception Sys_error msg ->
+          Printf.eprintf "grp_sim: %s\n" msg;
+          exit 2
+    in
+    if Causal.size dag = 0 then begin
+      Printf.eprintf "grp_sim: no protocol events in %s\n" trace_file;
+      exit 1
+    end;
+    match (eviction, view_change) with
+    | Some n, _ -> (
+        (* An eviction of n is any view change whose removed set names n. *)
+        let is_eviction _ = function
+          | Trace.View_changed { removed; _ } -> List.mem n removed
+          | _ -> false
+        in
+        match Causal.find_last dag ?at is_eviction with
+        | None ->
+            Printf.eprintf
+              "grp_sim: no eviction of node %d found in %s%s\n" n trace_file
+              (match at with
+              | Some t -> Printf.sprintf " at time <= %g" t
+              | None -> "");
+            exit 1
+        | Some id ->
+            explain_chain dag
+              ~what:(Printf.sprintf "eviction of node %d:" n)
+              ~target:id (Causal.chain dag id) dot)
+    | None, Some n -> (
+        let is_vc _ = function
+          | Trace.View_changed { node; _ } -> node = n
+          | _ -> false
+        in
+        match Causal.find_last dag ?at is_vc with
+        | None ->
+            Printf.eprintf
+              "grp_sim: no view change at node %d found in %s%s\n" n trace_file
+              (match at with
+              | Some t -> Printf.sprintf " at time <= %g" t
+              | None -> "");
+            exit 1
+        | Some id ->
+            explain_chain dag
+              ~what:(Printf.sprintf "view change at node %d:" n)
+              ~target:id (Causal.chain dag id) dot)
+    | None, None -> (
+        match Causal.slice_period dag with
+        | None ->
+            Printf.eprintf
+              "grp_sim: no recurring protocol transition in %s — the trace \
+               does not look like a livelock\n"
+              trace_file;
+            exit 1
+        | Some (start, last, ids) ->
+            let t0, _ = Causal.event dag start in
+            let t1, _ = Causal.event dag last in
+            Printf.printf
+              "livelock: recurring protocol transition, period %g (t=%g .. \
+               t=%g, %d events in one rotation)\n"
+              (t1 -. t0) t0 t1 (List.length ids);
+            (* The chain from the period's closing view change back past its
+               opening recurrence covers exactly one full rotation. *)
+            explain_chain dag ~what:"one full rotation:" ~target:last
+              (Causal.chain dag ~stop_at:t0 last)
+              dot)
+  in
+  let trace =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"The JSONL event trace to explain (as recorded by --trace).")
+  in
+  let eviction =
+    Arg.(
+      value
+      & opt (some node_query_conv) None
+      & info [ "eviction" ] ~docv:"node=N"
+          ~doc:
+            "Explain the last eviction of node $(i,N): the latest view change \
+             whose removed set names it, traced back through the messages and \
+             view changes that caused it.")
+  in
+  let view_change =
+    Arg.(
+      value
+      & opt (some node_query_conv) None
+      & info [ "view-change" ] ~docv:"node=N"
+          ~doc:"Explain the last view change at node $(i,N).")
+  in
+  let livelock =
+    Arg.(
+      value & flag
+      & info [ "livelock" ]
+          ~doc:
+            "Detect a recurring protocol transition (a view change or a \
+             mark/quarantine/merge/contest decision that repeats, with the \
+             whole decision sequence between the recurrences repeating one \
+             period earlier) and print the causal chain covering one full \
+             rotation.")
+  in
+  let at =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "at" ] ~docv:"T"
+          ~doc:
+            "Restrict --eviction/--view-change to events at trace time <= \
+             $(docv) (default: the whole trace).")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Also write the printed chain as a Graphviz digraph to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Root-cause queries over a recorded trace: rebuild the message-lineage \
+          DAG from the lid/cause provenance fields and print the minimal \
+          causal chain behind an eviction, a view change, or a livelock \
+          rotation — as an indented timeline with trace times and hop counts.")
+    Term.(const run $ trace $ eviction $ view_change $ livelock $ at $ dot)
+
 let vanet_cmd =
   let oracle_conv =
     let parse = function
@@ -700,14 +900,17 @@ let vanet_cmd =
     Arg.conv (parse, fun ppf sc -> Format.pp_print_string ppf (Vanet.scenario_name sc))
   in
   let run scenario n dmax seed speed range rounds warmup oracle oracle_every naive_graph
-      jobs shards jitter profile =
+      jobs shards jitter profile profile_out =
     let jobs = resolve_jobs jobs in
     let r =
       Vanet.run ~seed ~dmax ~range ~speed ~rounds ~warmup ~oracle ~oracle_every
-        ~naive_graph ~jobs ?shards ~jitter ~scenario ~n ()
+        ~naive_graph ~jobs ?shards ~jitter ?profile_out ~scenario ~n ()
     in
     if profile then Format.printf "%a@." Vanet.pp_profile r
-    else Format.printf "%a@." Vanet.pp_report r
+    else Format.printf "%a@." Vanet.pp_report r;
+    match profile_out with
+    | Some path -> Printf.printf "profile written to %s\n" path
+    | None -> ()
   in
   let scenario =
     Arg.(
@@ -782,6 +985,18 @@ let vanet_cmd =
              round time, plus GC minor/promoted/major words per round \
              (full-workload at --jobs 1, main domain only above).")
   in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the measured window's round-time profile as Chrome \
+             trace_event JSON to $(docv), loadable in ui.perfetto.dev or \
+             chrome://tracing: per-round graph_build / set_graph / broadcast \
+             / barrier / deliver+compute spans on lane 0 and each shard's \
+             in-worker phase spans on its own lane.")
+  in
   Cmd.v
     (Cmd.info "vanet"
        ~doc:
@@ -793,7 +1008,7 @@ let vanet_cmd =
     Term.(
       const run $ scenario $ nodes $ dmax_arg $ seed_arg $ speed $ range $ rounds
       $ warmup $ oracle $ oracle_every $ naive_graph $ jobs_arg $ shards $ jitter
-      $ profile)
+      $ profile $ profile_out)
 
 let list_cmd =
   let run () =
@@ -829,5 +1044,6 @@ let () =
             experiment_cmd;
             fuzz_cmd;
             report_cmd;
+            explain_cmd;
             list_cmd;
           ]))

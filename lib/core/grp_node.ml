@@ -60,7 +60,15 @@ type t = {
      [Map.add] built, at a fraction of the per-message cost. *)
   mutable inbox : Message.t array;
   mutable inbox_n : int;
+  (* Provenance lineage of each inbox entry, parallel to [inbox]. Written
+     unconditionally (an int store is free and keeps [receive] branch-
+     free); only ever read under an enabled trace sink. *)
+  mutable inbox_lid : int array;
   mutable msg_set : Message.t Node_id.Map.t;
+  (* sender -> lineage of the message [ingest] kept from it this compute.
+     Reset and filled only under an enabled trace sink; an untraced run
+     never touches it. *)
+  msg_lid : (Node_id.t, int) Hashtbl.t;
   mutable quarantine : int Node_id.Map.t;
   mutable view : Node_id.Set.t;
   (* Reusable across computes: [merge_priority_tables] clears and refills
@@ -114,7 +122,9 @@ let create ~config ?(trace = Trace.null) ?(metrics = Registry.null) id =
     antlist = Antlist.singleton id;
     inbox = [||];
     inbox_n = 0;
+    inbox_lid = [||];
     msg_set = Node_id.Map.empty;
+    msg_lid = Hashtbl.create 16;
     quarantine = Node_id.Map.singleton id 0;
     view = Node_id.Set.singleton id;
     prio_table;
@@ -150,19 +160,29 @@ let group_priority t =
       | Some p -> Priority.min p acc)
     t.view t.own_priority
 
-let receive t msg =
+(* [lid] is a required labelled int on purpose: an optional argument
+   would box a [Some] per call and break the zero-alloc receive pin. *)
+let receive_lid t ~lid msg =
   if not (Node_id.equal msg.Message.sender t.id) then begin
     let cap = Array.length t.inbox in
-    if t.inbox_n = cap then
-      if cap = 0 then t.inbox <- Array.make 8 msg
+    if t.inbox_n = cap then begin
+      let ncap = if cap = 0 then 8 else 2 * cap in
+      if cap = 0 then t.inbox <- Array.make ncap msg
       else begin
-        let a = Array.make (2 * cap) msg in
+        let a = Array.make ncap msg in
         Array.blit t.inbox 0 a 0 cap;
         t.inbox <- a
       end;
+      let l = Array.make ncap (-1) in
+      Array.blit t.inbox_lid 0 l 0 cap;
+      t.inbox_lid <- l
+    end;
     t.inbox.(t.inbox_n) <- msg;
+    t.inbox_lid.(t.inbox_n) <- lid;
     t.inbox_n <- t.inbox_n + 1
   end
+
+let receive t msg = receive_lid t ~lid:(-1) msg
 
 (* Fold the arrival buffer into [msg_set], last message per sender
    winning (the one-message channel).  Scanning from the newest end and
@@ -172,14 +192,23 @@ let receive t msg =
    left in the buffer (overwritten by the next round's arrivals); only
    the length is reset. *)
 let ingest t =
+  let tracing = Trace.enabled t.trace in
+  if tracing then Hashtbl.reset t.msg_lid;
   let m = ref t.msg_set in
   for i = t.inbox_n - 1 downto 0 do
     let msg = t.inbox.(i) in
-    if not (Node_id.Map.mem msg.Message.sender !m) then
-      m := Node_id.Map.add msg.Message.sender msg !m
+    if not (Node_id.Map.mem msg.Message.sender !m) then begin
+      m := Node_id.Map.add msg.Message.sender msg !m;
+      if tracing then Hashtbl.replace t.msg_lid msg.Message.sender t.inbox_lid.(i)
+    end
   done;
   t.msg_set <- !m;
   t.inbox_n <- 0
+
+(* Lineage of the message [ingest] kept from [sender] this compute; -1
+   when it sent nothing (or tracing is off).  Trace-branch only. *)
+let lid_of_sender t sender =
+  match Hashtbl.find_opt t.msg_lid sender with Some l -> l | None -> -1
 
 (* The priority table is rebuilt from scratch out of the current round's
    reports: among gossiped entries the larger oldness wins (oldness only
@@ -359,7 +388,9 @@ let check_each_incoming t =
   Node_id.Map.mapi
     (fun sender msg ->
       if tracing && not (Node_id.Set.mem sender t.view) then
-        Trace.emit t.trace (Trace.Merge_attempt { node = t.id; sender });
+        Trace.emit t.trace
+          (Trace.Merge_attempt
+             { node = t.id; sender; cause = lid_of_sender t sender });
       (* Admission tests run on the raw list: the sender's marked level-1
          entries are its physical neighbors (in handshake or rejected), and
          that adjacency evidence is what the shortcut subset test needs.
@@ -408,7 +439,9 @@ let check_each_incoming t =
           else if incompatible () then Antlist.singleton_marked sender Mark.Double
           else begin
             if tracing && not (Node_id.Set.mem sender t.view) then
-              Trace.emit t.trace (Trace.Merge_accepted { node = t.id; sender });
+              Trace.emit t.trace
+                (Trace.Merge_accepted
+                   { node = t.id; sender; cause = lid_of_sender t sender });
             Registry.Counter.incr t.metrics.m_restrict;
             Antlist.strip_marked ~keep:t.id raw
           end)
@@ -621,6 +654,13 @@ let resolve_too_far t checked ~folded candidate =
   if Antlist.clear_size candidate < dmax + 2 then
     (candidate, false, Node_id.Set.empty, [])
   else begin
+    let tracing = Trace.enabled t.trace in
+    (* A contest's cause: the newest lineage among the providers'
+       messages this compute — the advertisement that reported the far
+       node.  Trace-branch only. *)
+    let contest_cause providers =
+      Node_id.Set.fold (fun p acc -> max acc (lid_of_sender t p)) providers (-1)
+    in
     let cooldown = t.config.Config.contest_cooldown_enabled in
     let too_far = clear_level_ids candidate (dmax + 1) in
     let checked = ref checked in
@@ -683,6 +723,10 @@ let resolve_too_far t checked ~folded candidate =
                   rejected := Node_id.Set.add sender !rejected)
                 providers;
               Registry.Counter.incr t.metrics.m_contest_win;
+              if tracing then
+                Trace.emit t.trace
+                  (Trace.Contest_win
+                     { node = t.id; far = w; cause = contest_cause provider_set });
               wins := (w, provider_set) :: !wins;
               if cooldown then
                 t.contest_hold <-
@@ -692,6 +736,10 @@ let resolve_too_far t checked ~folded candidate =
             end
             else if cooldown then begin
               Registry.Counter.incr t.metrics.m_contest_freeze;
+              if tracing then
+                Trace.emit t.trace
+                  (Trace.Contest_freeze
+                     { node = t.id; far = w; cause = contest_cause provider_set });
               t.oldness_hold <- max t.oldness_hold (Priority.cooldown_window ~dmax)
             end
           end
@@ -801,7 +849,13 @@ let update_conflicts t =
         let n =
           match Node_id.Map.find_opt u t.conflict with Some (n, _) -> n | None -> 0
         in
-        if n + 1 = window then Registry.Counter.incr t.metrics.m_conviction;
+        if n + 1 = window then begin
+          Registry.Counter.incr t.metrics.m_conviction;
+          if Trace.enabled t.trace then
+            Trace.emit t.trace
+              (Trace.Gate_conviction
+                 { node = t.id; peer = u; cause = lid_of_sender t u })
+        end;
         t.conflict <- Node_id.Map.add u (n + 1, 0) t.conflict)
     t.msg_set
 
@@ -900,11 +954,19 @@ let emit_transitions t ~old_list ~old_q ~new_list =
         match m with
         | Mark.Clear ->
             if (match old_m with Some om -> Mark.is_marked om | None -> false) then
-              Trace.emit t.trace (Trace.Mark_cleared { node = t.id; peer = v })
+              Trace.emit t.trace
+                (Trace.Mark_cleared
+                   { node = t.id; peer = v; cause = lid_of_sender t v })
         | Mark.Single | Mark.Double ->
             if old_m <> Some m then
               Trace.emit t.trace
-                (Trace.Mark_set { node = t.id; peer = v; mark = mark_name m }))
+                (Trace.Mark_set
+                   {
+                     node = t.id;
+                     peer = v;
+                     mark = mark_name m;
+                     cause = lid_of_sender t v;
+                   }))
     (Antlist.entries new_list);
   Node_id.Map.iter
     (fun v k ->
@@ -913,13 +975,17 @@ let emit_transitions t ~old_list ~old_q ~new_list =
         | None ->
             if k > 0 then
               Trace.emit t.trace
-                (Trace.Quarantine_enter { node = t.id; member = v; remaining = k })
+                (Trace.Quarantine_enter
+                   { node = t.id; member = v; remaining = k; cause = lid_of_sender t v })
         | Some ko ->
             if ko > 0 && k = 0 then
-              Trace.emit t.trace (Trace.Quarantine_admit { node = t.id; member = v })
+              Trace.emit t.trace
+                (Trace.Quarantine_admit
+                   { node = t.id; member = v; cause = lid_of_sender t v })
             else if ko = 0 && k > 0 then
               Trace.emit t.trace
-                (Trace.Quarantine_enter { node = t.id; member = v; remaining = k }))
+                (Trace.Quarantine_enter
+                   { node = t.id; member = v; remaining = k; cause = lid_of_sender t v }))
     t.quarantine
 
 (* Quarantine transitions, diffed with the same semantics as
@@ -980,15 +1046,28 @@ let compute t =
   let new_view = compute_view t final_list ~evidence ~conflicted in
   if Trace.enabled t.trace then begin
     emit_transitions t ~old_list ~old_q ~new_list:final_list;
-    if not (Node_id.Set.equal new_view old_view) then
+    if not (Node_id.Set.equal new_view old_view) then begin
+      let added = Node_id.Set.elements (Node_id.Set.diff new_view old_view) in
+      let removed = Node_id.Set.elements (Node_id.Set.diff old_view new_view) in
+      (* The change's cause: the message of an added/removed member when
+         one sent this compute (its advertisement is what flipped its own
+         membership), else the newest ingested lineage — the freshest
+         evidence the fold consumed. *)
+      let pick vs =
+        List.fold_left
+          (fun acc v -> if acc >= 0 then acc else lid_of_sender t v)
+          (-1) vs
+      in
+      let cause =
+        let c = pick added in
+        let c = if c >= 0 then c else pick removed in
+        if c >= 0 then c
+        else Hashtbl.fold (fun _ l acc -> max acc l) t.msg_lid (-1)
+      in
       Trace.emit t.trace
         (Trace.View_changed
-           {
-             node = t.id;
-             added = Node_id.Set.elements (Node_id.Set.diff new_view old_view);
-             removed = Node_id.Set.elements (Node_id.Set.diff old_view new_view);
-             view = Node_id.Set.elements new_view;
-           })
+           { node = t.id; added; removed; view = Node_id.Set.elements new_view; cause })
+    end
   end;
   (* Preserve physical identity when nothing changed: the stable list is
      re-broadcast as-is, so next round's equality checks (here and in every

@@ -72,7 +72,17 @@ val receive : t -> Message.t -> unit
 (** Buffer the message for the next {!compute}; among several messages
     from one sender the last received wins (the one-message channel,
     [msgSet] of the paper).  Appends to a reusable flat buffer —
-    allocation-free once the buffer has grown to the node's degree. *)
+    allocation-free once the buffer has grown to the node's degree.
+    Equivalent to {!receive_lid} with [lid = -1]. *)
+
+val receive_lid : t -> lid:int -> Message.t -> unit
+(** {!receive} with the copy's provenance lineage id (from
+    {!Dgs_sim.Medium}; [-1] when tracing is off).  The id lands in an int
+    array parallel to the inbox, so threading it is allocation-free; it
+    is only ever read under an enabled trace sink, where it becomes the
+    [cause] of the decision events this message flips.  [lid] is a
+    required labelled argument — an optional one would box a [Some] per
+    delivery. *)
 
 val compute : t -> step_info
 (** Procedure [compute()] of the paper: check incoming lists (goodList,

@@ -42,6 +42,7 @@ type 'msg t = {
   mutable d_src : int array;
   mutable d_dst : int array;
   mutable d_gen : int array; (* medium stats-window generation *)
+  mutable d_lid : int array; (* provenance lineage id; -1 when tracing is off *)
   (* Delivery payloads; created (with [d_dummy]) on the first
      [schedule_deliver], because building a ['msg array] needs a fill
      value.  Freed slots are reset to the dummy so the arena never
@@ -50,7 +51,7 @@ type 'msg t = {
   mutable d_dummy : 'msg array;
   mutable free : int array;
   mutable free_n : int;
-  mutable on_deliver : src:int -> dst:int -> gen:int -> 'msg -> unit;
+  mutable on_deliver : src:int -> dst:int -> gen:int -> lid:int -> 'msg -> unit;
   trace : Trace.t;
   m_schedule : Registry.Counter.t;
   m_fire : Registry.Counter.t;
@@ -78,12 +79,13 @@ let create ?(start = 0.0) ?(trace = Trace.null) ?(metrics = Registry.null) () =
     d_src = Array.make cap 0;
     d_dst = Array.make cap 0;
     d_gen = Array.make cap 0;
+    d_lid = Array.make cap (-1);
     d_msg = [||];
     d_dummy = [||];
     free = Array.make cap 0;
     free_n = 0;
     on_deliver =
-      (fun ~src:_ ~dst:_ ~gen:_ _ ->
+      (fun ~src:_ ~dst:_ ~gen:_ ~lid:_ _ ->
         failwith "Engine: no delivery handler installed");
     trace;
     m_schedule = Registry.counter metrics Names.engine_schedule_total;
@@ -123,6 +125,9 @@ let grow t =
   let dg = Array.make ncap 0 in
   Array.blit t.d_gen 0 dg 0 cap;
   t.d_gen <- dg;
+  let dl = Array.make ncap (-1) in
+  Array.blit t.d_lid 0 dl 0 cap;
+  t.d_lid <- dl;
   if Array.length t.d_msg > 0 then begin
     let dm = Array.make ncap t.d_dummy.(0) in
     Array.blit t.d_msg 0 dm 0 cap;
@@ -179,7 +184,7 @@ let schedule_after t delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t (t.clock.(0) +. delay) f
 
-let schedule_deliver t ~at ~src ~dst ~gen msg =
+let schedule_deliver t ~at ~src ~dst ~gen ~lid msg =
   if at < t.clock.(0) then invalid_arg "Engine.schedule_at: time in the past";
   let slot = alloc_slot t in
   if Array.length t.d_msg = 0 then begin
@@ -190,6 +195,7 @@ let schedule_deliver t ~at ~src ~dst ~gen msg =
   t.d_src.(slot) <- src;
   t.d_dst.(slot) <- dst;
   t.d_gen.(slot) <- gen;
+  t.d_lid.(slot) <- lid;
   t.d_msg.(slot) <- msg;
   enqueue t ~at slot
 
@@ -237,9 +243,10 @@ let consume t slot =
       let src = t.d_src.(slot)
       and dst = t.d_dst.(slot)
       and gen = t.d_gen.(slot)
+      and lid = t.d_lid.(slot)
       and msg = t.d_msg.(slot) in
       free_slot t slot ~deliver:true;
-      t.on_deliver ~src ~dst ~gen msg
+      t.on_deliver ~src ~dst ~gen ~lid msg
     end;
     true
   end

@@ -59,19 +59,21 @@ val schedule_after : 'msg t -> float -> (unit -> unit) -> event_id
     delay. *)
 
 val set_deliver :
-  'msg t -> (src:int -> dst:int -> gen:int -> 'msg -> unit) -> unit
+  'msg t -> (src:int -> dst:int -> gen:int -> lid:int -> 'msg -> unit) -> unit
 (** Install the delivery handler — the single dispatch target of every
     {!schedule_deliver} event (so one engine serves one medium; the last
     installation wins).  Firing a delivery with no handler installed
     raises [Failure]. *)
 
 val schedule_deliver :
-  'msg t -> at:float -> src:int -> dst:int -> gen:int -> 'msg -> unit
+  'msg t -> at:float -> src:int -> dst:int -> gen:int -> lid:int -> 'msg -> unit
 (** Queue a typed delivery of [msg] from [src] to [dst] at absolute time
     [at]; [gen] is carried verbatim to the handler (the medium's
-    stats-window generation).  No cancellation handle: in-flight copies
-    are never recalled (the frame is already in the air).  Raises
-    [Invalid_argument] when [at] is in the past. *)
+    stats-window generation), and so is [lid] (the copy's provenance
+    lineage id; [-1] when tracing is off — it rides a dedicated int slot
+    array, so carrying it allocates nothing).  No cancellation handle:
+    in-flight copies are never recalled (the frame is already in the
+    air).  Raises [Invalid_argument] when [at] is in the past. *)
 
 val cancel : 'msg t -> event_id -> unit
 (** Idempotent; cancelled events are skipped when popped.  Cancelling an

@@ -22,8 +22,13 @@ type 'msg t = {
   delay_min : float;
   delay_max : float;
   audience : int -> int list;
-  deliver : dst:int -> 'msg -> bool;
+  deliver : dst:int -> lid:int -> 'msg -> bool;
   per_dst_stats : bool;
+  (* Per-source broadcast counters backing lineage-id minting.  Touched
+     only in the trace-enabled branch of [broadcast]: an untraced run
+     never reads or writes it, so the table stays empty and the hot path
+     stays allocation-free. *)
+  lids : (int, int) Hashtbl.t;
   mutable broadcasts : int;
   mutable deliveries : int;
   mutable losses : int;
@@ -57,9 +62,9 @@ let cell_of t dst =
    count as deliveries, so [deliveries] agrees with what
    [Grp_node.receive] saw.  This is the engine's delivery handler —
    installed once at creation, dispatched without any per-copy closure. *)
-let deliver_copy t ~src ~dst ~gen msg =
+let deliver_copy t ~src ~dst ~gen ~lid msg =
   let m_t0 = Registry.Timer.start t.m_delivery_ns in
-  let accepted = t.deliver ~dst msg in
+  let accepted = t.deliver ~dst ~lid msg in
   Registry.Timer.stop t.m_delivery_ns m_t0;
   let current_window = gen = t.stats_gen in
   if accepted then begin
@@ -79,8 +84,8 @@ let deliver_copy t ~src ~dst ~gen msg =
   if Trace.enabled t.trace then begin
     Trace.set_time t.trace (Engine.now t.engine);
     Trace.emit t.trace
-      (if accepted then Trace.Msg_delivered { src; dst }
-       else Trace.Msg_dropped { src; dst })
+      (if accepted then Trace.Msg_delivered { src; dst; cause = lid }
+       else Trace.Msg_dropped { src; dst; cause = lid })
   end
 
 let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
@@ -107,6 +112,7 @@ let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
       losses = 0;
       drops = 0;
       stats_gen = 0;
+      lids = Hashtbl.create 64;
       by_dest = Hashtbl.create 64;
       m_broadcast = Registry.counter metrics Names.medium_broadcast_total;
       m_delivery = Registry.counter metrics Names.medium_delivery_total;
@@ -116,8 +122,8 @@ let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
       m_delivery_ns = Registry.timer metrics Names.medium_delivery_ns;
     }
   in
-  Engine.set_deliver engine (fun ~src ~dst ~gen msg ->
-      deliver_copy t ~src ~dst ~gen msg);
+  Engine.set_deliver engine (fun ~src ~dst ~gen ~lid msg ->
+      deliver_copy t ~src ~dst ~gen ~lid msg);
   t
 
 (* Schedule one directed copy for delivery at absolute time [at] as a
@@ -128,16 +134,31 @@ let create ~engine ~rng ?(loss = 0.0) ?(delay_min = 0.001) ?(delay_max = 0.01)
    cumulative registry — but it no longer belongs to the new stats
    window, so the windowed counters and the per-destination cells skip
    it. *)
-let schedule_delivery t ~at ~src ~dst msg =
-  Engine.schedule_deliver t.engine ~at ~src ~dst ~gen:t.stats_gen msg
+let schedule_delivery t ~at ~src ~dst ~lid msg =
+  Engine.schedule_deliver t.engine ~at ~src ~dst ~gen:t.stats_gen ~lid msg
+
+(* Mint a campaign-unique lineage id for one broadcast by [src]:
+   [(src lsl 20) lor k] with [k] the per-source send counter.  Because a
+   node only ever broadcasts on its home shard's medium, the counter —
+   and hence the id — is independent of how a sharded run is
+   partitioned. *)
+let mint_lid t ~src =
+  let k = match Hashtbl.find_opt t.lids src with Some k -> k | None -> 0 in
+  Hashtbl.replace t.lids src (k + 1);
+  (src lsl 20) lor k
 
 let broadcast t ~src msg =
   t.broadcasts <- t.broadcasts + 1;
   Registry.Counter.incr t.m_broadcast;
-  if Trace.enabled t.trace then begin
-    Trace.set_time t.trace (Engine.now t.engine);
-    Trace.emit t.trace (Trace.Msg_sent { src })
-  end;
+  let lid =
+    if Trace.enabled t.trace then begin
+      let lid = mint_lid t ~src in
+      Trace.set_time t.trace (Engine.now t.engine);
+      Trace.emit t.trace (Trace.Msg_sent { src; lid });
+      lid
+    end
+    else -1
+  in
   List.iter
     (fun dst ->
       if dst <> src then
@@ -149,20 +170,22 @@ let broadcast t ~src msg =
             c.l <- c.l + 1
           end;
           if Trace.enabled t.trace then
-            Trace.emit t.trace (Trace.Msg_lost { src; dst })
+            Trace.emit t.trace (Trace.Msg_lost { src; dst; cause = lid })
         end
         else begin
           let delay = Rng.float_in t.rng t.delay_min t.delay_max in
-          schedule_delivery t ~at:(Engine.now t.engine +. delay) ~src ~dst msg
+          schedule_delivery t ~at:(Engine.now t.engine +. delay) ~src ~dst ~lid msg
         end)
-    (t.audience src)
+    (t.audience src);
+  lid
 
-let inject t ~at ~src ~dst msg =
+let inject t ~at ~src ~dst ~lid msg =
   (* A copy whose send already happened elsewhere (on another shard's
-     medium, which counted the broadcast and emitted [Msg_sent]): no loss
-     or delay draw here — the sending shard's channel decided those — just
-     delivery at the prescribed absolute time with standard accounting. *)
-  schedule_delivery t ~at ~src ~dst msg
+     medium, which counted the broadcast, minted [lid] and emitted
+     [Msg_sent]): no loss or delay draw here — the sending shard's channel
+     decided those — just delivery at the prescribed absolute time with
+     standard accounting. *)
+  schedule_delivery t ~at ~src ~dst ~lid msg
 
 let set_loss t loss =
   if loss < 0.0 || loss > 1.0 then invalid_arg "Medium.set_loss: loss out of [0,1]";

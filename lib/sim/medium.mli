@@ -60,11 +60,13 @@ val create :
   ?metrics:Dgs_metrics.Registry.t ->
   ?per_dst_stats:bool ->
   audience:(int -> int list) ->
-  deliver:(dst:int -> 'msg -> bool) ->
+  deliver:(dst:int -> lid:int -> 'msg -> bool) ->
   unit ->
   'msg t
 (** [audience src] lists the nodes in whose vicinity [src] currently is;
-    [deliver] is invoked at the scheduled delivery time and returns whether
+    [deliver] is invoked at the scheduled delivery time — [lid] is the
+    copy's provenance lineage id ([-1] when tracing is off), to be handed
+    to {!Dgs_core.Grp_node.receive_lid} — and returns whether
     the protocol consumed the copy ([false] = counted as a drop).  [trace]
     (default {!Dgs_trace.Trace.null}) receives the channel events.
     [metrics] (default {!Dgs_metrics.Registry.null}) receives the
@@ -79,19 +81,25 @@ val create :
     ({!Engine.set_deliver}): directed copies ride typed engine events,
     one medium per engine. *)
 
-val broadcast : 'msg t -> src:int -> 'msg -> unit
+val broadcast : 'msg t -> src:int -> 'msg -> int
 (** Send one message to the current audience of [src] (self-delivery is
-    suppressed); each copy independently subject to loss and delay. *)
+    suppressed); each copy independently subject to loss and delay.
+    Returns the broadcast's freshly minted lineage id — [-1] when tracing
+    is off (ids are only minted, and the per-source counters only
+    touched, under an enabled sink).  Ids are campaign-unique and
+    partition-independent: [(src lsl 20) lor k] with [k] the per-source
+    send counter. *)
 
-val inject : 'msg t -> at:float -> src:int -> dst:int -> 'msg -> unit
+val inject : 'msg t -> at:float -> src:int -> dst:int -> lid:int -> 'msg -> unit
 (** Schedule delivery of a single directed copy at absolute time [at],
     with the standard delivery-time accounting (deliver callback, stats,
     [Msg_delivered]/[Msg_dropped] trace events) but {e no} loss or delay
     draw and no [Msg_sent] — the send already happened on another medium
-    (e.g. a neighbouring shard's, which counted the broadcast and decided
-    loss and delay).  Raises [Invalid_argument] when [at] is in the past.
-    Used by {!Sharded} to re-materialize boundary-crossing copies on the
-    destination shard. *)
+    (e.g. a neighbouring shard's, which counted the broadcast, minted
+    [lid] and decided loss and delay).  Raises [Invalid_argument] when
+    [at] is in the past.  Used by {!Sharded} to re-materialize
+    boundary-crossing copies on the destination shard, [lid] riding the
+    barrier exchange so cross-shard lineage survives. *)
 
 val set_loss : 'msg t -> float -> unit
 (** Change the loss probability for subsequent broadcasts.  Raises

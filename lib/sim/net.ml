@@ -92,7 +92,8 @@ let rec schedule_send t v gen delay =
   ignore
     (Engine.schedule_after t.engine delay (fun () ->
          if gen_live t v gen && is_active t v then begin
-           Medium.broadcast (medium t) ~src:v (Grp_node.make_message (node t v));
+           ignore
+             (Medium.broadcast (medium t) ~src:v (Grp_node.make_message (node t v)));
            schedule_send t v gen t.tau_s
          end))
 
@@ -142,7 +143,7 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
   (* Returns whether the protocol consumed the copy: [false] (a drop, in
      the medium's accounting) when the destination is deactivated or
      removed, or when the frame was corrupted out of the wire grammar. *)
-  let deliver ~dst msg =
+  let deliver ~dst ~lid msg =
     if is_active t dst then
       match Hashtbl.find_opt t.nodes dst with
       | Some n ->
@@ -153,12 +154,12 @@ let create ~engine ~rng ~config ?(tau_c = 1.0) ?(tau_s = 0.4) ?(loss = 0.0)
           if t.corruption > 0.0 && Rng.bernoulli corrupt_rng t.corruption then begin
             match Wire.of_string (Wire.corrupt corrupt_rng (Wire.to_string msg)) with
             | Some msg' ->
-                Grp_node.receive n msg';
+                Grp_node.receive_lid n ~lid msg';
                 true
             | None -> false
           end
           else begin
-            Grp_node.receive n msg;
+            Grp_node.receive_lid n ~lid msg;
             true
           end
       | None -> false

@@ -10,6 +10,9 @@ type t = {
   metrics : Registry.t;
   mutable graph : Graph.t;
   nodes : (Node_id.t, Grp_node.t) Hashtbl.t;
+  (* Per-source send counters backing lineage-id minting, touched only
+     when tracing is enabled (the Medium discipline). *)
+  lids : (Node_id.t, int) Hashtbl.t;
   mutable sent : int;
   mutable round_no : int;
 }
@@ -27,6 +30,7 @@ let create ~config ?(trace = Trace.null) ?(metrics = Registry.null) graph =
       metrics;
       graph;
       nodes = Hashtbl.create 64;
+      lids = Hashtbl.create 64;
       sent = 0;
       round_no = 0;
     }
@@ -67,7 +71,7 @@ let round ?(loss = 0.0) ?(jitter = 0.0) ?(corruption = 0.0) ?(sends = 1) ?rng t 
         false
     | Some r -> Rng.bernoulli r p
   in
-  let deliver dst msg =
+  let deliver dst lid msg =
     if draw "corruption" corruption then begin
       (* The frame crosses the wire with one byte flipped: unparsable
          frames are lost, parsable ones reach the protocol as-is. *)
@@ -75,25 +79,39 @@ let round ?(loss = 0.0) ?(jitter = 0.0) ?(corruption = 0.0) ?(sends = 1) ?rng t 
       | None -> ()
       | Some r -> (
           match Wire.of_string (Wire.corrupt r (Wire.to_string msg)) with
-          | Some msg' -> Grp_node.receive (node t dst) msg'
+          | Some msg' -> Grp_node.receive_lid (node t dst) ~lid msg'
           | None -> ())
     end
-    else Grp_node.receive (node t dst) msg
+    else Grp_node.receive_lid (node t dst) ~lid msg
   in
   (* [sends] transmissions per compute period model Ts <= Tc: under loss,
      a neighbor misses a whole period only when all of them are lost. *)
   for _ = 1 to sends do
     List.iter
       (fun (src, msg) ->
-        if tracing then Trace.emit t.trace (Trace.Msg_sent { src });
+        (* Same minting scheme as [Medium.broadcast]; each of the [sends]
+           transmissions is its own lineage. *)
+        let lid =
+          if tracing then begin
+            let k =
+              match Hashtbl.find_opt t.lids src with Some k -> k | None -> 0
+            in
+            Hashtbl.replace t.lids src (k + 1);
+            (src lsl 20) lor k
+          end
+          else -1
+        in
+        if tracing then Trace.emit t.trace (Trace.Msg_sent { src; lid });
         Graph.iter_neighbors t.graph src (fun dst ->
             t.sent <- t.sent + 1;
             if draw "loss" loss then begin
-              if tracing then Trace.emit t.trace (Trace.Msg_lost { src; dst })
+              if tracing then
+                Trace.emit t.trace (Trace.Msg_lost { src; dst; cause = lid })
             end
             else begin
-              if tracing then Trace.emit t.trace (Trace.Msg_delivered { src; dst });
-              deliver dst msg
+              if tracing then
+                Trace.emit t.trace (Trace.Msg_delivered { src; dst; cause = lid });
+              deliver dst lid msg
             end))
       outgoing
   done;

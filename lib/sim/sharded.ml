@@ -21,11 +21,18 @@ type shard = {
   metrics : Registry.t;
   (* Graph nodes homed here, sorted — the per-round iteration order. *)
   mutable locals : Node_id.t array;
-  (* Boundary copies produced this round: (src, dst, message), dst homed
-     on another shard.  Drained by the barrier exchange. *)
-  mutable outbox : (Node_id.t * Node_id.t * Message.t) list;
+  (* Boundary copies produced this round: (src, dst, lineage id, message),
+     dst homed on another shard.  Drained by the barrier exchange; the
+     lineage id rides along so cross-shard provenance survives. *)
+  mutable outbox : (Node_id.t * Node_id.t * int * Message.t) list;
   mutable infos : (Node_id.t * Grp_node.step_info) list;
   mutable sent : int;
+  (* Wall clock of this shard's last phase A / phase B, measured inside
+     the worker (so excluding fork/join) — the per-shard lanes of the
+     Perfetto export.  Written by the owning worker, read on the main
+     thread after the join. *)
+  mutable last_broadcast_s : float;
+  mutable last_deliver_s : float;
 }
 
 type t = {
@@ -115,12 +122,12 @@ let create ~config ?(shards = 1) ?(jobs = 1) ?(delta = 0.5) ?(seed = 1)
                   if Hashtbl.find t.home dst = sx then dst :: acc else acc)
                 (Graph.neighbors t.graph src) []
               |> List.rev)
-        ~deliver:(fun ~dst msg ->
+        ~deliver:(fun ~dst ~lid msg ->
           (* find + Not_found rather than find_opt: this runs once per
              delivered copy and must not allocate a [Some]. *)
           match Hashtbl.find nodes dst with
           | node ->
-              Grp_node.receive node msg;
+              Grp_node.receive_lid node ~lid msg;
               true
           | exception Not_found -> false)
         ()
@@ -136,6 +143,8 @@ let create ~config ?(shards = 1) ?(jobs = 1) ?(delta = 0.5) ?(seed = 1)
       outbox = [];
       infos = [];
       sent = 0;
+      last_broadcast_s = 0.0;
+      last_deliver_s = 0.0;
     }
   in
   let t =
@@ -167,6 +176,9 @@ let jobs t = t.jobs
 let barrier_s t = t.barrier_s
 let broadcast_s t = t.broadcast_s
 let deliver_s t = t.deliver_s
+
+let shard_phase_s t =
+  Array.map (fun sh -> (sh.last_broadcast_s, sh.last_deliver_s)) t.shards
 
 let set_graph t g =
   t.graph <- g;
@@ -209,22 +221,24 @@ let medium_stats t =
    antlist caches of a boundary message are warmed here, while the value
    is still single-owner, so other domains only ever read them. *)
 let phase_broadcast t sh =
+  let t0 = Unix.gettimeofday () in
   Engine.run_until sh.engine t.now;
   Array.iter
     (fun v ->
       let msg = Grp_node.make_message (Hashtbl.find sh.nodes v) in
-      Medium.broadcast sh.medium ~src:v msg;
+      let lid = Medium.broadcast sh.medium ~src:v msg in
       let deg = ref 0 in
       let remote = ref false in
       Graph.iter_neighbors t.graph v (fun dst ->
           incr deg;
           if Hashtbl.find t.home dst <> sh.sx then begin
             remote := true;
-            sh.outbox <- (v, dst, msg) :: sh.outbox
+            sh.outbox <- (v, dst, lid, msg) :: sh.outbox
           end);
       if !remote then Antlist.warm msg.Message.antlist;
       sh.sent <- sh.sent + !deg)
-    sh.locals
+    sh.locals;
+  sh.last_broadcast_s <- Unix.gettimeofday () -. t0
 
 (* Barrier (main thread): route every boundary copy to its destination
    shard and fix the injection order to ascending (src, dst) — the round
@@ -236,13 +250,13 @@ let exchange t =
   Array.iter
     (fun sh ->
       List.iter
-        (fun ((_, dst, _) as copy) ->
+        (fun ((_, dst, _, _) as copy) ->
           let dx = Hashtbl.find t.home dst in
           incoming.(dx) <- copy :: incoming.(dx))
         sh.outbox;
       sh.outbox <- [])
     t.shards;
-  let by_src_dst (s1, d1, _) (s2, d2, _) =
+  let by_src_dst (s1, d1, _, _) (s2, d2, _, _) =
     match compare s1 s2 with 0 -> compare d1 d2 | c -> c
   in
   let incoming = Array.map (List.sort by_src_dst) incoming in
@@ -255,9 +269,10 @@ let exchange t =
    first here) before every compute at the same tick, so a compute sees
    all of this round's messages — exactly the Rounds schedule. *)
 let phase_deliver t jitter sh incoming =
+  let t0 = Unix.gettimeofday () in
   let at = t.now +. t.delta in
   List.iter
-    (fun (src, dst, msg) -> Medium.inject sh.medium ~at ~src ~dst msg)
+    (fun (src, dst, lid, msg) -> Medium.inject sh.medium ~at ~src ~dst ~lid msg)
     incoming;
   Array.iter
     (fun v ->
@@ -272,7 +287,8 @@ let phase_deliver t jitter sh incoming =
                sh.infos <- (v, Grp_node.compute node) :: sh.infos))
       end)
     sh.locals;
-  Engine.run_until sh.engine at
+  Engine.run_until sh.engine at;
+  sh.last_deliver_s <- Unix.gettimeofday () -. t0
 
 let round ?(jitter = 0.0) t =
   if jitter < 0.0 || jitter > 1.0 then

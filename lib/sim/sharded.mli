@@ -128,6 +128,12 @@ val deliver_s : t -> float
     phase, measured like {!broadcast_s}.  [broadcast_s + barrier_s +
     deliver_s] accounts for (nearly) all of a round's wall clock. *)
 
+val shard_phase_s : t -> (float * float) array
+(** Per-shard [(broadcast, deliver+compute)] wall-clock seconds of the
+    {e last} round, measured inside each worker (so excluding fork/join
+    overhead) — the per-shard lanes of the Perfetto/Chrome-trace export.
+    Index [sx] is shard [sx]. *)
+
 val spatial_partition :
   shards:int ->
   range:float ->

@@ -1,0 +1,17 @@
+(** Chrome trace_event ("Perfetto") JSON writer.
+
+    Produces the JSON object format ({"traceEvents":[...]}) with one
+    complete span ([ph = "X"]) per {!span} — [ts]/[dur] in microseconds,
+    one lane per [tid] — loadable in [chrome://tracing] and
+    [ui.perfetto.dev].  This is the backend of
+    [grp_sim vanet --profile-out] (docs/OBSERVABILITY.md). *)
+
+type span = { name : string; ts_us : float; dur_us : float; tid : int }
+
+val to_string : ?pid:int -> ?thread_names:(int * string) list -> span list -> string
+(** Serialize; [thread_names] adds one [ph = "M"] [thread_name] metadata
+    row per [(tid, label)] so viewers label the lanes.  [pid] defaults
+    to 0. *)
+
+val write : string -> ?pid:int -> ?thread_names:(int * string) list -> span list -> unit
+(** [write path ... spans] writes {!to_string} to [path]. *)

@@ -41,7 +41,7 @@ let analyze events =
       | Some v -> Hashtbl.replace nodes v ()
       | None -> ());
       match ev with
-      | Trace.View_changed { node; added; removed; view } ->
+      | Trace.View_changed { node; added; removed; view; _ } ->
           let vc =
             {
               vc_time = time;

@@ -1,20 +1,30 @@
+(* Provenance convention: every broadcast gets a campaign-unique lineage id
+   [lid] (packed [(src lsl 20) lor k] with k a per-source counter; [-1] when
+   tracing is off).  Derived events carry the lineage of the message that
+   caused them in [cause]; [-1] means "no recorded cause".  JSONL omits the
+   field at [-1] so pre-provenance traces round-trip unchanged. *)
+
 type event =
-  | Msg_sent of { src : int }
-  | Msg_delivered of { src : int; dst : int }
-  | Msg_lost of { src : int; dst : int }
-  | Msg_dropped of { src : int; dst : int }
+  | Msg_sent of { src : int; lid : int }
+  | Msg_delivered of { src : int; dst : int; cause : int }
+  | Msg_lost of { src : int; dst : int; cause : int }
+  | Msg_dropped of { src : int; dst : int; cause : int }
   | View_changed of {
       node : int;
       added : int list;
       removed : int list;
       view : int list;
+      cause : int;
     }
-  | Quarantine_enter of { node : int; member : int; remaining : int }
-  | Quarantine_admit of { node : int; member : int }
-  | Mark_set of { node : int; peer : int; mark : string }
-  | Mark_cleared of { node : int; peer : int }
-  | Merge_attempt of { node : int; sender : int }
-  | Merge_accepted of { node : int; sender : int }
+  | Quarantine_enter of { node : int; member : int; remaining : int; cause : int }
+  | Quarantine_admit of { node : int; member : int; cause : int }
+  | Mark_set of { node : int; peer : int; mark : string; cause : int }
+  | Mark_cleared of { node : int; peer : int; cause : int }
+  | Merge_attempt of { node : int; sender : int; cause : int }
+  | Merge_accepted of { node : int; sender : int; cause : int }
+  | Gate_conviction of { node : int; peer : int; cause : int }
+  | Contest_win of { node : int; far : int; cause : int }
+  | Contest_freeze of { node : int; far : int; cause : int }
   | Topology_change of { nodes : int; edges : int }
   | Event_scheduled of { id : int; at : float }
   | Event_fired of { id : int; at : float }
@@ -31,6 +41,9 @@ let kind = function
   | Mark_cleared _ -> "Mark_cleared"
   | Merge_attempt _ -> "Merge_attempt"
   | Merge_accepted _ -> "Merge_accepted"
+  | Gate_conviction _ -> "Gate_conviction"
+  | Contest_win _ -> "Contest_win"
+  | Contest_freeze _ -> "Contest_freeze"
   | Topology_change _ -> "Topology_change"
   | Event_scheduled _ -> "Event_scheduled"
   | Event_fired _ -> "Event_fired"
@@ -48,13 +61,16 @@ let kinds =
     "Mark_cleared";
     "Merge_attempt";
     "Merge_accepted";
+    "Gate_conviction";
+    "Contest_win";
+    "Contest_freeze";
     "Topology_change";
     "Event_scheduled";
     "Event_fired";
   ]
 
 let node_of = function
-  | Msg_sent { src } -> Some src
+  | Msg_sent { src; _ } -> Some src
   | Msg_delivered { dst; _ } | Msg_lost { dst; _ } | Msg_dropped { dst; _ } -> Some dst
   | View_changed { node; _ }
   | Quarantine_enter { node; _ }
@@ -62,34 +78,62 @@ let node_of = function
   | Mark_set { node; _ }
   | Mark_cleared { node; _ }
   | Merge_attempt { node; _ }
-  | Merge_accepted { node; _ } ->
+  | Merge_accepted { node; _ }
+  | Gate_conviction { node; _ }
+  | Contest_win { node; _ }
+  | Contest_freeze { node; _ } ->
       Some node
   | Topology_change _ | Event_scheduled _ | Event_fired _ -> None
+
+let cause_of = function
+  | Msg_delivered { cause; _ }
+  | Msg_lost { cause; _ }
+  | Msg_dropped { cause; _ }
+  | View_changed { cause; _ }
+  | Quarantine_enter { cause; _ }
+  | Quarantine_admit { cause; _ }
+  | Mark_set { cause; _ }
+  | Mark_cleared { cause; _ }
+  | Merge_attempt { cause; _ }
+  | Merge_accepted { cause; _ }
+  | Gate_conviction { cause; _ }
+  | Contest_win { cause; _ }
+  | Contest_freeze { cause; _ } ->
+      cause
+  | Msg_sent _ | Topology_change _ | Event_scheduled _ | Event_fired _ -> -1
+
+let lid_of = function Msg_sent { lid; _ } -> lid | _ -> -1
 
 let pp_ints ppf ids =
   Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int ids))
 
 let pp_event ppf = function
-  | Msg_sent { src } -> Format.fprintf ppf "Msg_sent(src=%d)" src
-  | Msg_delivered { src; dst } -> Format.fprintf ppf "Msg_delivered(%d->%d)" src dst
-  | Msg_lost { src; dst } -> Format.fprintf ppf "Msg_lost(%d->%d)" src dst
-  | Msg_dropped { src; dst } -> Format.fprintf ppf "Msg_dropped(%d->%d)" src dst
-  | View_changed { node; added; removed; view } ->
+  | Msg_sent { src; _ } -> Format.fprintf ppf "Msg_sent(src=%d)" src
+  | Msg_delivered { src; dst; _ } -> Format.fprintf ppf "Msg_delivered(%d->%d)" src dst
+  | Msg_lost { src; dst; _ } -> Format.fprintf ppf "Msg_lost(%d->%d)" src dst
+  | Msg_dropped { src; dst; _ } -> Format.fprintf ppf "Msg_dropped(%d->%d)" src dst
+  | View_changed { node; added; removed; view; _ } ->
       Format.fprintf ppf "View_changed(node=%d,+%a,-%a,view=%a)" node pp_ints added
         pp_ints removed pp_ints view
-  | Quarantine_enter { node; member; remaining } ->
+  | Quarantine_enter { node; member; remaining; _ } ->
       Format.fprintf ppf "Quarantine_enter(node=%d,member=%d,remaining=%d)" node member
         remaining
-  | Quarantine_admit { node; member } ->
+  | Quarantine_admit { node; member; _ } ->
       Format.fprintf ppf "Quarantine_admit(node=%d,member=%d)" node member
-  | Mark_set { node; peer; mark } ->
+  | Mark_set { node; peer; mark; _ } ->
       Format.fprintf ppf "Mark_set(node=%d,peer=%d,%s)" node peer mark
-  | Mark_cleared { node; peer } ->
+  | Mark_cleared { node; peer; _ } ->
       Format.fprintf ppf "Mark_cleared(node=%d,peer=%d)" node peer
-  | Merge_attempt { node; sender } ->
+  | Merge_attempt { node; sender; _ } ->
       Format.fprintf ppf "Merge_attempt(node=%d,sender=%d)" node sender
-  | Merge_accepted { node; sender } ->
+  | Merge_accepted { node; sender; _ } ->
       Format.fprintf ppf "Merge_accepted(node=%d,sender=%d)" node sender
+  | Gate_conviction { node; peer; _ } ->
+      Format.fprintf ppf "Gate_conviction(node=%d,peer=%d)" node peer
+  | Contest_win { node; far; _ } ->
+      Format.fprintf ppf "Contest_win(node=%d,far=%d)" node far
+  | Contest_freeze { node; far; _ } ->
+      Format.fprintf ppf "Contest_freeze(node=%d,far=%d)" node far
   | Topology_change { nodes; edges } ->
       Format.fprintf ppf "Topology_change(nodes=%d,edges=%d)" nodes edges
   | Event_scheduled { id; at } -> Format.fprintf ppf "Event_scheduled(id=%d,at=%g)" id at
@@ -154,7 +198,7 @@ module Ring = struct
     mutable seen : int;
   }
 
-  let dummy = (0.0, Msg_sent { src = 0 })
+  let dummy = (0.0, Msg_sent { src = 0; lid = -1 })
 
   let create ~capacity =
     if capacity < 1 then invalid_arg "Trace.Ring.create: capacity must be >= 1";
@@ -189,35 +233,48 @@ module Jsonl = struct
 
   let ints ids = "[" ^ String.concat "," (List.map string_of_int ids) ^ "]"
 
+  (* Provenance fields are omitted at [-1] so traces recorded before the
+     lineage layer (and runs without it) keep their exact old schema. *)
+  let opt name v tail = if v >= 0 then (name, string_of_int v) :: tail else tail
+
   let fields = function
-    | Msg_sent { src } -> [ ("src", string_of_int src) ]
-    | Msg_delivered { src; dst } | Msg_lost { src; dst } | Msg_dropped { src; dst } ->
-        [ ("src", string_of_int src); ("dst", string_of_int dst) ]
-    | View_changed { node; added; removed; view } ->
-        [
-          ("node", string_of_int node);
-          ("added", ints added);
-          ("removed", ints removed);
-          ("view", ints view);
-        ]
-    | Quarantine_enter { node; member; remaining } ->
-        [
-          ("node", string_of_int node);
-          ("member", string_of_int member);
-          ("remaining", string_of_int remaining);
-        ]
-    | Quarantine_admit { node; member } ->
-        [ ("node", string_of_int node); ("member", string_of_int member) ]
-    | Mark_set { node; peer; mark } ->
-        [
-          ("node", string_of_int node);
-          ("peer", string_of_int peer);
-          ("mark", "\"" ^ mark ^ "\"");
-        ]
-    | Mark_cleared { node; peer } ->
-        [ ("node", string_of_int node); ("peer", string_of_int peer) ]
-    | Merge_attempt { node; sender } | Merge_accepted { node; sender } ->
-        [ ("node", string_of_int node); ("sender", string_of_int sender) ]
+    | Msg_sent { src; lid } -> ("src", string_of_int src) :: opt "lid" lid []
+    | Msg_delivered { src; dst; cause }
+    | Msg_lost { src; dst; cause }
+    | Msg_dropped { src; dst; cause } ->
+        ("src", string_of_int src)
+        :: ("dst", string_of_int dst)
+        :: opt "cause" cause []
+    | View_changed { node; added; removed; view; cause } ->
+        ("node", string_of_int node)
+        :: ("added", ints added)
+        :: ("removed", ints removed)
+        :: ("view", ints view)
+        :: opt "cause" cause []
+    | Quarantine_enter { node; member; remaining; cause } ->
+        ("node", string_of_int node)
+        :: ("member", string_of_int member)
+        :: ("remaining", string_of_int remaining)
+        :: opt "cause" cause []
+    | Quarantine_admit { node; member; cause } ->
+        ("node", string_of_int node)
+        :: ("member", string_of_int member)
+        :: opt "cause" cause []
+    | Mark_set { node; peer; mark; cause } ->
+        ("node", string_of_int node)
+        :: ("peer", string_of_int peer)
+        :: ("mark", "\"" ^ mark ^ "\"")
+        :: opt "cause" cause []
+    | Mark_cleared { node; peer; cause } ->
+        ("node", string_of_int node) :: ("peer", string_of_int peer) :: opt "cause" cause []
+    | Merge_attempt { node; sender; cause } | Merge_accepted { node; sender; cause } ->
+        ("node", string_of_int node)
+        :: ("sender", string_of_int sender)
+        :: opt "cause" cause []
+    | Gate_conviction { node; peer; cause } ->
+        ("node", string_of_int node) :: ("peer", string_of_int peer) :: opt "cause" cause []
+    | Contest_win { node; far; cause } | Contest_freeze { node; far; cause } ->
+        ("node", string_of_int node) :: ("far", string_of_int far) :: opt "cause" cause []
     | Topology_change { nodes; edges } ->
         [ ("nodes", string_of_int nodes); ("edges", string_of_int edges) ]
     | Event_scheduled { id; at } | Event_fired { id; at } ->
@@ -346,6 +403,10 @@ module Jsonl = struct
           match List.assoc_opt k pairs with Some (Num x) -> x | _ -> raise Bad
         in
         let int k = int_of_float (num k) in
+        (* Provenance fields default to -1 so pre-lineage traces load. *)
+        let int_def k d =
+          match List.assoc_opt k pairs with Some (Num x) -> int_of_float x | _ -> d
+        in
         let str k =
           match List.assoc_opt k pairs with Some (Str x) -> x | _ -> raise Bad
         in
@@ -356,10 +417,15 @@ module Jsonl = struct
           let time = num "t" in
           let ev =
             match str "ev" with
-            | "Msg_sent" -> Msg_sent { src = int "src" }
-            | "Msg_delivered" -> Msg_delivered { src = int "src"; dst = int "dst" }
-            | "Msg_lost" -> Msg_lost { src = int "src"; dst = int "dst" }
-            | "Msg_dropped" -> Msg_dropped { src = int "src"; dst = int "dst" }
+            | "Msg_sent" -> Msg_sent { src = int "src"; lid = int_def "lid" (-1) }
+            | "Msg_delivered" ->
+                Msg_delivered
+                  { src = int "src"; dst = int "dst"; cause = int_def "cause" (-1) }
+            | "Msg_lost" ->
+                Msg_lost { src = int "src"; dst = int "dst"; cause = int_def "cause" (-1) }
+            | "Msg_dropped" ->
+                Msg_dropped
+                  { src = int "src"; dst = int "dst"; cause = int_def "cause" (-1) }
             | "View_changed" ->
                 View_changed
                   {
@@ -367,18 +433,45 @@ module Jsonl = struct
                     added = arr "added";
                     removed = arr "removed";
                     view = arr "view";
+                    cause = int_def "cause" (-1);
                   }
             | "Quarantine_enter" ->
                 Quarantine_enter
-                  { node = int "node"; member = int "member"; remaining = int "remaining" }
+                  {
+                    node = int "node";
+                    member = int "member";
+                    remaining = int "remaining";
+                    cause = int_def "cause" (-1);
+                  }
             | "Quarantine_admit" ->
-                Quarantine_admit { node = int "node"; member = int "member" }
+                Quarantine_admit
+                  { node = int "node"; member = int "member"; cause = int_def "cause" (-1) }
             | "Mark_set" ->
-                Mark_set { node = int "node"; peer = int "peer"; mark = str "mark" }
-            | "Mark_cleared" -> Mark_cleared { node = int "node"; peer = int "peer" }
-            | "Merge_attempt" -> Merge_attempt { node = int "node"; sender = int "sender" }
+                Mark_set
+                  {
+                    node = int "node";
+                    peer = int "peer";
+                    mark = str "mark";
+                    cause = int_def "cause" (-1);
+                  }
+            | "Mark_cleared" ->
+                Mark_cleared
+                  { node = int "node"; peer = int "peer"; cause = int_def "cause" (-1) }
+            | "Merge_attempt" ->
+                Merge_attempt
+                  { node = int "node"; sender = int "sender"; cause = int_def "cause" (-1) }
             | "Merge_accepted" ->
-                Merge_accepted { node = int "node"; sender = int "sender" }
+                Merge_accepted
+                  { node = int "node"; sender = int "sender"; cause = int_def "cause" (-1) }
+            | "Gate_conviction" ->
+                Gate_conviction
+                  { node = int "node"; peer = int "peer"; cause = int_def "cause" (-1) }
+            | "Contest_win" ->
+                Contest_win
+                  { node = int "node"; far = int "far"; cause = int_def "cause" (-1) }
+            | "Contest_freeze" ->
+                Contest_freeze
+                  { node = int "node"; far = int "far"; cause = int_def "cause" (-1) }
             | "Topology_change" ->
                 Topology_change { nodes = int "nodes"; edges = int "edges" }
             | "Event_scheduled" -> Event_scheduled { id = int "id"; at = num "at" }
@@ -413,6 +506,57 @@ module Jsonl = struct
               | None -> go acc)
         in
         go [])
+end
+
+(* --- rotating JSONL sink --- *)
+
+module Rotating = struct
+
+  type t = {
+    path : string;
+    max_bytes : int;
+    keep : int;
+    mutable oc : out_channel;
+    mutable bytes : int;
+    mutable rotations : int;
+  }
+
+  let slot t i = if i = 0 then t.path else t.path ^ "." ^ string_of_int i
+
+  let create ~path ~max_bytes ~keep =
+    if max_bytes < 1 then invalid_arg "Trace.Rotating.create: max_bytes must be >= 1";
+    if keep < 1 then invalid_arg "Trace.Rotating.create: keep must be >= 1";
+    { path; max_bytes; keep; oc = open_out path; bytes = 0; rotations = 0 }
+
+  (* Shift path.(keep-1) .. path.1, path down one slot (the oldest falls
+     off the end) and reopen a fresh [path]. *)
+  let rotate t =
+    close_out t.oc;
+    let last = slot t (t.keep - 1) in
+    if Sys.file_exists last then Sys.remove last;
+    for i = t.keep - 2 downto 0 do
+      let from = slot t i in
+      if Sys.file_exists from then Sys.rename from (slot t (i + 1))
+    done;
+    t.oc <- open_out t.path;
+    t.bytes <- 0;
+    t.rotations <- t.rotations + 1
+
+  let sink t =
+    make (fun ~time ev ->
+        let line = Jsonl.to_string time ev in
+        let len = String.length line + 1 in
+        if t.bytes > 0 && t.bytes + len > t.max_bytes then rotate t;
+        output_string t.oc line;
+        output_char t.oc '\n';
+        t.bytes <- t.bytes + len)
+
+  let rotations t = t.rotations
+  let close t = close_out t.oc
+
+  let with_file path ~max_bytes ~keep f =
+    let t = create ~path ~max_bytes ~keep in
+    Fun.protect ~finally:(fun () -> close t) (fun () -> f (sink t))
 end
 
 (* --- counting sink --- *)

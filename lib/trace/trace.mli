@@ -13,27 +13,36 @@
     clock of their own (notably {!Dgs_core.Grp_node}) emit at whatever time
     the driver last {!set_time}.
 
-    Three concrete sinks are provided: {!Ring} (bounded in-memory buffer,
+    Four concrete sinks are provided: {!Ring} (bounded in-memory buffer,
     for tests and post-mortem inspection), {!Jsonl} (newline-delimited JSON
-    to a channel, for offline analysis), and {!Counting} (per-node/per-type
-    counters rendered as a {!Dgs_metrics.Table}).  Sinks compose with
-    {!tee} and {!filter}. *)
+    to a channel, for offline analysis), {!Rotating} (size-capped JSONL
+    with keep-last-N rotation, for long traced runs), and {!Counting}
+    (per-node/per-type counters rendered as a {!Dgs_metrics.Table}).
+    Sinks compose with {!tee} and {!filter}. *)
 
 (** {1 Event vocabulary}
 
     Node identifiers are plain [int]s (the runtime representation of
     {!Dgs_core.Node_id.t}); this library sits below [dgs_core] so that the
-    protocol node itself can emit. *)
+    protocol node itself can emit.
+
+    {b Provenance.}  Every broadcast carries a campaign-unique lineage id
+    [lid] (packed [(src lsl 20) lor counter]; [-1] when tracing is
+    disabled), and every derived event carries the lineage of the message
+    that caused it in [cause] ([-1] = no recorded cause).  {!Causal}
+    reconstructs the broadcast→delivery→decision DAG from these fields. *)
 
 type event =
-  | Msg_sent of { src : int }
+  | Msg_sent of { src : int; lid : int }
       (** A node handed one broadcast to the channel (one per send
-          operation, not per receiver). *)
-  | Msg_delivered of { src : int; dst : int }
-      (** One directed copy of a broadcast reached [dst]. *)
-  | Msg_lost of { src : int; dst : int }
+          operation, not per receiver).  [lid] is the broadcast's lineage
+          id. *)
+  | Msg_delivered of { src : int; dst : int; cause : int }
+      (** One directed copy of a broadcast reached [dst]; [cause] is the
+          broadcast's lineage id. *)
+  | Msg_lost of { src : int; dst : int; cause : int }
       (** One directed copy was dropped by the lossy channel. *)
-  | Msg_dropped of { src : int; dst : int }
+  | Msg_dropped of { src : int; dst : int; cause : int }
       (** One directed copy survived the channel and reached [dst]'s
           runtime at its scheduled delivery time, but was refused before
           the protocol saw it: the destination was deactivated or removed
@@ -46,27 +55,45 @@ type event =
       added : int list;
       removed : int list;
       view : int list;
+      cause : int;
     }
       (** [node]'s view changed during a [compute]; [view] is the complete
-          new composition, [added]/[removed] the delta (all sorted). *)
-  | Quarantine_enter of { node : int; member : int; remaining : int }
+          new composition, [added]/[removed] the delta (all sorted).
+          [cause] is the lineage of the ingested message most responsible
+          for the change (a message from an added/removed member when one
+          exists, else the newest ingested message). *)
+  | Quarantine_enter of { node : int; member : int; remaining : int; cause : int }
       (** [member] became an unmarked list entry at [node] and entered
-          quarantine with [remaining] computes to serve. *)
-  | Quarantine_admit of { node : int; member : int }
+          quarantine with [remaining] computes to serve.  [cause] is the
+          lineage of [member]'s message that created the entry ([-1] when
+          the entry arrived indirectly). *)
+  | Quarantine_admit of { node : int; member : int; cause : int }
       (** [member]'s quarantine at [node] elapsed: it is now eligible for
           the view. *)
-  | Mark_set of { node : int; peer : int; mark : string }
+  | Mark_set of { node : int; peer : int; mark : string; cause : int }
       (** [node] marked [peer] in its list; [mark] is ["single"] (link not
           known symmetric) or ["double"] (rejected). *)
-  | Mark_cleared of { node : int; peer : int }
+  | Mark_cleared of { node : int; peer : int; cause : int }
       (** A previously marked [peer] became a clear list entry at [node] —
           the handshake completed or the rejection was lifted. *)
-  | Merge_attempt of { node : int; sender : int }
+  | Merge_attempt of { node : int; sender : int; cause : int }
       (** [node] processed a message from [sender], a node outside its
-          view — a potential group extension or merge. *)
-  | Merge_accepted of { node : int; sender : int }
+          view — a potential group extension or merge.  [cause] is the
+          lineage of [sender]'s message. *)
+  | Merge_accepted of { node : int; sender : int; cause : int }
       (** The attempt passed [goodList], [compatibleList] and joint
           admission: [sender]'s list enters the ant fold. *)
+  | Gate_conviction of { node : int; peer : int; cause : int }
+      (** The conflict gate at [node] convicted [peer]: its conflict streak
+          reached the window.  [cause] is the lineage of [peer]'s message
+          that completed the streak. *)
+  | Contest_win of { node : int; far : int; cause : int }
+      (** [node] won a too-far contest over [far] (the loser will be
+          double-marked).  [cause] is the lineage of the newest message
+          that reported [far] too far. *)
+  | Contest_freeze of { node : int; far : int; cause : int }
+      (** A too-far contest over [far] at [node] was frozen by the
+          oldness-hold cooldown. *)
   | Topology_change of { nodes : int; edges : int }
       (** The communication graph was replaced (mobility step, churn);
           carries the new graph's size. *)
@@ -87,6 +114,14 @@ val node_of : event -> int option
 (** The node an event is attributed to ([dst] for deliveries and losses,
     [src] for sends, [node] for protocol events, [None] for engine and
     topology events) — the row key of the {!Counting} sink. *)
+
+val cause_of : event -> int
+(** The lineage id of the message that caused the event; [-1] when the
+    event has no [cause] field or none was recorded. *)
+
+val lid_of : event -> int
+(** The lineage id {e minted} by the event: the [lid] of a {!Msg_sent},
+    [-1] for every other constructor. *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -162,10 +197,17 @@ end
     One JSON object per line: [{"t":<time>,"ev":"<kind>", ...fields}].
     The exact schema of every event is documented in
     docs/OBSERVABILITY.md; {!Jsonl.of_string} parses exactly what
-    {!Jsonl.to_string} prints (round-trip tested). *)
+    {!Jsonl.to_string} prints (round-trip tested).  Provenance fields
+    ([lid], [cause]) are omitted when [-1] and default to [-1] when
+    absent, so traces recorded before the lineage layer still load. *)
 
 module Jsonl : sig
   type sink := t
+
+  val fields : event -> (string * string) list
+  (** The event's JSON fields beyond ["t"]/["ev"], as
+      [(name, serialized-value)] pairs in emission order — the schema
+      surface the docs field table is diffed against. *)
 
   val to_string : float -> event -> string
   (** One line, without the trailing newline. *)
@@ -183,6 +225,37 @@ module Jsonl : sig
 
   val load : string -> (float * event) list
   (** Read a JSONL trace back; malformed lines are skipped. *)
+end
+
+(** {2 Rotating JSONL sink}
+
+    A size-capped variant of {!Jsonl} for long traced runs: when the
+    current file would exceed [max_bytes], it is renamed to [path.1]
+    (existing [path.N] shift to [path.N+1], the oldest beyond [keep - 1]
+    is deleted) and a fresh [path] is opened — so at most [keep] files
+    ([path], [path.1] … [path.(keep-1)]) ever exist and the newest events
+    are always in [path].  Rotation happens on line boundaries; every
+    file is valid JSONL. *)
+
+module Rotating : sig
+  type sink := t
+
+  type t
+
+  val create : path:string -> max_bytes:int -> keep:int -> t
+  (** Open [path] for writing.  Raises [Invalid_argument] when
+      [max_bytes < 1] or [keep < 1] ([keep = 1] means no history: the
+      file is simply truncated at each rotation). *)
+
+  val sink : t -> sink
+
+  val rotations : t -> int
+  (** Rotations performed so far. *)
+
+  val close : t -> unit
+
+  val with_file : string -> max_bytes:int -> keep:int -> (sink -> 'a) -> 'a
+  (** Like {!Jsonl.with_file} with rotation. *)
 end
 
 (** {2 Counting sink}

@@ -77,7 +77,7 @@ type report = {
 let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
     ?(jitter = 0.1) ?(warmup = 10) ?(rounds = 50) ?(oracle = (`Incremental : oracle))
     ?(oracle_every = 5) ?(cross_check_limit = 64) ?(naive_graph = false)
-    ?(jobs = 1) ?shards ~scenario ~n () =
+    ?(jobs = 1) ?shards ?make_trace ?profile_out ~scenario ~n () =
   let jobs = if jobs <= 0 then Dgs_parallel.Pool.default_jobs () else jobs in
   let shards = match shards with Some s -> max 1 s | None -> jobs in
   let rng = Rng.create seed in
@@ -92,7 +92,8 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
     Sharded.spatial_partition ~shards ~range (Mobility.positions mob)
   in
   let t =
-    Sharded.create ~config ~shards ~jobs ~seed ~shard_of (build mob ~range)
+    Sharded.create ~config ~shards ~jobs ~seed ~shard_of ?make_trace
+      (build mob ~range)
   in
   Sharded.run ~jitter t warmup;
   let inc =
@@ -140,17 +141,57 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
   in
   let wall0 = Unix.gettimeofday () in
   let gc0 = Gc.quick_stat () in
+  (* Perfetto span collection (--profile-out): one complete span per
+     phase per round on lane 0, plus each shard's in-worker broadcast and
+     deliver+compute spans on lane [shard + 1].  Timestamps are µs since
+     the start of the measured window. *)
+  let spans = ref [] in
+  let profiling = profile_out <> None in
+  let us since = (since -. wall0) *. 1e6 in
+  let span name t_start t_end tid =
+    spans :=
+      {
+        Dgs_trace.Chrome_trace.name;
+        ts_us = us t_start;
+        dur_us = (t_end -. t_start) *. 1e6;
+        tid;
+      }
+      :: !spans
+  in
   for round = 1 to rounds do
     Mobility.step mob ~dt;
     let t0 = Unix.gettimeofday () in
     let g = build mob ~range in
-    graph_build_s := !graph_build_s +. (Unix.gettimeofday () -. t0);
+    let tg = Unix.gettimeofday () in
+    graph_build_s := !graph_build_s +. (tg -. t0);
+    if profiling then span "graph_build" t0 tg 0;
     let ts = Unix.gettimeofday () in
     Sharded.set_graph t g;
-    set_graph_s := !set_graph_s +. (Unix.gettimeofday () -. ts);
+    let ts' = Unix.gettimeofday () in
+    set_graph_s := !set_graph_s +. (ts' -. ts);
+    if profiling then span "set_graph" ts ts' 0;
+    let b0 = Sharded.broadcast_s t
+    and bar0 = Sharded.barrier_s t
+    and d0 = Sharded.deliver_s t in
     let t1 = Unix.gettimeofday () in
     let infos = Sharded.round ~jitter t in
-    round_s := !round_s +. (Unix.gettimeofday () -. t1);
+    let t2 = Unix.gettimeofday () in
+    round_s := !round_s +. (t2 -. t1);
+    if profiling then begin
+      (* The three legs of the round are sequential on the main thread:
+         lay them end to end from the round's start. *)
+      let b = Sharded.broadcast_s t -. b0
+      and bar = Sharded.barrier_s t -. bar0
+      and d = Sharded.deliver_s t -. d0 in
+      span "broadcast" t1 (t1 +. b) 0;
+      span "barrier" (t1 +. b) (t1 +. b +. bar) 0;
+      span "deliver+compute" (t1 +. b +. bar) (t1 +. b +. bar +. d) 0;
+      Array.iteri
+        (fun sx (sb, sd) ->
+          span "broadcast" t1 (t1 +. sb) (sx + 1);
+          span "deliver+compute" (t1 +. b +. bar) (t1 +. b +. bar +. sd) (sx + 1))
+        (Sharded.shard_phase_s t)
+    end;
     Node_id.Map.iter
       (fun v i ->
         incr computes;
@@ -167,6 +208,14 @@ let run ?(seed = 1) ?(dmax = 3) ?(range = 2.0) ?(speed = 0.15) ?(dt = 1.0)
   if oracle <> `Off && rounds mod oracle_every <> 0 then poll g;
   let wall_s = Unix.gettimeofday () -. wall0 in
   let gc1 = Gc.quick_stat () in
+  (match profile_out with
+  | None -> ()
+  | Some path ->
+      let thread_names =
+        (0, "round phases (main)")
+        :: List.init shards (fun sx -> (sx + 1, Printf.sprintf "shard %d" sx))
+      in
+      Dgs_trace.Chrome_trace.write path ~thread_names (List.rev !spans));
   let per_round f = if rounds > 0 then f /. float_of_int rounds else 0.0 in
   let messages = Sharded.messages_sent t - messages0 in
   let events = messages + !computes in

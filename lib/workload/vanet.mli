@@ -77,6 +77,8 @@ val run :
   ?naive_graph:bool ->
   ?jobs:int ->
   ?shards:int ->
+  ?make_trace:(int -> Dgs_trace.Trace.t) ->
+  ?profile_out:string ->
   scenario:scenario ->
   n:int ->
   unit ->
@@ -88,6 +90,14 @@ val run :
     the scaling comparisons.  A final poll is added when [rounds] is not a
     multiple of [oracle_every] so the verdict fields always reflect the last
     configuration.
+
+    [make_trace] builds one trace sink per shard index (default: null —
+    the zero-cost path), exactly as in {!Dgs_sim.Sharded.create}.
+    [profile_out] writes the measured window's round-time profile as
+    Chrome trace_event JSON ({!Dgs_trace.Chrome_trace}): per-round
+    graph_build / set_graph / broadcast / barrier / deliver+compute
+    spans on lane 0 and each shard's in-worker phase spans on lane
+    [shard + 1].
 
     The round loop runs on {!Dgs_sim.Sharded}: the node set is cut into
     [shards] spatially compact slabs ({!Dgs_sim.Sharded.spatial_partition}

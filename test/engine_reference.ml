@@ -24,7 +24,7 @@ type 'msg t = {
   live : (event_id, unit) Hashtbl.t;
   cancelled : (event_id, unit) Hashtbl.t;
   trace : Trace.t;
-  mutable on_deliver : src:int -> dst:int -> gen:int -> 'msg -> unit;
+  mutable on_deliver : src:int -> dst:int -> gen:int -> lid:int -> 'msg -> unit;
   mutable clock : float;
   mutable next_seq : int;
   mutable next_id : event_id;
@@ -40,7 +40,7 @@ let create ?(start = 0.0) ?(trace = Trace.null) () =
     cancelled = Hashtbl.create 16;
     trace;
     on_deliver =
-      (fun ~src:_ ~dst:_ ~gen:_ _ ->
+      (fun ~src:_ ~dst:_ ~gen:_ ~lid:_ _ ->
         failwith "Engine: no delivery handler installed");
     clock = start;
     next_seq = 0;
@@ -66,8 +66,8 @@ let schedule_after t delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t (t.clock +. delay) f
 
-let schedule_deliver t ~at ~src ~dst ~gen msg =
-  ignore (schedule_at t at (fun () -> t.on_deliver ~src ~dst ~gen msg))
+let schedule_deliver t ~at ~src ~dst ~gen ~lid msg =
+  ignore (schedule_at t at (fun () -> t.on_deliver ~src ~dst ~gen ~lid msg))
 
 let cancel t id =
   if Hashtbl.mem t.live id then Hashtbl.replace t.cancelled id ()

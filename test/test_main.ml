@@ -23,6 +23,7 @@ let () =
       ("continuity", Test_continuity.suite);
       ("workload", Test_workload.suite);
       ("trace", Test_trace.suite);
+      ("causal", Test_causal.suite);
       ("check", Test_check.suite);
       ("parallel", Test_parallel.suite);
       ("docs", Test_docs.suite);

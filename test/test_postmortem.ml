@@ -18,17 +18,23 @@ let check_int = Alcotest.(check int)
    structure to exercise every table. *)
 let sample_events =
   [
-    (1.0, Trace.Msg_delivered { src = 0; dst = 1 });
+    (1.0, Trace.Msg_delivered { src = 0; dst = 1; cause = -1 });
     (* node 2 shows up only as a delivery target: the stabilization table
        must list it with an unknown view *)
-    (1.0, Trace.Msg_delivered { src = 1; dst = 2 });
-    (1.0, Trace.Merge_attempt { node = 1; sender = 0 });
-    (1.0, Trace.Merge_accepted { node = 1; sender = 0 });
-    (2.0, Trace.View_changed { node = 0; added = [ 1 ]; removed = []; view = [ 0; 1 ] });
-    (2.0, Trace.View_changed { node = 1; added = [ 0; 2 ]; removed = []; view = [ 0; 1; 2 ] });
-    (3.0, Trace.Mark_set { node = 1; peer = 2; mark = "double" });
-    (4.0, Trace.View_changed { node = 1; added = []; removed = [ 2 ]; view = [ 0; 1 ] });
-    (6.0, Trace.Msg_delivered { src = 1; dst = 0 });
+    (1.0, Trace.Msg_delivered { src = 1; dst = 2; cause = -1 });
+    (1.0, Trace.Merge_attempt { node = 1; sender = 0; cause = -1 });
+    (1.0, Trace.Merge_accepted { node = 1; sender = 0; cause = -1 });
+    ( 2.0,
+      Trace.View_changed
+        { node = 0; added = [ 1 ]; removed = []; view = [ 0; 1 ]; cause = -1 } );
+    ( 2.0,
+      Trace.View_changed
+        { node = 1; added = [ 0; 2 ]; removed = []; view = [ 0; 1; 2 ]; cause = -1 } );
+    (3.0, Trace.Mark_set { node = 1; peer = 2; mark = "double"; cause = -1 });
+    ( 4.0,
+      Trace.View_changed
+        { node = 1; added = []; removed = [ 2 ]; view = [ 0; 1 ]; cause = -1 } );
+    (6.0, Trace.Msg_delivered { src = 1; dst = 0; cause = -1 });
   ]
 
 let analyzed = lazy (Postmortem.analyze sample_events)
@@ -109,6 +115,92 @@ let test_render_and_csv () =
       check (name ^ " non-empty") true (String.length content > 0))
     exports
 
+(* --- eviction-chain attribution edge cases ---
+
+   Until now these paths were exercised only by the fixture replay; each
+   case pins one attribution rule of [eviction_chains]. *)
+
+(* A double mark set before a topology snapshot boundary still attributes
+   to the node's next eviction: the counter survives Topology_change. *)
+let test_eviction_mark_across_snapshot_boundary () =
+  let a =
+    Postmortem.analyze
+      [
+        (1.0, Trace.Mark_set { node = 0; peer = 2; mark = "double"; cause = -1 });
+        (2.0, Trace.Topology_change { nodes = 3; edges = 2 });
+        ( 3.0,
+          Trace.View_changed
+            { node = 0; added = []; removed = [ 2 ]; view = [ 0; 1 ]; cause = -1 } );
+      ]
+  in
+  let table = Postmortem.eviction_chains a in
+  check_int "one eviction row" 1 (Table.row_count table);
+  check "mark set before the boundary is counted" true
+    (Str_helpers.contains (Table.render table) "1")
+
+(* The evictor itself departs right after cutting: its eviction row must
+   stay attributed to it, and a later eviction {e of} the departed node by
+   someone else counts only the marks the second evictor set. *)
+let test_eviction_by_departed_evictor () =
+  let a =
+    Postmortem.analyze
+      [
+        (1.0, Trace.Mark_set { node = 1; peer = 2; mark = "double"; cause = -1 });
+        ( 2.0,
+          Trace.View_changed
+            { node = 1; added = []; removed = [ 2 ]; view = [ 0; 1 ]; cause = -1 } );
+        (* node 1 falls silent; node 0 cuts it later without any double
+           mark of its own *)
+        ( 4.0,
+          Trace.View_changed
+            { node = 0; added = []; removed = [ 1 ]; view = [ 0 ]; cause = -1 } );
+      ]
+  in
+  let table = Postmortem.eviction_chains a in
+  check_int "both evictions listed" 2 (Table.row_count table);
+  let s = Table.render table in
+  check "departed evictor's cut attributed to it" true
+    (Str_helpers.contains s "{2}");
+  check "the cut of the departed node is its own row" true
+    (Str_helpers.contains s "{1}");
+  (* node 0 set no double marks: its row counts 0, not node 1's mark *)
+  check "no cross-node mark leakage" true (Str_helpers.contains s "0")
+
+(* Two nodes evicting each other at the same tick: both rows present,
+   each counting only its own node's double marks. *)
+let test_same_tick_eviction_pair () =
+  let a =
+    Postmortem.analyze
+      [
+        (1.0, Trace.Mark_set { node = 3; peer = 4; mark = "double"; cause = -1 });
+        (1.0, Trace.Mark_set { node = 4; peer = 3; mark = "double"; cause = -1 });
+        (1.5, Trace.Mark_set { node = 4; peer = 3; mark = "double"; cause = -1 });
+        ( 2.0,
+          Trace.View_changed
+            { node = 3; added = []; removed = [ 4 ]; view = [ 3 ]; cause = -1 } );
+        ( 2.0,
+          Trace.View_changed
+            { node = 4; added = []; removed = [ 3 ]; view = [ 4 ]; cause = -1 } );
+        (* a later pair of cuts sees reset counters *)
+        ( 5.0,
+          Trace.View_changed
+            { node = 3; added = []; removed = [ 5 ]; view = [ 3 ]; cause = -1 } );
+      ]
+  in
+  let table = Postmortem.eviction_chains a in
+  check_int "three eviction rows" 3 (Table.row_count table);
+  let csv = Table.to_csv table in
+  let rows = String.split_on_char '\n' (String.trim csv) in
+  (* rows: header, node 3 (1 mark), node 4 (2 marks), node 3 again (0 —
+     reset by its first cut) *)
+  let nth i = List.nth rows i in
+  check "node 3's first cut counts its one mark" true
+    (Str_helpers.contains (nth 1) "1");
+  check "node 4's same-tick cut counts its two marks" true
+    (Str_helpers.contains (nth 2) "2");
+  check "counter resets after the first cut" true
+    (Str_helpers.contains (nth 3) "0")
+
 let test_empty_trace () =
   let a = Postmortem.analyze [] in
   check_int "no events" 0 (Postmortem.event_count a);
@@ -156,6 +248,11 @@ let suite =
     ("convergence timeline", `Quick, test_timeline);
     ("stabilization table", `Quick, test_stabilization);
     ("eviction chains", `Quick, test_eviction_chains);
+    ( "eviction marks across a snapshot boundary",
+      `Quick,
+      test_eviction_mark_across_snapshot_boundary );
+    ("eviction by a departed evictor", `Quick, test_eviction_by_departed_evictor);
+    ("same-tick eviction pair", `Quick, test_same_tick_eviction_pair);
     ("group size and lifetime distributions", `Quick, test_distributions);
     ("render and csv exports", `Quick, test_render_and_csv);
     ("empty trace", `Quick, test_empty_trace);

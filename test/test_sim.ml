@@ -145,7 +145,7 @@ let make_medium ?(loss = 0.0) ~audience () =
        these tests assert on [stats_by_dest], so they opt in. *)
     Medium.create ~engine ~rng:(Rng.create 1) ~loss ~delay_min:0.001 ~delay_max:0.01
       ~per_dst_stats:true ~audience
-      ~deliver:(fun ~dst msg ->
+      ~deliver:(fun ~dst ~lid:_ msg ->
         received := (dst, msg) :: !received;
         true)
       ()
@@ -154,20 +154,20 @@ let make_medium ?(loss = 0.0) ~audience () =
 
 let test_medium_broadcast () =
   let engine, medium, received = make_medium ~audience:(fun _ -> [ 1; 2; 3 ]) () in
-  Medium.broadcast medium ~src:0 "hello";
+  ignore (Medium.broadcast medium ~src:0 "hello");
   Engine.run_until engine 1.0;
   check_int "all neighbors" 3 (List.length !received);
   check "payload" true (List.for_all (fun (_, m) -> m = "hello") !received)
 
 let test_medium_excludes_sender () =
   let engine, medium, received = make_medium ~audience:(fun _ -> [ 0; 1 ]) () in
-  Medium.broadcast medium ~src:0 "x";
+  ignore (Medium.broadcast medium ~src:0 "x");
   Engine.run_until engine 1.0;
   Alcotest.(check (list int)) "no self-delivery" [ 1 ] (List.map fst !received)
 
 let test_medium_loss () =
   let engine, medium, received = make_medium ~loss:1.0 ~audience:(fun _ -> [ 1; 2 ]) () in
-  Medium.broadcast medium ~src:0 "x";
+  ignore (Medium.broadcast medium ~src:0 "x");
   Engine.run_until engine 1.0;
   check_int "all lost" 0 (List.length !received);
   let s = Medium.stats medium in
@@ -177,7 +177,7 @@ let test_medium_loss () =
 let test_medium_loss_rate () =
   let engine, medium, received = make_medium ~loss:0.5 ~audience:(fun _ -> [ 1 ]) () in
   for _ = 1 to 2000 do
-    Medium.broadcast medium ~src:0 "x"
+    ignore (Medium.broadcast medium ~src:0 "x")
   done;
   Engine.run_until engine 100.0;
   let n = List.length !received in
@@ -185,7 +185,7 @@ let test_medium_loss_rate () =
 
 let test_medium_stats_reset () =
   let engine, medium, _ = make_medium ~audience:(fun _ -> [ 1 ]) () in
-  Medium.broadcast medium ~src:0 "x";
+  ignore (Medium.broadcast medium ~src:0 "x");
   Engine.run_until engine 1.0;
   Medium.reset_stats medium;
   let s = Medium.stats medium in
@@ -195,7 +195,7 @@ let test_medium_stats_reset () =
    protocol but must not leak into the new stats window. *)
 let test_medium_reset_fences_inflight () =
   let engine, medium, received = make_medium ~audience:(fun _ -> [ 1; 2 ]) () in
-  Medium.broadcast medium ~src:0 "old";
+  ignore (Medium.broadcast medium ~src:0 "old");
   (* Reset while both copies are still in flight (delays are ≤ 0.01). *)
   Medium.reset_stats medium;
   Engine.run_until engine 1.0;
@@ -206,7 +206,7 @@ let test_medium_reset_fences_inflight () =
   Alcotest.(check (list int)) "per-dest breakdown stays empty" []
     (List.map (fun d -> d.Medium.dst) (Medium.stats_by_dest medium));
   (* The next window counts normally. *)
-  Medium.broadcast medium ~src:0 "new";
+  ignore (Medium.broadcast medium ~src:0 "new");
   Engine.run_until engine 2.0;
   let s = Medium.stats medium in
   check_int "fresh window counts its own copies" 2 s.Medium.deliveries;
@@ -214,7 +214,7 @@ let test_medium_reset_fences_inflight () =
 
 let test_medium_inject () =
   let engine, medium, received = make_medium ~audience:(fun _ -> []) () in
-  Medium.inject medium ~at:0.5 ~src:7 ~dst:1 "remote";
+  Medium.inject medium ~at:0.5 ~src:7 ~dst:1 ~lid:(-1) "remote";
   Engine.run_until engine 0.25;
   check_int "not before its time" 0 (List.length !received);
   Engine.run_until engine 1.0;
@@ -553,10 +553,11 @@ module type ENGINE_S = sig
   val create : ?start:float -> ?trace:Trace.t -> unit -> 'msg t
   val now : 'msg t -> float
   val schedule_after : 'msg t -> float -> (unit -> unit) -> event_id
-  val set_deliver : 'msg t -> (src:int -> dst:int -> gen:int -> 'msg -> unit) -> unit
+  val set_deliver :
+    'msg t -> (src:int -> dst:int -> gen:int -> lid:int -> 'msg -> unit) -> unit
 
   val schedule_deliver :
-    'msg t -> at:float -> src:int -> dst:int -> gen:int -> 'msg -> unit
+    'msg t -> at:float -> src:int -> dst:int -> gen:int -> lid:int -> 'msg -> unit
 
   val cancel : 'msg t -> event_id -> unit
   val cancelled_backlog : 'msg t -> int
@@ -608,8 +609,10 @@ module Drive (E : ENGINE_S) = struct
           tlog := Format.asprintf "%g %a" time Trace.pp_event ev :: !tlog)
     in
     let e = E.create ~trace () in
-    E.set_deliver e (fun ~src ~dst ~gen m ->
-        out (Printf.sprintf "deliver %d->%d g%d m%d @%g" src dst gen m (E.now e)));
+    E.set_deliver e (fun ~src ~dst ~gen ~lid m ->
+        out
+          (Printf.sprintf "deliver %d->%d g%d l%d m%d @%g" src dst gen lid m
+             (E.now e)));
     (* Handles in allocation order (most recent first); callbacks allocate
        tokens and push handles at fire time, so an equivalence violation
        shows up as diverging logs rather than driver nondeterminism. *)
@@ -650,7 +653,9 @@ module Drive (E : ENGINE_S) = struct
                    | None -> ()
                    | Some h -> E.cancel e h))
         | Deliver (d, src, dst, m) ->
-            E.schedule_deliver e ~at:(E.now e +. d) ~src ~dst ~gen:0 m
+            (* The payload doubles as the lineage id so the equivalence
+               log also pins lid plumbing. *)
+            E.schedule_deliver e ~at:(E.now e +. d) ~src ~dst ~gen:0 ~lid:m m
         | Cancel k -> (
             match nth_handle k with None -> () | Some h -> E.cancel e h)
         | Run_until d -> E.run_until e (E.now e +. d)
@@ -699,19 +704,22 @@ let engine_equivalence =
 
 (* The delivery datapath must not allocate once warm: a steady-state
    burst of typed deliveries through the arena and the calendar bucket —
-   trace and metrics off — moves [Gc.minor_words] by exactly zero. *)
+   trace and metrics off — moves [Gc.minor_words] by exactly zero.  The
+   burst carries {e live} lineage ids through the provenance slot (the
+   null-sink discipline disables minting and stamping, not the field),
+   pinning that provenance-present-but-disabled stays allocation-free. *)
 let test_engine_delivery_zero_alloc () =
   let e = Engine.create () in
   let hits = ref 0 in
-  Engine.set_deliver e (fun ~src:_ ~dst:_ ~gen:_ (_ : int) -> incr hits);
+  Engine.set_deliver e (fun ~src:_ ~dst:_ ~gen:_ ~lid:_ (_ : int) -> incr hits);
   (* Warm-up: grow the arena, the calendar bucket and the free list. *)
   for i = 1 to 20_000 do
-    Engine.schedule_deliver e ~at:1.0 ~src:i ~dst:i ~gen:0 7
+    Engine.schedule_deliver e ~at:1.0 ~src:i ~dst:i ~gen:0 ~lid:((i lsl 20) lor 7) 7
   done;
   Engine.run_until e 1.0;
   let w0 = Gc.minor_words () in
   for i = 1 to 20_000 do
-    Engine.schedule_deliver e ~at:2.0 ~src:i ~dst:i ~gen:0 7
+    Engine.schedule_deliver e ~at:2.0 ~src:i ~dst:i ~gen:0 ~lid:((i lsl 20) lor 9) 7
   done;
   Engine.run_until e 2.0;
   let delta = Gc.minor_words () -. w0 in
@@ -719,7 +727,10 @@ let test_engine_delivery_zero_alloc () =
   check_float "minor words delta" 0.0 delta
 
 (* [Grp_node.receive] appends to the reusable flat inbox: after the
-   buffer has grown to the burst size, receiving is pure array writes. *)
+   buffer has grown to the burst size, receiving is pure array writes.
+   Half the measured burst goes through [receive_lid] with a non-trivial
+   lineage id — the provenance lane writes an int alongside the message
+   and must be exactly as allocation-free as the plain path. *)
 let test_receive_zero_alloc () =
   let config = Config.make ~dmax:3 () in
   let node = Grp_node.create ~config 1 in
@@ -732,8 +743,9 @@ let test_receive_zero_alloc () =
   done;
   ignore (Grp_node.compute node);
   let w0 = Gc.minor_words () in
-  for _ = 1 to 10_000 do
-    Grp_node.receive node msg
+  for i = 1 to 5_000 do
+    Grp_node.receive node msg;
+    Grp_node.receive_lid node ~lid:((2 lsl 20) lor i) msg
   done;
   let delta = Gc.minor_words () -. w0 in
   check_float "minor words delta" 0.0 delta

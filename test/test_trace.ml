@@ -18,20 +18,27 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 (* One sample per constructor; the coverage guard below fails the suite if
-   a new constructor is added without extending this list. *)
+   a new constructor is added without extending this list.  Provenance is
+   set (>= 0) on every sample so the doc field-schema diff below sees the
+   full JSONL surface; the [-1]-omission path is covered separately. *)
 let samples : (float * Trace.event) list =
   [
-    (1.0, Msg_sent { src = 0 });
-    (1.0, Msg_delivered { src = 0; dst = 4 });
-    (2.0, Msg_lost { src = 3; dst = 7 });
-    (1.5, Msg_dropped { src = 0; dst = 2 });
-    (3.0, View_changed { node = 4; added = [ 2 ]; removed = []; view = [ 2; 4 ] });
-    (2.0, Quarantine_enter { node = 4; member = 2; remaining = 3 });
-    (5.0, Quarantine_admit { node = 4; member = 2 });
-    (2.0, Mark_set { node = 4; peer = 9; mark = "single" });
-    (4.0, Mark_cleared { node = 4; peer = 9 });
-    (2.0, Merge_attempt { node = 4; sender = 9 });
-    (2.5, Merge_accepted { node = 4; sender = 9 });
+    (1.0, Msg_sent { src = 0; lid = 3 });
+    (1.0, Msg_delivered { src = 0; dst = 4; cause = 3 });
+    (2.0, Msg_lost { src = 3; dst = 7; cause = (3 lsl 20) lor 5 });
+    (1.5, Msg_dropped { src = 0; dst = 2; cause = 3 });
+    ( 3.0,
+      View_changed
+        { node = 4; added = [ 2 ]; removed = []; view = [ 2; 4 ]; cause = 3 } );
+    (2.0, Quarantine_enter { node = 4; member = 2; remaining = 3; cause = 3 });
+    (5.0, Quarantine_admit { node = 4; member = 2; cause = 3 });
+    (2.0, Mark_set { node = 4; peer = 9; mark = "single"; cause = 3 });
+    (4.0, Mark_cleared { node = 4; peer = 9; cause = 3 });
+    (2.0, Merge_attempt { node = 4; sender = 9; cause = 3 });
+    (2.5, Merge_accepted { node = 4; sender = 9; cause = 3 });
+    (2.5, Gate_conviction { node = 4; peer = 9; cause = 3 });
+    (2.5, Contest_win { node = 4; far = 9; cause = 3 });
+    (2.5, Contest_freeze { node = 4; far = 9; cause = 3 });
     (12.0, Topology_change { nodes = 30; edges = 71 });
     (0.42, Event_scheduled { id = 117; at = 1.402 });
     (1.402, Event_fired { id = 117; at = 1.402 });
@@ -57,14 +64,14 @@ let test_ring_wraparound () =
   check "enabled" true (Trace.enabled sink);
   for i = 1 to 10 do
     Trace.set_time sink (float_of_int i);
-    Trace.emit sink (Trace.Msg_sent { src = i })
+    Trace.emit sink (Trace.Msg_sent { src = i; lid = -1 })
   done;
   check_int "length capped" 4 (Trace.Ring.length ring);
   check_int "seen counts overwritten" 10 (Trace.Ring.seen ring);
   Alcotest.(check (list int))
     "oldest first, most recent kept" [ 7; 8; 9; 10 ]
     (List.map
-       (fun (_, ev) -> match ev with Trace.Msg_sent { src } -> src | _ -> -1)
+       (fun (_, ev) -> match ev with Trace.Msg_sent { src; _ } -> src | _ -> -1)
        (Trace.Ring.contents ring));
   Trace.Ring.clear ring;
   check_int "clear" 0 (Trace.Ring.length ring)
@@ -119,11 +126,63 @@ let test_jsonl_load_skips_garbage () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       let oc = open_out path in
-      output_string oc (Trace.Jsonl.to_string 1.0 (Trace.Msg_sent { src = 3 }));
+      output_string oc
+        (Trace.Jsonl.to_string 1.0 (Trace.Msg_sent { src = 3; lid = -1 }));
       output_string oc "\nnot json at all\n{\"t\":2,\"ev\":\"No_such_event\"}\n";
       close_out oc;
       check "malformed lines skipped" true
-        (Trace.Jsonl.load path = [ (1.0, Trace.Msg_sent { src = 3 }) ]))
+        (Trace.Jsonl.load path = [ (1.0, Trace.Msg_sent { src = 3; lid = -1 }) ]))
+
+(* Backward compatibility of the provenance fields: [-1] is omitted on
+   the wire, and absent fields parse back as [-1] — traces recorded
+   before the lineage layer load unchanged. *)
+let test_jsonl_provenance_compat () =
+  let s = Trace.Jsonl.to_string 1.0 (Trace.Msg_sent { src = 3; lid = -1 }) in
+  check "lid omitted at -1" false (Str_helpers.contains s "lid");
+  let s =
+    Trace.Jsonl.to_string 1.0 (Trace.Msg_delivered { src = 0; dst = 1; cause = -1 })
+  in
+  check "cause omitted at -1" false (Str_helpers.contains s "cause");
+  check "pre-provenance Msg_sent loads" true
+    (Trace.Jsonl.of_string {|{"t":1,"ev":"Msg_sent","src":3}|}
+    = Some (1.0, Trace.Msg_sent { src = 3; lid = -1 }));
+  check "pre-provenance View_changed loads" true
+    (Trace.Jsonl.of_string
+       {|{"t":3,"ev":"View_changed","node":4,"added":[2],"removed":[],"view":[2,4]}|}
+    = Some
+        ( 3.0,
+          Trace.View_changed
+            { node = 4; added = [ 2 ]; removed = []; view = [ 2; 4 ]; cause = -1 } ))
+
+(* --- rotating JSONL sink --- *)
+
+let test_rotating_sink () =
+  let path = Filename.temp_file "dgs_rot" ".jsonl" in
+  let slots = [ path; path ^ ".1"; path ^ ".2"; path ^ ".3" ] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) slots)
+    (fun () ->
+      (* Constant-length lines (2-digit lids): cap each file at 3 lines. *)
+      let line_len =
+        String.length (Trace.Jsonl.to_string 1.0 (Trace.Msg_sent { src = 0; lid = 10 }))
+        + 1
+      in
+      let r = Trace.Rotating.create ~path ~max_bytes:(3 * line_len) ~keep:3 in
+      let sink = Trace.Rotating.sink r in
+      Trace.set_time sink 1.0;
+      for lid = 10 to 20 do
+        Trace.emit sink (Trace.Msg_sent { src = 0; lid })
+      done;
+      check_int "rotations" 3 (Trace.Rotating.rotations r);
+      Trace.Rotating.close r;
+      check "keep bound respected" false (Sys.file_exists (path ^ ".3"));
+      let lids p =
+        List.map (fun (_, ev) -> Trace.lid_of ev) (Trace.Jsonl.load p)
+      in
+      Alcotest.(check (list int)) "newest events in the base file" [ 19; 20 ] (lids path);
+      Alcotest.(check (list int)) "previous file" [ 16; 17; 18 ] (lids (path ^ ".1"));
+      Alcotest.(check (list int)) "oldest kept file" [ 13; 14; 15 ] (lids (path ^ ".2")))
 
 (* --- counting sink vs. the medium's ground truth --- *)
 
@@ -135,11 +194,11 @@ let test_counting_matches_medium () =
       ~delay_max:0.01 ~per_dst_stats:true
       ~trace:(Trace.Counting.sink counting)
       ~audience:(fun _ -> [ 1; 2; 3 ])
-      ~deliver:(fun ~dst _ -> dst <> 3)
+      ~deliver:(fun ~dst ~lid:_ _ -> dst <> 3)
       ()
   in
   for _ = 1 to 200 do
-    Medium.broadcast medium ~src:0 "x"
+    ignore (Medium.broadcast medium ~src:0 "x")
   done;
   Engine.run_until engine 10.0;
   let s = Medium.stats medium in
@@ -275,7 +334,7 @@ let is_kind_token s =
        (fun c -> (c >= 'a' && c <= 'z') || c = '_')
        (String.sub s 1 (String.length s - 1))
 
-let test_doc_vocabulary () =
+let kinds_section () =
   let lines = read_lines doc_path in
   let in_section = ref false in
   let section =
@@ -287,8 +346,11 @@ let test_doc_vocabulary () =
       lines
   in
   check "markers found" true (section <> []);
+  section
+
+let test_doc_vocabulary () =
   let documented =
-    List.concat_map backticked section
+    List.concat_map backticked (kinds_section ())
     |> List.filter is_kind_token
     |> List.sort_uniq compare
   in
@@ -296,6 +358,34 @@ let test_doc_vocabulary () =
     "docs/OBSERVABILITY.md documents exactly the emitted event types"
     (List.sort compare Trace.kinds)
     documented
+
+(* The field column of the same table cannot drift from the JSONL schema:
+   each row's backticked field names must equal, in order, what
+   [Trace.Jsonl.fields] emits for that event (the samples carry full
+   provenance, so omission never hides a field here). *)
+let test_doc_field_schema () =
+  let rows =
+    List.filter_map
+      (fun line ->
+        match String.split_on_char '|' line with
+        | _ :: kind_cell :: fields_cell :: _ -> (
+            match List.filter is_kind_token (backticked kind_cell) with
+            | [ k ] -> Some (k, backticked fields_cell)
+            | _ -> None)
+        | _ -> None)
+      (kinds_section ())
+  in
+  Alcotest.(check (list string))
+    "one table row per constructor" (List.sort compare Trace.kinds)
+    (List.sort compare (List.map fst rows));
+  List.iter
+    (fun (k, documented) ->
+      let _, ev = List.find (fun (_, ev) -> Trace.kind ev = k) samples in
+      Alcotest.(check (list string))
+        (k ^ " fields")
+        (List.map fst (Trace.Jsonl.fields ev))
+        documented)
+    rows
 
 let suite =
   [
@@ -307,9 +397,12 @@ let suite =
     ("jsonl round-trip (every event)", `Quick, test_jsonl_roundtrip);
     ("jsonl file round-trip", `Quick, test_jsonl_file_roundtrip);
     ("jsonl load skips garbage", `Quick, test_jsonl_load_skips_garbage);
+    ("jsonl provenance backward-compat", `Quick, test_jsonl_provenance_compat);
+    ("rotating sink", `Quick, test_rotating_sink);
     ("counting sink matches medium stats", `Quick, test_counting_matches_medium);
     ("engine cancel backlog regression", `Quick, test_engine_cancel_backlog);
     ("E1 View_changed sequence", `Quick, test_e1_view_changed_sequence);
     ("monitor timeline", `Quick, test_monitor_timeline);
     ("doc vocabulary", `Quick, test_doc_vocabulary);
+    ("doc field schema", `Quick, test_doc_field_schema);
   ]
